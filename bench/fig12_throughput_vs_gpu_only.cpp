@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 12: training throughput of CLM vs the GPU-only baseline and the
+ * enhanced baseline (pre-rendering frustum culling). Model sizes are the
+ * largest the plain baseline supports (Figure 8 memory model), as in the
+ * paper. The two shapes to reproduce: CLM can *beat* the plain baseline
+ * on sparse scenes (culling wins exceed offloading costs), and CLM
+ * retains a large fraction of the enhanced baseline's throughput —
+ * more on the slower GPU.
+ */
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace clm;
+using namespace clm::bench;
+
+namespace {
+
+struct PaperRow
+{
+    const char *scene;
+    double baseline, enhanced, clm;
+};
+
+const PaperRow kPaper2080[] = {
+    {"Bicycle", 4.2, 4.8, 4.3},    {"Rubble", 6.7, 7.3, 7.0},
+    {"Alameda", 13.5, 15.0, 13.6}, {"Ithaca", 25.3, 40.3, 39.0},
+    {"BigCity", 37.5, 88.5, 75.7},
+};
+const PaperRow kPaper4090[] = {
+    {"Bicycle", 5.3, 7.1, 6.4},    {"Rubble", 7.4, 10.9, 9.4},
+    {"Alameda", 11.1, 20.2, 13.8}, {"Ithaca", 26.4, 57.2, 31.4},
+    {"BigCity", 35.8, 131.9, 88.3},
+};
+
+void
+report(const DeviceSpec &dev, const PaperRow *paper)
+{
+    std::cout << "--- " << dev.name << " ---\n";
+    Table t({"Scene", "Model (M)", "Baseline", "Enhanced", "CLM",
+             "CLM/Enhanced", "Paper CLM/Enh"});
+    auto scenes = SceneSpec::all();
+    for (size_t i = 0; i < scenes.size(); ++i) {
+        const SceneSpec &s = scenes[i];
+        SimWorkload w = SimWorkload::load(s);
+        double n_target =
+            maxTrainableGaussians(SystemKind::Baseline, s, dev);
+
+        auto run = [&](SystemKind sys) {
+            PlannerConfig cfg;
+            cfg.system = sys;
+            return simulateThroughput(cfg, w, n_target, dev)
+                .images_per_sec;
+        };
+        double base = run(SystemKind::Baseline);
+        double enh = run(SystemKind::EnhancedBaseline);
+        double cl = run(SystemKind::Clm);
+        t.addRow({s.name, fmtMillions(n_target), Table::fmt(base, 1),
+                  Table::fmt(enh, 1), Table::fmt(cl, 1),
+                  Table::fmt(100.0 * cl / enh, 0) + "%",
+                  Table::fmt(100.0 * paper[i].clm / paper[i].enhanced, 0)
+                      + "%"});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Figure 12: CLM vs GPU-only baselines ===\n\n";
+    report(DeviceSpec::rtx2080ti(), kPaper2080);
+    report(DeviceSpec::rtx4090(), kPaper4090);
+    std::cout << "Shape check: enhanced > baseline everywhere; CLM "
+                 "retains most of the enhanced baseline's throughput, "
+                 "more on the 2080 Ti (paper: 86-97%) than on the 4090 "
+                 "(paper: 55-90%), and CLM beats the *plain* baseline on "
+                 "sparse scenes (BigCity).\n";
+    return 0;
+}

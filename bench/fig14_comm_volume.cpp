@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 14: average CPU->GPU parameter volume per training batch, for
+ * naive offloading, CLM without caching ("No Cache"), and CLM with
+ * caching under the four ordering strategies of Table 4. Also reports
+ * cache hit rates (an extra ablation beyond the paper's plot).
+ */
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace clm;
+using namespace clm::bench;
+
+int
+main()
+{
+    std::cout << "=== Figure 14: CPU->GPU communication volume per batch "
+                 "===\n\n";
+    DeviceSpec dev = DeviceSpec::rtx4090();
+    Table t({"Scene", "Naive (GB)", "No Cache (GB)", "Random (GB)",
+             "Camera (GB)", "GS Count (GB)", "TSP/CLM (GB)",
+             "TSP vs naive", "TSP hit rate"});
+
+    for (const SceneSpec &s : SceneSpec::all()) {
+        SimWorkload w = SimWorkload::load(s);
+        double n_target =
+            maxTrainableGaussians(SystemKind::NaiveOffload, s, dev);
+        auto batches =
+            sampleBatches(w.cameras.size(), s.batch_size, 3, 7);
+
+        double naive_gb =
+            n_target * kParamBytesPerGaussian / 1e9;    // per batch
+
+        auto mean_load = [&](OrderingStrategy ord, bool cache,
+                             double *hit_rate = nullptr) {
+            double total = 0, hits = 0, loads = 0;
+            for (const auto &ids : batches) {
+                BatchWorkload wl = makeBatchWorkload(w, ids, n_target);
+                PlannerConfig cfg;
+                cfg.system = SystemKind::Clm;
+                cfg.ordering = ord;
+                cfg.enable_cache = cache;
+                BatchPlanResult r = planBatch(cfg, wl);
+                total += r.paramLoadBytesScaled();
+                hits += static_cast<double>(r.cache.cacheHits());
+                loads += static_cast<double>(r.cache.totalLoads());
+            }
+            if (hit_rate)
+                *hit_rate = hits / std::max(loads, 1.0);
+            return total / batches.size() / 1e9;
+        };
+
+        double no_cache = mean_load(OrderingStrategy::Random, false);
+        double random = mean_load(OrderingStrategy::Random, true);
+        double camera = mean_load(OrderingStrategy::Camera, true);
+        double gscount = mean_load(OrderingStrategy::GsCount, true);
+        double hit_rate = 0;
+        double tsp = mean_load(OrderingStrategy::Tsp, true, &hit_rate);
+
+        t.addRow({s.name, Table::fmt(naive_gb, 2),
+                  Table::fmt(no_cache, 2), Table::fmt(random, 2),
+                  Table::fmt(camera, 2), Table::fmt(gscount, 2),
+                  Table::fmt(tsp, 2),
+                  "-" + Table::fmt(100.0 * (1.0 - tsp / naive_gb), 0)
+                      + "%",
+                  Table::fmt(100.0 * hit_rate, 0) + "%"});
+    }
+    t.print(std::cout);
+    std::cout
+        << "\nShape check (Figure 14): selective loading alone cuts "
+           "volume vs naive; caching helps most on dense scenes "
+           "(Bicycle) and least on BigCity (low rho); TSP order always "
+           "yields the lowest volume (paper: -37% to -82% vs naive).\n";
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 15: CDF of the GPU idle rate (100 - SMs Active) for CLM vs
+ * naive offloading across the five scenes on the RTX 4090, from the
+ * simulated compute-stream timeline sampled Nsight-style.
+ */
+
+#include <iostream>
+
+#include "common.hpp"
+#include "math/stats.hpp"
+
+using namespace clm;
+using namespace clm::bench;
+
+int
+main()
+{
+    std::cout << "=== Figure 15: GPU idle-rate CDFs (RTX 4090) ===\n\n";
+    DeviceSpec dev = DeviceSpec::rtx4090();
+
+    Table t({"Scene", "System", "Mean idle (%)", "P50 idle", "P90 idle",
+             "Busy fraction (%)"});
+    for (const SceneSpec &s : SceneSpec::all()) {
+        SimWorkload w = SimWorkload::load(s);
+        double n_target =
+            maxTrainableGaussians(SystemKind::NaiveOffload, s, dev);
+        for (SystemKind sys :
+             {SystemKind::NaiveOffload, SystemKind::Clm}) {
+            PlannerConfig cfg;
+            cfg.system = sys;
+            ThroughputResult r =
+                simulateThroughput(cfg, w, n_target, dev);
+            EmpiricalCdf cdf(r.idle_samples);
+            t.addRow({s.name, systemName(sys),
+                      Table::fmt(cdf.mean(), 1),
+                      Table::fmt(cdf.percentile(50), 0),
+                      Table::fmt(cdf.percentile(90), 0),
+                      Table::fmt(r.utilization.sm_active, 1)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nShape check (Figure 15): CLM's idle-rate curve "
+                 "dominates naive offloading's on every scene (lower "
+                 "mean idle, higher SMs-active), and high-resolution "
+                 "scenes (Bicycle, Rubble) show the best utilization.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table 5: (a) training throughput and (b) CPU Adam trailing time under
+ * the four ordering strategies, on the RTX 4090 at the largest
+ * naive-offloading model size — the paper's ordering-strategy ablation.
+ */
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace clm;
+using namespace clm::bench;
+
+int
+main()
+{
+    std::cout << "=== Table 5: ordering-strategy ablation (RTX 4090) "
+                 "===\n\n";
+    DeviceSpec dev = DeviceSpec::rtx4090();
+    auto strategies = allOrderingStrategies();
+
+    Table thpt({"Method", "Bicycle", "Rubble", "Alameda", "Ithaca",
+                "BigCity"});
+    Table trail({"Method", "Bicycle", "Rubble", "Alameda", "Ithaca",
+                 "BigCity"});
+
+    std::vector<std::vector<double>> thpt_vals(
+        strategies.size()), trail_vals(strategies.size());
+
+    for (const SceneSpec &s : SceneSpec::all()) {
+        SimWorkload w = SimWorkload::load(s);
+        double n_target =
+            maxTrainableGaussians(SystemKind::NaiveOffload, s, dev);
+        for (size_t k = 0; k < strategies.size(); ++k) {
+            PlannerConfig cfg;
+            cfg.system = SystemKind::Clm;
+            cfg.ordering = strategies[k];
+            ThroughputResult r =
+                simulateThroughput(cfg, w, n_target, dev);
+            thpt_vals[k].push_back(r.images_per_sec);
+            trail_vals[k].push_back(r.adam_trailing_seconds * 1e3);
+        }
+    }
+
+    for (size_t k = 0; k < strategies.size(); ++k) {
+        std::vector<std::string> trow{orderingName(strategies[k])};
+        std::vector<std::string> lrow{orderingName(strategies[k])};
+        for (double v : thpt_vals[k])
+            trow.push_back(Table::fmt(v, 2));
+        for (double v : trail_vals[k])
+            lrow.push_back(Table::fmt(v, 1));
+        thpt.addRow(std::move(trow));
+        trail.addRow(std::move(lrow));
+    }
+
+    std::cout << "(a) Training throughput (img/s):\n";
+    thpt.print(std::cout);
+    std::cout << "\n(b) CPU Adam trailing time (ms):\n";
+    trail.print(std::cout);
+    std::cout
+        << "\nShape check (Table 5): the informed strategies (TSP, GS "
+           "Count) lead in throughput; GS Count tends to minimize "
+           "trailing time while TSP minimizes communication volume; "
+           "BigCity shows the least variation across orders.\n";
+    return 0;
+}

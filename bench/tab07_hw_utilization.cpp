@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table 7 / Appendix A.4: CPU-core, GPU-DRAM and PCIe RX/TX utilization
+ * of CLM vs naive offloading across the five scenes on the RTX 4090,
+ * derived from the simulated timeline.
+ */
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace clm;
+using namespace clm::bench;
+
+int
+main()
+{
+    std::cout << "=== Table 7: hardware utilization (RTX 4090) ===\n\n";
+    DeviceSpec dev = DeviceSpec::rtx4090();
+    Table t({"Scene", "Metric", "Naive (%)", "CLM (%)"});
+    for (const SceneSpec &s : SceneSpec::all()) {
+        SimWorkload w = SimWorkload::load(s);
+        double n_target =
+            maxTrainableGaussians(SystemKind::NaiveOffload, s, dev);
+        PlannerConfig ncfg, ccfg;
+        ncfg.system = SystemKind::NaiveOffload;
+        ccfg.system = SystemKind::Clm;
+        HardwareUtilization un =
+            simulateThroughput(ncfg, w, n_target, dev).utilization;
+        HardwareUtilization uc =
+            simulateThroughput(ccfg, w, n_target, dev).utilization;
+        auto row = [&](const char *metric, double a, double b) {
+            t.addRow({s.name, metric, Table::fmt(a, 1),
+                      Table::fmt(b, 1)});
+        };
+        row("CPU Util", un.cpu_util, uc.cpu_util);
+        row("DRAM Read", un.dram_read_util, uc.dram_read_util);
+        row("DRAM Write", un.dram_write_util, uc.dram_write_util);
+        row("PCIe RX", un.pcie_rx_util, uc.pcie_rx_util);
+        row("PCIe TX", un.pcie_tx_util, uc.pcie_tx_util);
+    }
+    t.print(std::cout);
+    std::cout
+        << "\nShape check (Table 7): CLM keeps CPU cores and DRAM "
+           "busier than naive offloading everywhere; its PCIe RX "
+           "exceeds its TX because gradient offloading is a "
+           "read-modify-write (the fetch adds RX traffic); overall PCIe "
+           "utilization stays low.\n";
+    return 0;
+}

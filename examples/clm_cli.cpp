@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Command-line driver: train any scene preset with any of the four
+ * systems and export the result — the entry point a downstream user
+ * scripts against.
+ *
+ * Usage:
+ *   clm_cli [--scene NAME] [--system clm|baseline|enhanced|naive]
+ *           [--model-size N] [--steps N] [--async-adam] [--densify]
+ *           [--save model.bin] [--ply points.ply] [--render out.ppm]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/clm.hpp"
+#include "gaussian/io.hpp"
+#include "util/logging.hpp"
+#include "train/clm_trainer.hpp"
+
+namespace {
+
+using namespace clm;
+
+SystemKind
+parseSystem(const std::string &name)
+{
+    if (name == "clm")
+        return SystemKind::Clm;
+    if (name == "baseline")
+        return SystemKind::Baseline;
+    if (name == "enhanced")
+        return SystemKind::EnhancedBaseline;
+    if (name == "naive")
+        return SystemKind::NaiveOffload;
+    CLM_FATAL("unknown system: ", name,
+              " (expected clm|baseline|enhanced|naive)");
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--scene NAME] [--system clm|baseline|enhanced|naive]\n"
+        "          [--model-size N] [--steps N] [--async-adam]\n"
+        "          [--densify] [--save FILE] [--ply FILE] "
+        "[--render FILE]\n"
+        "scenes: Bicycle Rubble Alameda Ithaca BigCity\n",
+        argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace clm;
+
+    std::string scene_name = "Bicycle";
+    std::string system_name = "clm";
+    std::string save_path, ply_path, render_path;
+    size_t model_size = 0;
+    int steps = 10;
+    bool async_adam = false;
+    bool densify = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto need_value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--scene"))
+            scene_name = need_value("--scene");
+        else if (!std::strcmp(argv[i], "--system"))
+            system_name = need_value("--system");
+        else if (!std::strcmp(argv[i], "--model-size"))
+            model_size = std::strtoull(
+                need_value("--model-size").c_str(), nullptr, 10);
+        else if (!std::strcmp(argv[i], "--steps"))
+            steps = std::atoi(need_value("--steps").c_str());
+        else if (!std::strcmp(argv[i], "--async-adam"))
+            async_adam = true;
+        else if (!std::strcmp(argv[i], "--densify"))
+            densify = true;
+        else if (!std::strcmp(argv[i], "--save"))
+            save_path = need_value("--save");
+        else if (!std::strcmp(argv[i], "--ply"))
+            ply_path = need_value("--ply");
+        else if (!std::strcmp(argv[i], "--render"))
+            render_path = need_value("--render");
+        else
+            usage(argv[0]);
+    }
+
+    ClmConfig config;
+    config.scene = SceneSpec::byName(scene_name);
+    // CLI default profile: quick CPU-friendly sizes.
+    config.scene.train = {3000, 16, 64, 48};
+    config.system = parseSystem(system_name);
+    config.model_size = model_size;
+    config.train.render.sh_degree = 1;
+    config.train.loss.ssim_window = 5;
+    config.train.async_adam = async_adam;
+
+    Clm session(config);
+    if (densify)
+        session.trainer().enableDensification();
+
+    std::printf("[clm] scene=%s system=%s model=%zu views=%zu steps=%d\n",
+                scene_name.c_str(), systemName(config.system),
+                session.model().size(), session.viewCount(), steps);
+
+    double psnr0 = session.evaluatePsnr();
+    int done = 0;
+    while (done < steps) {
+        int chunk = std::min(5, steps - done);
+        auto stats = session.train(chunk);
+        done += chunk;
+        std::printf("[clm] step %3d/%d  loss=%.4f  h2d=%.2f MB\n", done,
+                    steps, stats.back().loss,
+                    stats.back().h2d_bytes / 1e6);
+        if (densify && done < steps) {
+            DensifyStats ds = session.trainer().densifyNow();
+            std::printf(
+                "[clm] densify: +%zu cloned, %zu split, -%zu pruned "
+                "-> %zu gaussians\n",
+                ds.cloned, ds.split, ds.pruned, ds.resulting_size);
+        }
+    }
+    std::printf("[clm] PSNR %.2f -> %.2f dB\n", psnr0,
+                session.evaluatePsnr());
+
+    if (!save_path.empty()) {
+        saveModel(session.model(), save_path);
+        std::printf("[clm] checkpoint -> %s\n", save_path.c_str());
+    }
+    if (!ply_path.empty()) {
+        exportPly(session.model(), ply_path);
+        std::printf("[clm] point cloud -> %s\n", ply_path.c_str());
+    }
+    if (!render_path.empty()) {
+        session.renderView(0).writePpm(render_path);
+        std::printf("[clm] view 0 -> %s\n", render_path.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Novel-view flythrough: trains an aerial (Rubble-style) reconstruction,
+ * then renders a smooth camera path that was never part of the training
+ * set, writing PPM frames — novel view synthesis (Figure 1) end to end.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/clm.hpp"
+
+int
+main()
+{
+    using namespace clm;
+
+    ClmConfig config;
+    config.scene = SceneSpec::rubble();
+    config.scene.train = {2500, 16, 72, 48};
+    config.model_size = 2500;
+    config.system = SystemKind::Clm;
+    config.train.render.sh_degree = 1;
+    config.train.loss.ssim_window = 5;
+
+    Clm session(config);
+    std::printf("training %zu Gaussians over %zu aerial views...\n",
+                session.model().size(), session.viewCount());
+    session.train(12);
+    std::printf("training PSNR: %.2f dB\n", session.evaluatePsnr());
+
+    // A descending arc over the terrain — none of these cameras exist in
+    // the training path.
+    const int frames = 8;
+    const Vec3 center{0, 0, 1};
+    for (int f = 0; f < frames; ++f) {
+        float t = static_cast<float>(f) / (frames - 1);
+        float ang = 0.6f * t * 6.2831853f;
+        float radius = 24.0f - 8.0f * t;
+        float height = 16.0f - 6.0f * t;
+        Vec3 eye{radius * std::cos(ang), radius * std::sin(ang), height};
+        Camera cam = Camera::lookAt(eye, center, {0, 0, 1}, 96, 64, 1.1f,
+                                    0.05f, config.scene.camera_z_far);
+        Image frame = session.renderNovelView(cam);
+        std::string name =
+            "flythrough_" + std::to_string(f) + ".ppm";
+        frame.writePpm(name);
+        std::printf("frame %d: eye (%.1f, %.1f, %.1f) -> %s\n", f, eye.x,
+                    eye.y, eye.z, name.c_str());
+    }
+    std::printf("wrote %d novel-view frames.\n", frames);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Offload-knob ablation: runs the same training batch under every
+ * ordering strategy with caching on and off, showing that (a) the knobs
+ * change communication volume dramatically, and (b) they never change
+ * the training result — the learned parameters agree to float tolerance
+ * with plain GPU-only training.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "scene/camera_path.hpp"
+#include "scene/synthetic.hpp"
+#include "train/clm_trainer.hpp"
+#include "train/quality_harness.hpp"
+
+int
+main()
+{
+    using namespace clm;
+
+    SceneSpec spec = SceneSpec::rubble();
+    spec.train = {1500, 10, 56, 56};
+    GaussianModel gt = generateGroundTruth(spec, 1500);
+    auto cameras = trainCameras(spec);
+
+    TrainConfig base_cfg;
+    base_cfg.batch_size = 6;
+    base_cfg.render.sh_degree = 1;
+    base_cfg.loss.ssim_window = 5;
+    auto gt_images = renderGroundTruth(gt, cameras, base_cfg.render);
+    std::vector<int> batch{0, 2, 4, 5, 7, 9};
+
+    // Reference: GPU-only training of the identical batch.
+    GpuOnlyTrainer reference(makeTrainee(gt, 900, 7), cameras, gt_images,
+                             base_cfg);
+    reference.trainBatch(batch);
+
+    std::printf("%-16s %-7s %12s %12s %10s %12s\n", "Ordering", "Cache",
+                "Loaded (MB)", "Stored (MB)", "Hits", "MaxDiff");
+    for (OrderingStrategy ord : allOrderingStrategies()) {
+        for (bool cache : {true, false}) {
+            TrainConfig cfg = base_cfg;
+            cfg.planner.ordering = ord;
+            cfg.planner.enable_cache = cache;
+            ClmTrainer trainer(makeTrainee(gt, 900, 7), cameras,
+                               gt_images, cfg);
+            BatchStats s = trainer.trainBatch(batch);
+
+            // Max parameter deviation from the GPU-only result.
+            double max_diff = 0;
+            for (size_t i = 0; i < trainer.model().size(); ++i) {
+                max_diff = std::max(
+                    max_diff,
+                    std::abs(double(trainer.model().position(i).x)
+                             - reference.model().position(i).x));
+                max_diff = std::max(
+                    max_diff,
+                    std::abs(double(trainer.model().rawOpacity(i))
+                             - reference.model().rawOpacity(i)));
+            }
+            std::printf("%-16s %-7s %12.2f %12.2f %10zu %12.2e\n",
+                        orderingName(ord), cache ? "on" : "off",
+                        s.h2d_bytes / 1e6, s.d2h_bytes / 1e6,
+                        s.cache_hits, max_diff);
+        }
+    }
+    std::printf("\nEvery row learns the same parameters (MaxDiff ~ float "
+                "rounding); only the traffic changes — the paper's "
+                "correctness argument for ordering freedom (§4.2.3).\n");
+    return 0;
+}

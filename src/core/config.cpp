@@ -1,0 +1,29 @@
+#include "core/config.hpp"
+
+#include "util/logging.hpp"
+
+namespace clm {
+
+void
+ClmConfig::applySceneDefaults()
+{
+    if (model_size == 0)
+        model_size = scene.train.n_gaussians;
+    // The paper sizes the batch to the scene (Table 3), capped to the
+    // synthetic view count.
+    train.batch_size =
+        std::min(scene.batch_size, scene.train.n_views);
+    train.planner.system = system;
+}
+
+void
+ClmConfig::validate() const
+{
+    CLM_ASSERT(model_size > 0, "model_size must be positive");
+    CLM_ASSERT(train.batch_size > 0, "batch_size must be positive");
+    CLM_ASSERT(scene.train.n_views > 0, "scene has no training views");
+    CLM_ASSERT(train.render.sh_degree >= 0 && train.render.sh_degree <= 3,
+               "sh_degree out of range");
+}
+
+} // namespace clm

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Top-level CLM configuration: aggregates the trainer, planner, renderer
+ * and scene settings behind one validated struct — the single knob surface
+ * a downstream user touches.
+ */
+
+#ifndef CLM_CORE_CONFIG_HPP
+#define CLM_CORE_CONFIG_HPP
+
+#include "scene/scene_spec.hpp"
+#include "train/trainer.hpp"
+
+namespace clm {
+
+/** Everything needed to set up a CLM training session. */
+struct ClmConfig
+{
+    /** Scene to train (synthetic stand-ins for the paper datasets). */
+    SceneSpec scene = SceneSpec::bicycle();
+    /** Which training system to run (CLM by default). */
+    SystemKind system = SystemKind::Clm;
+    /** Model capacity in Gaussians; 0 means the scene's train profile. */
+    size_t model_size = 0;
+    /** Shared trainer settings (batch size taken from the scene). */
+    TrainConfig train;
+
+    /** Fill derived defaults (batch size, resolutions) from the scene. */
+    void applySceneDefaults();
+
+    /** Panics on inconsistent settings. */
+    void validate() const;
+};
+
+} // namespace clm
+
+#endif // CLM_CORE_CONFIG_HPP

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The 3DGS per-Gaussian parameter layout (Table 1 of the paper) and its
+ * attribute-wise split into selection-critical and non-critical groups
+ * (§4.1): position, scale and rotation (10 floats) are needed for frustum
+ * culling and stay GPU-resident; spherical harmonics and opacity (49 floats)
+ * are offloaded to pinned CPU memory.
+ */
+
+#ifndef CLM_GAUSSIAN_ATTRIBUTES_HPP
+#define CLM_GAUSSIAN_ATTRIBUTES_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "math/sh.hpp"
+
+namespace clm {
+
+/** Parameter counts per attribute (Table 1). */
+constexpr int kPosDim = 3;
+constexpr int kScaleDim = 3;
+constexpr int kRotDim = 4;
+constexpr int kShDim = kShCoeffs;    // 48
+constexpr int kOpacityDim = 1;
+
+/** Total learnable parameters per Gaussian: 3 + (3+4) + 48 + 1 = 59. */
+constexpr int kParamsPerGaussian =
+    kPosDim + kScaleDim + kRotDim + kShDim + kOpacityDim;
+static_assert(kParamsPerGaussian == 59, "paper layout: 59 params");
+
+/** Selection-critical parameters (frustum culling inputs): pos+scale+rot. */
+constexpr int kCriticalDim = kPosDim + kScaleDim + kRotDim;
+static_assert(kCriticalDim == 10, "critical attributes are 10 floats");
+
+/** Non-critical parameters (offloaded): SH coefficients + opacity. */
+constexpr int kNonCriticalDim = kShDim + kOpacityDim;
+static_assert(kNonCriticalDim == 49, "non-critical attributes are 49 floats");
+
+/**
+ * Training state multiplier: each parameter stores the value, its gradient,
+ * and two Adam moments — four floats total (§2.2).
+ */
+constexpr int kStatesPerParam = 4;
+
+/** Bytes of model state per Gaussian during training: 59 x 4 x 4 = 944. */
+constexpr size_t kModelStateBytesPerGaussian =
+    static_cast<size_t>(kParamsPerGaussian) * kStatesPerParam
+    * sizeof(float);
+
+/** Bytes of raw parameters per Gaussian (one copy, no optimizer state). */
+constexpr size_t kParamBytesPerGaussian =
+    static_cast<size_t>(kParamsPerGaussian) * sizeof(float);
+
+/** Bytes of the selection-critical attribute group per Gaussian. */
+constexpr size_t kCriticalBytesPerGaussian =
+    static_cast<size_t>(kCriticalDim) * sizeof(float);
+
+/** Bytes of the non-critical (offloaded) attribute group per Gaussian. */
+constexpr size_t kNonCriticalBytesPerGaussian =
+    static_cast<size_t>(kNonCriticalDim) * sizeof(float);
+
+/**
+ * Pinned-memory record size for one Gaussian's non-critical attributes:
+ * attributes are concatenated and padded so each record is cache-line
+ * aligned (§5.2). 49 floats = 196 bytes -> 256 bytes (4 x 64B lines).
+ */
+constexpr size_t kCacheLineBytes = 64;
+constexpr size_t kPaddedNonCriticalBytes =
+    ((kNonCriticalBytesPerGaussian + kCacheLineBytes - 1) / kCacheLineBytes)
+    * kCacheLineBytes;
+static_assert(kPaddedNonCriticalBytes == 256, "49 floats pad to 256 B");
+
+/** The four attribute groups of Table 1. */
+enum class Attribute : uint8_t { Position, Scale, Rotation, Sh, Opacity };
+
+/** Offsets of each attribute inside a packed 59-float parameter record. */
+constexpr int kPosOffset = 0;
+constexpr int kScaleOffset = kPosOffset + kPosDim;
+constexpr int kRotOffset = kScaleOffset + kScaleDim;
+constexpr int kShOffset = kRotOffset + kRotDim;
+constexpr int kOpacityOffset = kShOffset + kShDim;
+static_assert(kOpacityOffset + kOpacityDim == kParamsPerGaussian);
+
+/** Offsets inside the packed 49-float non-critical record. */
+constexpr int kNcShOffset = 0;
+constexpr int kNcOpacityOffset = kNcShOffset + kShDim;
+
+} // namespace clm
+
+#endif // CLM_GAUSSIAN_ATTRIBUTES_HPP

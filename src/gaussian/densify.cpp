@@ -1,0 +1,129 @@
+#include "gaussian/densify.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "util/logging.hpp"
+
+namespace clm {
+
+void
+Densifier::reset(size_t n)
+{
+    grad_accum_.assign(n, 0.0f);
+    grad_count_.assign(n, 0);
+}
+
+void
+Densifier::observe(const GaussianGrads &grads)
+{
+    CLM_ASSERT(grads.size() == grad_accum_.size(),
+               "densifier state size mismatch");
+    for (size_t i = 0; i < grads.size(); ++i)
+        observeNorm(i, grads.positionGradNorm(i));
+}
+
+void
+Densifier::observeNorm(size_t i, float norm)
+{
+    CLM_ASSERT(i < grad_accum_.size(), "densifier index out of range");
+    if (norm > 0.0f) {
+        grad_accum_[i] += norm;
+        grad_count_[i] += 1;
+    }
+}
+
+DensifyStats
+Densifier::densify(GaussianModel &model, CpuAdam &adam, Rng &rng)
+{
+    CLM_ASSERT(model.size() == grad_accum_.size(),
+               "densifier/model size mismatch");
+    DensifyStats stats;
+    size_t n = model.size();
+
+    // 1. Prune near-transparent Gaussians.
+    std::vector<uint32_t> to_prune;
+    for (size_t i = 0; i < n; ++i)
+        if (model.worldOpacity(i) < config_.prune_opacity)
+            to_prune.push_back(static_cast<uint32_t>(i));
+
+    // 2. Decide clones/splits on the surviving rows (before removal so the
+    //    accumulated gradients still index correctly).
+    struct Child
+    {
+        uint32_t parent;
+        bool is_split;
+    };
+    std::vector<Child> children;
+    size_t budget =
+        config_.max_gaussians > n ? config_.max_gaussians - n : 0;
+    for (size_t i = 0; i < n && children.size() < budget; ++i) {
+        if (grad_count_[i] == 0)
+            continue;
+        if (model.worldOpacity(i) < config_.prune_opacity)
+            continue;
+        float mean_grad = grad_accum_[i] / grad_count_[i];
+        if (mean_grad < config_.grad_threshold)
+            continue;
+        Vec3 ws = model.worldScale(i);
+        float max_scale = std::max({ws.x, ws.y, ws.z});
+        bool is_split = max_scale > config_.scale_threshold;
+        int copies = is_split ? config_.split_children : 1;
+        for (int c = 0; c < copies && children.size() < budget; ++c)
+            children.push_back({static_cast<uint32_t>(i), is_split});
+        if (is_split)
+            ++stats.split;
+        else
+            ++stats.cloned;
+    }
+
+    // 3. Materialize children.
+    for (const Child &ch : children) {
+        uint32_t p = ch.parent;
+        Vec3 pos = model.position(p);
+        Vec3 ls = model.logScale(p);
+        if (ch.is_split) {
+            // Sample the child position from the parent Gaussian and
+            // shrink the child's scale.
+            Vec3 ws = model.worldScale(p);
+            pos += Vec3{rng.normal(0.0f, ws.x), rng.normal(0.0f, ws.y),
+                        rng.normal(0.0f, ws.z)};
+            float shrink = std::log(config_.split_scale_shrink);
+            ls -= Vec3{shrink, shrink, shrink};
+        }
+        model.append(pos, ls, model.rotation(p), model.sh(p),
+                     model.rawOpacity(p));
+    }
+
+    // If this was a split (not a clone), the parent is replaced by its
+    // children: mark split parents for pruning as reference 3DGS does.
+    std::vector<uint32_t> split_parents;
+    for (const Child &ch : children)
+        if (ch.is_split)
+            split_parents.push_back(ch.parent);
+    std::sort(split_parents.begin(), split_parents.end());
+    split_parents.erase(
+        std::unique(split_parents.begin(), split_parents.end()),
+        split_parents.end());
+
+    std::vector<uint32_t> removals = to_prune;
+    removals.insert(removals.end(), split_parents.begin(),
+                    split_parents.end());
+    std::sort(removals.begin(), removals.end());
+    removals.erase(std::unique(removals.begin(), removals.end()),
+                   removals.end());
+    stats.pruned = to_prune.size();
+
+    model.removeRows(removals);
+
+    // 4. Optimizer state: reference 3DGS rebuilds rows for new Gaussians;
+    //    we conservatively reset all moments after a topology change.
+    adam.reset(model.size());
+
+    stats.resulting_size = model.size();
+    reset(model.size());
+    return stats;
+}
+
+} // namespace clm

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Adaptive density control (§2.1, step "adaptive densification"): clone
+ * small under-reconstructed Gaussians, split oversized ones, and prune
+ * near-transparent ones — the mechanism that grows a model from its point-
+ * cloud seed toward the Gaussian counts in Table 2.
+ */
+
+#ifndef CLM_GAUSSIAN_DENSIFY_HPP
+#define CLM_GAUSSIAN_DENSIFY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "gaussian/adam.hpp"
+#include "gaussian/model.hpp"
+
+namespace clm {
+
+class Rng;
+
+/** Thresholds and limits for adaptive density control. */
+struct DensifyConfig
+{
+    /** Positional-gradient threshold above which a Gaussian densifies. */
+    float grad_threshold = 2e-4f;
+    /** World-scale threshold separating clone (small) from split (large). */
+    float scale_threshold = 0.05f;
+    /** World opacity below which a Gaussian is pruned. */
+    float prune_opacity = 0.005f;
+    /** Split produces this many children (reference 3DGS uses 2). */
+    int split_children = 2;
+    /** Children of a split shrink by this factor (reference uses 1.6). */
+    float split_scale_shrink = 1.6f;
+    /** Hard cap on the model size; densification stops at the cap. */
+    size_t max_gaussians = 1u << 22;
+};
+
+/** Outcome counters from one densification pass. */
+struct DensifyStats
+{
+    size_t cloned = 0;
+    size_t split = 0;
+    size_t pruned = 0;
+    size_t resulting_size = 0;
+};
+
+/**
+ * Accumulates per-Gaussian positional-gradient statistics across training
+ * iterations and periodically restructures the model.
+ *
+ * The optimizer state is resized alongside the model: children inherit
+ * zeroed Adam moments (as in reference 3DGS, which re-creates optimizer
+ * rows for new Gaussians).
+ */
+class Densifier
+{
+  public:
+    explicit Densifier(DensifyConfig config = {}) : config_(config) {}
+
+    /** Reset accumulated statistics for a model of size @p n. */
+    void reset(size_t n);
+
+    /** Fold one iteration's gradients into the running statistics. */
+    void observe(const GaussianGrads &grads);
+
+    /** Fold a single Gaussian's positional-gradient norm (used by the
+     *  CLM trainer, which sees gradients per finalized subset). */
+    void observeNorm(size_t i, float norm);
+
+    /**
+     * Run one densify+prune pass over @p model, resizing @p adam to match.
+     * Clears the accumulated statistics afterwards.
+     */
+    DensifyStats densify(GaussianModel &model, CpuAdam &adam, Rng &rng);
+
+    const DensifyConfig &config() const { return config_; }
+
+  private:
+    DensifyConfig config_;
+    std::vector<float> grad_accum_;
+    std::vector<uint32_t> grad_count_;
+};
+
+} // namespace clm
+
+#endif // CLM_GAUSSIAN_DENSIFY_HPP

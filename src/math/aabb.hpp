@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Axis-aligned bounding box, used by the scene generators and as a
+ * conservative bound in frustum-ellipsoid intersection tests.
+ */
+
+#ifndef CLM_MATH_AABB_HPP
+#define CLM_MATH_AABB_HPP
+
+#include <algorithm>
+#include <limits>
+
+#include "math/vec.hpp"
+
+namespace clm {
+
+/** Axis-aligned box [lo, hi]. An empty box has lo > hi. */
+struct Aabb
+{
+    Vec3 lo{std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max()};
+    Vec3 hi{std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest()};
+
+    /** True when no point has been included. */
+    bool
+    empty() const
+    {
+        return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z;
+    }
+
+    /** Grow the box to include @p p. */
+    void
+    extend(const Vec3 &p)
+    {
+        lo.x = std::min(lo.x, p.x);
+        lo.y = std::min(lo.y, p.y);
+        lo.z = std::min(lo.z, p.z);
+        hi.x = std::max(hi.x, p.x);
+        hi.y = std::max(hi.y, p.y);
+        hi.z = std::max(hi.z, p.z);
+    }
+
+    /** Grow the box by @p r on every side. */
+    void
+    inflate(float r)
+    {
+        Vec3 d{r, r, r};
+        lo -= d;
+        hi += d;
+    }
+
+    Vec3 center() const { return (lo + hi) * 0.5f; }
+    Vec3 extent() const { return hi - lo; }
+
+    bool
+    contains(const Vec3 &p) const
+    {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y
+            && p.z >= lo.z && p.z <= hi.z;
+    }
+};
+
+} // namespace clm
+
+#endif // CLM_MATH_AABB_HPP

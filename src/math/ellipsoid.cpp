@@ -1,0 +1,26 @@
+#include "math/ellipsoid.hpp"
+
+namespace clm {
+
+float
+Ellipsoid::supportDistance(const Vec3 &dir) const
+{
+    Mat3 rt = rotation.toRotationMatrix().transposed();
+    Vec3 local = rt.mul(dir);
+    Vec3 scaled = local.cwiseMul(radii);
+    return scaled.norm();
+}
+
+bool
+Ellipsoid::intersectsFrustum(const Frustum &f) const
+{
+    for (int i = 0; i < 6; ++i) {
+        const Plane &pl = f.plane(i);
+        float dist = pl.signedDistance(center);
+        if (dist < -supportDistance(pl.n))
+            return false;
+    }
+    return true;
+}
+
+} // namespace clm

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Dense 2x2 / 3x3 / 4x4 matrix types (row-major) for projective geometry and
+ * covariance manipulation in the splatting pipeline.
+ */
+
+#ifndef CLM_MATH_MAT_HPP
+#define CLM_MATH_MAT_HPP
+
+#include <array>
+#include <cmath>
+
+#include "math/vec.hpp"
+
+namespace clm {
+
+/** Symmetric-friendly 2x2 matrix used for projected (screen) covariances. */
+struct Mat2
+{
+    // m[r][c]
+    std::array<std::array<float, 2>, 2> m{{{0, 0}, {0, 0}}};
+
+    static constexpr Mat2
+    identity()
+    {
+        Mat2 r;
+        r.m = {{{1, 0}, {0, 1}}};
+        return r;
+    }
+
+    constexpr float det() const
+    { return m[0][0] * m[1][1] - m[0][1] * m[1][0]; }
+
+    /** Inverse; caller must ensure det() != 0. */
+    Mat2
+    inverse() const
+    {
+        float d = det();
+        Mat2 r;
+        r.m[0][0] = m[1][1] / d;
+        r.m[0][1] = -m[0][1] / d;
+        r.m[1][0] = -m[1][0] / d;
+        r.m[1][1] = m[0][0] / d;
+        return r;
+    }
+
+    constexpr Vec2
+    mul(const Vec2 &v) const
+    {
+        return {m[0][0] * v.x + m[0][1] * v.y, m[1][0] * v.x + m[1][1] * v.y};
+    }
+};
+
+/** Row-major 3x3 matrix. */
+struct Mat3
+{
+    std::array<std::array<float, 3>, 3> m{};
+
+    static Mat3
+    identity()
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            r.m[i][i] = 1.0f;
+        return r;
+    }
+
+    /** Diagonal matrix from a vector. */
+    static Mat3
+    diag(const Vec3 &d)
+    {
+        Mat3 r;
+        r.m[0][0] = d.x;
+        r.m[1][1] = d.y;
+        r.m[2][2] = d.z;
+        return r;
+    }
+
+    Vec3
+    mul(const Vec3 &v) const
+    {
+        return {
+            m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z,
+        };
+    }
+
+    Mat3
+    mul(const Mat3 &o) const
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                for (int k = 0; k < 3; ++k)
+                    r.m[i][j] += m[i][k] * o.m[k][j];
+        return r;
+    }
+
+    Mat3
+    transposed() const
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = m[j][i];
+        return r;
+    }
+
+    float
+    det() const
+    {
+        return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+             - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+             + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    }
+};
+
+/** Row-major 4x4 matrix (view and projection transforms). */
+struct Mat4
+{
+    std::array<std::array<float, 4>, 4> m{};
+
+    static Mat4
+    identity()
+    {
+        Mat4 r;
+        for (int i = 0; i < 4; ++i)
+            r.m[i][i] = 1.0f;
+        return r;
+    }
+
+    Vec4
+    mul(const Vec4 &v) const
+    {
+        Vec4 r;
+        r.x = m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z + m[0][3] * v.w;
+        r.y = m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z + m[1][3] * v.w;
+        r.z = m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z + m[2][3] * v.w;
+        r.w = m[3][0] * v.x + m[3][1] * v.y + m[3][2] * v.z + m[3][3] * v.w;
+        return r;
+    }
+
+    Mat4
+    mul(const Mat4 &o) const
+    {
+        Mat4 r;
+        for (int i = 0; i < 4; ++i)
+            for (int j = 0; j < 4; ++j)
+                for (int k = 0; k < 4; ++k)
+                    r.m[i][j] += m[i][k] * o.m[k][j];
+        return r;
+    }
+
+    /** Upper-left 3x3 block. */
+    Mat3
+    topLeft3() const
+    {
+        Mat3 r;
+        for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j)
+                r.m[i][j] = m[i][j];
+        return r;
+    }
+};
+
+} // namespace clm
+
+#endif // CLM_MATH_MAT_HPP

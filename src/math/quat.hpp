@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit quaternion utilities. 3DGS stores each Gaussian's rotation as a
+ * (w, x, y, z) quaternion; the covariance is R(q) diag(s)^2 R(q)^T.
+ */
+
+#ifndef CLM_MATH_QUAT_HPP
+#define CLM_MATH_QUAT_HPP
+
+#include <cmath>
+
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+
+namespace clm {
+
+/** Quaternion in (w, x, y, z) order, matching the 3DGS parameter layout. */
+struct Quat
+{
+    float w = 1.0f;
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Quat() = default;
+    constexpr Quat(float w_, float x_, float y_, float z_)
+        : w(w_), x(x_), y(y_), z(z_) {}
+
+    /** Quaternion from an axis-angle rotation; @p axis need not be unit. */
+    static Quat
+    fromAxisAngle(const Vec3 &axis, float angle)
+    {
+        Vec3 a = axis.normalized();
+        float h = 0.5f * angle;
+        float s = std::sin(h);
+        return {std::cos(h), a.x * s, a.y * s, a.z * s};
+    }
+
+    float norm() const { return std::sqrt(w * w + x * x + y * y + z * z); }
+
+    Quat
+    normalized() const
+    {
+        float n = norm();
+        if (n <= 0.0f)
+            return {1.0f, 0.0f, 0.0f, 0.0f};
+        return {w / n, x / n, y / n, z / n};
+    }
+
+    /**
+     * Rotation matrix of the *normalized* quaternion. The normalization is
+     * folded in (as in the reference 3DGS kernels) so raw, unnormalized
+     * parameters can be used directly.
+     */
+    Mat3
+    toRotationMatrix() const
+    {
+        Quat q = normalized();
+        float ww = q.w, xx = q.x, yy = q.y, zz = q.z;
+        Mat3 r;
+        r.m[0][0] = 1 - 2 * (yy * yy + zz * zz);
+        r.m[0][1] = 2 * (xx * yy - ww * zz);
+        r.m[0][2] = 2 * (xx * zz + ww * yy);
+        r.m[1][0] = 2 * (xx * yy + ww * zz);
+        r.m[1][1] = 1 - 2 * (xx * xx + zz * zz);
+        r.m[1][2] = 2 * (yy * zz - ww * xx);
+        r.m[2][0] = 2 * (xx * zz - ww * yy);
+        r.m[2][1] = 2 * (yy * zz + ww * xx);
+        r.m[2][2] = 1 - 2 * (xx * xx + yy * yy);
+        return r;
+    }
+};
+
+} // namespace clm
+
+#endif // CLM_MATH_QUAT_HPP

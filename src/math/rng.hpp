@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. All stochastic components
+ * (scene synthesis, initialization, SGD view sampling, TSP restarts) draw
+ * from seeded engines so every experiment is reproducible.
+ */
+
+#ifndef CLM_MATH_RNG_HPP
+#define CLM_MATH_RNG_HPP
+
+#include <cstdint>
+#include <random>
+
+#include "math/vec.hpp"
+
+namespace clm {
+
+/** Seeded RNG wrapper with the distributions the code base needs. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed) : engine_(seed) {}
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniform(float lo = 0.0f, float hi = 1.0f)
+    {
+        return std::uniform_real_distribution<float>(lo, hi)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+    }
+
+    /** Standard normal sample scaled by @p sigma around @p mu. */
+    float
+    normal(float mu = 0.0f, float sigma = 1.0f)
+    {
+        return std::normal_distribution<float>(mu, sigma)(engine_);
+    }
+
+    /** Uniform point in the axis-aligned box [lo, hi]^3. */
+    Vec3
+    uniformInBox(const Vec3 &lo, const Vec3 &hi)
+    {
+        return {uniform(lo.x, hi.x), uniform(lo.y, hi.y),
+                uniform(lo.z, hi.z)};
+    }
+
+    /** Isotropic normal point around @p mu. */
+    Vec3
+    normal3(const Vec3 &mu, float sigma)
+    {
+        return {normal(mu.x, sigma), normal(mu.y, sigma),
+                normal(mu.z, sigma)};
+    }
+
+    /** Underlying engine, for std::shuffle and friends. */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace clm
+
+#endif // CLM_MATH_RNG_HPP

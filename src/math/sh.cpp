@@ -1,0 +1,114 @@
+#include "math/sh.hpp"
+
+#include <algorithm>
+
+namespace clm {
+
+namespace {
+
+// Real SH constants (standard 3DGS values).
+constexpr float kC0 = 0.28209479177387814f;
+constexpr float kC1 = 0.4886025119029199f;
+constexpr float kC2[5] = {
+    1.0925484305920792f, -1.0925484305920792f, 0.31539156525252005f,
+    -1.0925484305920792f, 0.5462742152960396f,
+};
+constexpr float kC3[7] = {
+    -0.5900435899266435f, 2.890611442640554f,  -0.4570457994644658f,
+    0.3731763325901154f,  -0.4570457994644658f, 1.445305721320277f,
+    -0.5900435899266435f,
+};
+
+} // namespace
+
+std::array<float, kShBasis>
+shBasis(const Vec3 &dir)
+{
+    float x = dir.x, y = dir.y, z = dir.z;
+    float xx = x * x, yy = y * y, zz = z * z;
+    float xy = x * y, yz = y * z, xz = x * z;
+
+    std::array<float, kShBasis> b{};
+    b[0] = kC0;
+    b[1] = -kC1 * y;
+    b[2] = kC1 * z;
+    b[3] = -kC1 * x;
+    b[4] = kC2[0] * xy;
+    b[5] = kC2[1] * yz;
+    b[6] = kC2[2] * (2.0f * zz - xx - yy);
+    b[7] = kC2[3] * xz;
+    b[8] = kC2[4] * (xx - yy);
+    b[9] = kC3[0] * y * (3.0f * xx - yy);
+    b[10] = kC3[1] * xy * z;
+    b[11] = kC3[2] * y * (4.0f * zz - xx - yy);
+    b[12] = kC3[3] * z * (2.0f * zz - 3.0f * xx - 3.0f * yy);
+    b[13] = kC3[4] * x * (4.0f * zz - xx - yy);
+    b[14] = kC3[5] * z * (xx - yy);
+    b[15] = kC3[6] * x * (xx - 3.0f * yy);
+    return b;
+}
+
+std::array<Vec3, kShBasis>
+shBasisGrad(const Vec3 &dir)
+{
+    float x = dir.x, y = dir.y, z = dir.z;
+    float xx = x * x, yy = y * y, zz = z * z;
+
+    std::array<Vec3, kShBasis> g{};
+    g[0] = {0, 0, 0};
+    g[1] = {0, -kC1, 0};
+    g[2] = {0, 0, kC1};
+    g[3] = {-kC1, 0, 0};
+    g[4] = {kC2[0] * y, kC2[0] * x, 0};
+    g[5] = {0, kC2[1] * z, kC2[1] * y};
+    g[6] = {-2 * kC2[2] * x, -2 * kC2[2] * y, 4 * kC2[2] * z};
+    g[7] = {kC2[3] * z, 0, kC2[3] * x};
+    g[8] = {2 * kC2[4] * x, -2 * kC2[4] * y, 0};
+    g[9] = {kC3[0] * 6 * x * y, kC3[0] * (3 * xx - 3 * yy), 0};
+    g[10] = {kC3[1] * y * z, kC3[1] * x * z, kC3[1] * x * y};
+    g[11] = {-2 * kC3[2] * x * y, kC3[2] * (4 * zz - xx - 3 * yy),
+             8 * kC3[2] * y * z};
+    g[12] = {-6 * kC3[3] * x * z, -6 * kC3[3] * y * z,
+             kC3[3] * (6 * zz - 3 * xx - 3 * yy)};
+    g[13] = {kC3[4] * (4 * zz - 3 * xx - yy), -2 * kC3[4] * x * y,
+             8 * kC3[4] * x * z};
+    g[14] = {2 * kC3[5] * x * z, -2 * kC3[5] * y * z, kC3[5] * (xx - yy)};
+    g[15] = {kC3[6] * (3 * xx - 3 * yy), -6 * kC3[6] * x * y, 0};
+    return g;
+}
+
+Vec3
+shEvaluate(const float *coeffs, const Vec3 &dir, int degree)
+{
+    auto basis = shBasis(dir);
+    int nb = shBasisCount(std::clamp(degree, 0, 3));
+
+    Vec3 c{0.0f, 0.0f, 0.0f};
+    for (int i = 0; i < nb; ++i) {
+        c.x += basis[i] * coeffs[i * 3 + 0];
+        c.y += basis[i] * coeffs[i * 3 + 1];
+        c.z += basis[i] * coeffs[i * 3 + 2];
+    }
+    c += Vec3{0.5f, 0.5f, 0.5f};
+    return {std::max(c.x, 0.0f), std::max(c.y, 0.0f), std::max(c.z, 0.0f)};
+}
+
+void
+shBackward(const Vec3 &dir, int degree, const Vec3 &d_color,
+           const std::array<bool, 3> &color_valid, float *d_coeffs)
+{
+    auto basis = shBasis(dir);
+    int nb = shBasisCount(std::clamp(degree, 0, 3));
+
+    float dr = color_valid[0] ? d_color.x : 0.0f;
+    float dg = color_valid[1] ? d_color.y : 0.0f;
+    float db = color_valid[2] ? d_color.z : 0.0f;
+
+    for (int i = 0; i < nb; ++i) {
+        d_coeffs[i * 3 + 0] += basis[i] * dr;
+        d_coeffs[i * 3 + 1] += basis[i] * dg;
+        d_coeffs[i * 3 + 2] += basis[i] * db;
+    }
+}
+
+} // namespace clm

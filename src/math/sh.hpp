@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Real spherical harmonics up to degree 3 (16 basis functions). 3DGS stores
+ * 16 RGB coefficients per Gaussian (48 floats) and evaluates the view-
+ * dependent color as a function of the normalized view direction.
+ */
+
+#ifndef CLM_MATH_SH_HPP
+#define CLM_MATH_SH_HPP
+
+#include <array>
+
+#include "math/vec.hpp"
+
+namespace clm {
+
+/** Number of SH basis functions at the maximum supported degree (3). */
+constexpr int kShBasis = 16;
+
+/** Number of SH coefficients per Gaussian (16 bases x RGB). */
+constexpr int kShCoeffs = kShBasis * 3;
+
+/**
+ * Evaluate the 16 real SH basis functions at unit direction @p dir.
+ *
+ * @param dir Normalized view direction.
+ * @return Basis values Y_0..Y_15 in standard (l,m) order.
+ */
+std::array<float, kShBasis> shBasis(const Vec3 &dir);
+
+/**
+ * Evaluate view-dependent RGB color from SH coefficients.
+ *
+ * Matches the reference 3DGS convention: color = 0.5 + sum_i Y_i * c_i,
+ * clamped to be non-negative.
+ *
+ * @param coeffs 48 floats laid out as [basis][rgb].
+ * @param dir Normalized direction from camera center to the Gaussian.
+ * @param degree Active SH degree in [0, 3]; higher-degree coefficients are
+ *               ignored (3DGS ramps the degree up during training).
+ */
+Vec3 shEvaluate(const float *coeffs, const Vec3 &dir, int degree = 3);
+
+/**
+ * Backward pass of shEvaluate: accumulate d(loss)/d(coeff) given
+ * d(loss)/d(color). The clamp's sub-gradient is handled by the caller via
+ * @p color_valid (per-channel: false where the forward clamped to zero).
+ */
+void shBackward(const Vec3 &dir, int degree, const Vec3 &d_color,
+                const std::array<bool, 3> &color_valid, float *d_coeffs);
+
+/**
+ * Gradients of the 16 SH basis functions with respect to the (pre-
+ * normalization-projection) direction components. Entry i is
+ * (dY_i/dx, dY_i/dy, dY_i/dz) evaluated at @p dir.
+ */
+std::array<Vec3, kShBasis> shBasisGrad(const Vec3 &dir);
+
+/** Number of basis functions active at @p degree (degree in [0,3]). */
+constexpr int
+shBasisCount(int degree)
+{
+    return (degree + 1) * (degree + 1);
+}
+
+} // namespace clm
+
+#endif // CLM_MATH_SH_HPP

@@ -1,0 +1,75 @@
+#include "math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hpp"
+
+namespace clm {
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    sum_ += x;
+    ++count_;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples))
+{
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double
+EmpiricalCdf::at(double x) const
+{
+    if (sorted_.empty())
+        return 0.0;
+    auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) / sorted_.size();
+}
+
+double
+EmpiricalCdf::percentile(double p) const
+{
+    CLM_ASSERT(!sorted_.empty(), "percentile of empty CDF");
+    CLM_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    if (sorted_.size() == 1)
+        return sorted_[0];
+    double rank = (p / 100.0) * (sorted_.size() - 1);
+    size_t lo = static_cast<size_t>(std::floor(rank));
+    size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    double frac = rank - lo;
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>>
+EmpiricalCdf::series(double lo, double hi, int points) const
+{
+    CLM_ASSERT(points >= 2, "series needs at least two points");
+    std::vector<std::pair<double, double>> out;
+    out.reserve(points);
+    for (int i = 0; i < points; ++i) {
+        double x = lo + (hi - lo) * i / (points - 1);
+        out.emplace_back(x, at(x));
+    }
+    return out;
+}
+
+double
+EmpiricalCdf::mean() const
+{
+    if (sorted_.empty())
+        return 0.0;
+    return std::accumulate(sorted_.begin(), sorted_.end(), 0.0)
+         / sorted_.size();
+}
+
+} // namespace clm

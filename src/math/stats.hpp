@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Small statistics helpers used by the evaluation harnesses: running
+ * mean/min/max, empirical CDFs (Figure 5, Figure 15) and percentiles.
+ */
+
+#ifndef CLM_MATH_STATS_HPP
+#define CLM_MATH_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace clm {
+
+/** Streaming mean / min / max / count accumulator. */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    size_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double sum() const { return sum_; }
+
+  private:
+    size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Empirical cumulative distribution function over a sample set.
+ * Mirrors the CDF plots in the paper (Figures 5 and 15).
+ */
+class EmpiricalCdf
+{
+  public:
+    /** Build from samples (copied then sorted). */
+    explicit EmpiricalCdf(std::vector<double> samples);
+
+    /** Fraction of samples <= @p x, in [0, 1]. */
+    double at(double x) const;
+
+    /** The p-th percentile (p in [0, 100]) via linear interpolation. */
+    double percentile(double p) const;
+
+    /**
+     * Evaluate the CDF at @p points evenly spaced x positions spanning
+     * [lo, hi]; returns (x, F(x)) pairs — the series a plot would draw.
+     */
+    std::vector<std::pair<double, double>>
+    series(double lo, double hi, int points) const;
+
+    size_t count() const { return sorted_.size(); }
+    double min() const { return sorted_.empty() ? 0.0 : sorted_.front(); }
+    double max() const { return sorted_.empty() ? 0.0 : sorted_.back(); }
+    double mean() const;
+
+  private:
+    std::vector<double> sorted_;
+};
+
+} // namespace clm
+
+#endif // CLM_MATH_STATS_HPP

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Small fixed-size vector types used throughout the renderer and the
+ * Gaussian model. Header-only for inlining in the rasterizer hot loops.
+ */
+
+#ifndef CLM_MATH_VEC_HPP
+#define CLM_MATH_VEC_HPP
+
+#include <cmath>
+
+namespace clm {
+
+/** 2-component float vector (pixel/screen space). */
+struct Vec2
+{
+    float x = 0.0f;
+    float y = 0.0f;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(float x_, float y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(float s) const { return {x * s, y * s}; }
+    Vec2 &operator+=(const Vec2 &o) { x += o.x; y += o.y; return *this; }
+
+    constexpr float dot(const Vec2 &o) const { return x * o.x + y * o.y; }
+    float norm() const { return std::sqrt(dot(*this)); }
+};
+
+/** 3-component float vector (world/camera space, RGB colors). */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(float s) const
+    { return {x / s, y / s, z / s}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    Vec3 &operator+=(const Vec3 &o)
+    { x += o.x; y += o.y; z += o.z; return *this; }
+    Vec3 &operator-=(const Vec3 &o)
+    { x -= o.x; y -= o.y; z -= o.z; return *this; }
+    Vec3 &operator*=(float s) { x *= s; y *= s; z *= s; return *this; }
+
+    constexpr float dot(const Vec3 &o) const
+    { return x * o.x + y * o.y + z * o.z; }
+
+    constexpr Vec3
+    cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    float norm() const { return std::sqrt(dot(*this)); }
+
+    Vec3
+    normalized() const
+    {
+        float n = norm();
+        return n > 0.0f ? (*this) * (1.0f / n) : Vec3{0.0f, 0.0f, 0.0f};
+    }
+
+    /** Component-wise product (Hadamard). */
+    constexpr Vec3 cwiseMul(const Vec3 &o) const
+    { return {x * o.x, y * o.y, z * o.z}; }
+
+    float operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+};
+
+inline constexpr Vec3 operator*(float s, const Vec3 &v) { return v * s; }
+inline constexpr Vec2 operator*(float s, const Vec2 &v) { return v * s; }
+
+/** 4-component float vector (homogeneous coordinates, quaternions-as-data). */
+struct Vec4
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+    float w = 0.0f;
+
+    constexpr Vec4() = default;
+    constexpr Vec4(float x_, float y_, float z_, float w_)
+        : x(x_), y(y_), z(z_), w(w_) {}
+
+    constexpr Vec4 operator+(const Vec4 &o) const
+    { return {x + o.x, y + o.y, z + o.z, w + o.w}; }
+    constexpr Vec4 operator*(float s) const
+    { return {x * s, y * s, z * s, w * s}; }
+
+    constexpr float dot(const Vec4 &o) const
+    { return x * o.x + y * o.y + z * o.z + w * o.w; }
+
+    float norm() const { return std::sqrt(dot(*this)); }
+
+    constexpr Vec3 xyz() const { return {x, y, z}; }
+};
+
+} // namespace clm
+
+#endif // CLM_MATH_VEC_HPP

@@ -1,0 +1,83 @@
+#include "offload/batch_plan.hpp"
+
+#include "util/logging.hpp"
+
+namespace clm {
+
+int
+BatchPlan::add(PlanOp op)
+{
+    ops.push_back(std::move(op));
+    return static_cast<int>(ops.size()) - 1;
+}
+
+double
+BatchPlan::h2dBytes() const
+{
+    double n = 0;
+    for (const auto &op : ops)
+        n += op.h2d_bytes;
+    return n;
+}
+
+double
+BatchPlan::d2hBytes() const
+{
+    double n = 0;
+    for (const auto &op : ops)
+        n += op.d2h_bytes;
+    return n;
+}
+
+void
+BatchPlan::validate() const
+{
+    for (size_t i = 0; i < ops.size(); ++i) {
+        for (int d : ops[i].deps) {
+            CLM_ASSERT(d >= 0 && static_cast<size_t>(d) < ops.size(),
+                       "op ", i, " depends on missing op ", d);
+            CLM_ASSERT(static_cast<size_t>(d) < i,
+                       "op ", i, " depends on later op ", d,
+                       " (no forward deps allowed)");
+        }
+        CLM_ASSERT(ops[i].gaussians >= 0 && ops[i].pixels >= 0
+                       && ops[i].h2d_bytes >= 0 && ops[i].d2h_bytes >= 0,
+                   "negative op cost");
+    }
+}
+
+const char *
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::Cull:
+        return "Cull";
+      case OpKind::Schedule:
+        return "Schedule";
+      case OpKind::LoadParams:
+        return "LoadParams";
+      case OpKind::CopyCached:
+        return "CopyCached";
+      case OpKind::Forward:
+        return "Forward";
+      case OpKind::Backward:
+        return "Backward";
+      case OpKind::StoreGrads:
+        return "StoreGrads";
+      case OpKind::CarryGrads:
+        return "CarryGrads";
+      case OpKind::CpuAdam:
+        return "CpuAdam";
+      case OpKind::GpuAdam:
+        return "GpuAdam";
+      case OpKind::LoadAll:
+        return "LoadAll";
+      case OpKind::StoreAll:
+        return "StoreAll";
+      case OpKind::WriteCritical:
+        return "WriteCritical";
+    }
+    return "?";
+}
+
+} // namespace clm

@@ -1,0 +1,107 @@
+#include "offload/cache_planner.hpp"
+
+#include <algorithm>
+
+namespace clm {
+
+namespace {
+
+/** Split sorted @p cur into (cur \ prev, cur intersect prev). */
+void
+splitByMembership(const std::vector<uint32_t> &cur,
+                  const std::vector<uint32_t> &prev,
+                  std::vector<uint32_t> &only_cur,
+                  std::vector<uint32_t> &both)
+{
+    only_cur.clear();
+    both.clear();
+    size_t i = 0, j = 0;
+    while (i < cur.size()) {
+        while (j < prev.size() && prev[j] < cur[i])
+            ++j;
+        if (j < prev.size() && prev[j] == cur[i])
+            both.push_back(cur[i]);
+        else
+            only_cur.push_back(cur[i]);
+        ++i;
+    }
+}
+
+} // namespace
+
+size_t
+CachePlan::paramLoadBytes() const
+{
+    size_t n = 0;
+    for (const auto &t : mb)
+        n += t.load_new.size();
+    return n * kNonCriticalBytesPerGaussian;
+}
+
+size_t
+CachePlan::gradStoreBytes() const
+{
+    size_t n = 0;
+    for (const auto &t : mb)
+        n += t.store_grads.size();
+    return n * kGradBytesPerGaussian;
+}
+
+size_t
+CachePlan::gradFetchBytes() const
+{
+    // The RMW accumulate kernel fetches the previously accumulated value
+    // for every stored gradient (§5.3).
+    return gradStoreBytes();
+}
+
+size_t
+CachePlan::cacheCopyBytes() const
+{
+    size_t n = 0;
+    for (const auto &t : mb)
+        n += t.copy_cached.size();
+    return n * kNonCriticalBytesPerGaussian;
+}
+
+size_t
+CachePlan::cacheHits() const
+{
+    size_t n = 0;
+    for (const auto &t : mb)
+        n += t.copy_cached.size();
+    return n;
+}
+
+size_t
+CachePlan::totalLoads() const
+{
+    size_t n = 0;
+    for (const auto &t : mb)
+        n += t.load_new.size() + t.copy_cached.size();
+    return n;
+}
+
+CachePlan
+planCache(const std::vector<std::vector<uint32_t>> &ordered_sets,
+          bool enable_cache)
+{
+    CachePlan plan;
+    size_t b = ordered_sets.size();
+    plan.mb.resize(b);
+    static const std::vector<uint32_t> kEmpty;
+
+    for (size_t i = 0; i < b; ++i) {
+        const auto &cur = ordered_sets[i];
+        const auto &prev =
+            (enable_cache && i > 0) ? ordered_sets[i - 1] : kEmpty;
+        const auto &next =
+            (enable_cache && i + 1 < b) ? ordered_sets[i + 1] : kEmpty;
+        MicrobatchTransfers &t = plan.mb[i];
+        splitByMembership(cur, prev, t.load_new, t.copy_cached);
+        splitByMembership(cur, next, t.store_grads, t.carry_grads);
+    }
+    return plan;
+}
+
+} // namespace clm

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Precise Gaussian caching (§4.2.1): given the ordered microbatch sets
+ * S_0..S_{B-1}, decide per microbatch which Gaussians to load over PCIe
+ * (S_i \ S_{i-1}), which to copy GPU-to-GPU from the previous microbatch's
+ * buffer (S_i intersect S_{i-1}), which gradients to flush to CPU memory
+ * (S_i \ S_{i+1}) and which to keep on GPU for accumulation
+ * (S_i intersect S_{i+1}).
+ */
+
+#ifndef CLM_OFFLOAD_CACHE_PLANNER_HPP
+#define CLM_OFFLOAD_CACHE_PLANNER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "gaussian/attributes.hpp"
+
+namespace clm {
+
+/** Transfer decisions for one microbatch. All sets ascending-sorted. */
+struct MicrobatchTransfers
+{
+    /** Loaded from pinned CPU memory over PCIe (new this microbatch). */
+    std::vector<uint32_t> load_new;
+    /** Copied GPU-to-GPU from the previous microbatch's param buffer. */
+    std::vector<uint32_t> copy_cached;
+    /** Gradients flushed to CPU after this microbatch (RMW-accumulated). */
+    std::vector<uint32_t> store_grads;
+    /** Gradients kept on GPU, accumulated into the next microbatch. */
+    std::vector<uint32_t> carry_grads;
+};
+
+/** The full batch's transfer plan plus byte accounting. */
+struct CachePlan
+{
+    std::vector<MicrobatchTransfers> mb;
+
+    /** Bytes of non-critical parameters moved CPU -> GPU over PCIe. */
+    size_t paramLoadBytes() const;
+    /** Bytes of gradients written GPU -> CPU over PCIe. */
+    size_t gradStoreBytes() const;
+    /** Bytes of gradient old-values fetched CPU -> GPU by the
+     *  read-modify-write accumulate kernel (§5.3). */
+    size_t gradFetchBytes() const;
+    /** Bytes copied GPU-to-GPU for cached Gaussians. */
+    size_t cacheCopyBytes() const;
+    /** Number of PCIe loads avoided by the cache. */
+    size_t cacheHits() const;
+    /** Total Gaussian-loads (PCIe + cached) == sum |S_i|. */
+    size_t totalLoads() const;
+};
+
+/** Bytes of one Gaussian's gradient record (all 59 params). */
+constexpr size_t kGradBytesPerGaussian =
+    static_cast<size_t>(kParamsPerGaussian) * sizeof(float);
+
+/**
+ * Build the cache plan for ordered sets.
+ *
+ * @param ordered_sets S_i in processing order, each ascending-sorted.
+ * @param enable_cache When false, everything is loaded over PCIe and every
+ *        gradient is flushed — the "No Cache" ablation of Figure 14.
+ */
+CachePlan planCache(const std::vector<std::vector<uint32_t>> &ordered_sets,
+                    bool enable_cache = true);
+
+} // namespace clm
+
+#endif // CLM_OFFLOAD_CACHE_PLANNER_HPP

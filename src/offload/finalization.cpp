@@ -1,0 +1,66 @@
+#include "offload/finalization.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.hpp"
+
+namespace clm {
+
+size_t
+FinalizationSchedule::overlappableUpdates() const
+{
+    size_t n = 0;
+    for (size_t j = 1; j + 1 < finalized_after.size(); ++j)
+        n += finalized_after[j].size();
+    return n;
+}
+
+size_t
+FinalizationSchedule::trailingUpdates() const
+{
+    return finalized_after.empty() ? 0 : finalized_after.back().size();
+}
+
+size_t
+FinalizationSchedule::touched() const
+{
+    size_t n = 0;
+    for (size_t j = 1; j < finalized_after.size(); ++j)
+        n += finalized_after[j].size();
+    return n;
+}
+
+FinalizationSchedule
+computeFinalization(size_t n_gaussians,
+                    const std::vector<std::vector<uint32_t>> &ordered_sets,
+                    bool include_untouched)
+{
+    size_t b = ordered_sets.size();
+    FinalizationSchedule sched;
+    sched.finalized_after.resize(b + 1);
+
+    // L_g = max{i | g in S_i}, found by scanning microbatches in order and
+    // overwriting: the hash map holds the latest touch per Gaussian.
+    std::unordered_map<uint32_t, uint32_t> last_touch;
+    for (size_t i = 0; i < b; ++i) {
+        for (uint32_t g : ordered_sets[i]) {
+            CLM_ASSERT(g < n_gaussians, "gaussian index out of range");
+            last_touch[g] = static_cast<uint32_t>(i + 1);    // 1-based
+        }
+    }
+    for (const auto &[g, l] : last_touch)
+        sched.finalized_after[l].push_back(g);
+    for (auto &f : sched.finalized_after)
+        std::sort(f.begin(), f.end());
+
+    if (include_untouched) {
+        auto &f0 = sched.finalized_after[0];
+        for (uint32_t g = 0; g < n_gaussians; ++g)
+            if (!last_touch.count(g))
+                f0.push_back(g);
+    }
+    return sched;
+}
+
+} // namespace clm

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Overlapped CPU Adam scheduling (§4.2.2): a Gaussian g is *finalized* by
+ * the last microbatch that touches it, L_g = max{i | g in S_i}. Its Adam
+ * update may run as soon as microbatch L_g's gradients reach CPU memory,
+ * overlapping with the remaining microbatches' GPU work.
+ */
+
+#ifndef CLM_OFFLOAD_FINALIZATION_HPP
+#define CLM_OFFLOAD_FINALIZATION_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace clm {
+
+/** The batch's finalization schedule. Microbatches are 1-based here,
+ *  matching the paper's L_g = 0 convention for untouched Gaussians. */
+struct FinalizationSchedule
+{
+    /**
+     * finalized_after[j] = F_j: the Gaussians whose last touching
+     * microbatch is j (1-based); F_0 holds the untouched Gaussians.
+     * Each set ascending-sorted.
+     */
+    std::vector<std::vector<uint32_t>> finalized_after;
+
+    /** Number of microbatches B (finalized_after has B+1 entries). */
+    size_t microbatches() const
+    { return finalized_after.empty() ? 0 : finalized_after.size() - 1; }
+
+    /** Gaussians finalized strictly before the last microbatch — their
+     *  Adam updates can be fully overlapped (F_1..F_{B-1}). */
+    size_t overlappableUpdates() const;
+
+    /** Gaussians finalized by the last microbatch (non-overlappable). */
+    size_t trailingUpdates() const;
+
+    /** Total touched Gaussians (excludes F_0). */
+    size_t touched() const;
+};
+
+/**
+ * Compute the finalization schedule.
+ *
+ * @param n_gaussians Total model size N (bounds the index space).
+ * @param ordered_sets S_i in processing order, ascending-sorted.
+ * @param include_untouched When true, F_0 enumerates every untouched
+ *        Gaussian (costly for huge N); when false F_0 is left empty.
+ */
+FinalizationSchedule
+computeFinalization(size_t n_gaussians,
+                    const std::vector<std::vector<uint32_t>> &ordered_sets,
+                    bool include_untouched = false);
+
+} // namespace clm
+
+#endif // CLM_OFFLOAD_FINALIZATION_HPP

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Batch-level in-frustum set computation: for each view of a batch, the
+ * ascending-sorted set S_i of Gaussian indices whose 3-sigma ellipsoids
+ * intersect the view frustum. This is the ahead-of-time information (§3,
+ * observation i) every CLM optimization builds on.
+ */
+
+#ifndef CLM_OFFLOAD_FRUSTUM_SETS_HPP
+#define CLM_OFFLOAD_FRUSTUM_SETS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "gaussian/model.hpp"
+#include "render/camera.hpp"
+
+namespace clm {
+
+/** Per-view in-frustum sets plus summary statistics. */
+struct FrustumSets
+{
+    /** S_i for each view, ascending-sorted. */
+    std::vector<std::vector<uint32_t>> sets;
+    /** Total Gaussians in the model (the N of rho_i = |S_i| / N). */
+    size_t total_gaussians = 0;
+
+    /** Per-view sparsity values rho_i. */
+    std::vector<double> sparsities() const;
+
+    /** Union of all sets (ascending) — Gaussians touched by the batch. */
+    std::vector<uint32_t> unionSet() const;
+};
+
+/** Compute S_i for every camera (reads only critical attributes). */
+FrustumSets computeFrustumSets(const GaussianModel &model,
+                               const std::vector<Camera> &cameras);
+
+/** Subset of @p all selected by @p view_indices. */
+FrustumSets selectViews(const FrustumSets &all,
+                        const std::vector<int> &view_indices);
+
+} // namespace clm
+
+#endif // CLM_OFFLOAD_FRUSTUM_SETS_HPP

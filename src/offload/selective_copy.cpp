@@ -1,0 +1,127 @@
+#include "offload/selective_copy.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace clm {
+
+DeviceBuffer::DeviceBuffer(size_t capacity) : capacity_(capacity)
+{
+    params_.resize(capacity * kNonCriticalDim);
+    grads_.resize(capacity * kParamsPerGaussian);
+}
+
+void
+DeviceBuffer::bind(std::vector<uint32_t> indices)
+{
+    CLM_ASSERT(indices.size() <= capacity_,
+               "device buffer overflow: ", indices.size(), " > ",
+               capacity_);
+    CLM_ASSERT(std::is_sorted(indices.begin(), indices.end()),
+               "bound indices must be ascending");
+    indices_ = std::move(indices);
+}
+
+int64_t
+DeviceBuffer::rowOf(uint32_t g) const
+{
+    auto it = std::lower_bound(indices_.begin(), indices_.end(), g);
+    if (it == indices_.end() || *it != g)
+        return -1;
+    return it - indices_.begin();
+}
+
+void
+DeviceBuffer::zeroGrads()
+{
+    std::memset(grads_.data(), 0,
+                rows() * kParamsPerGaussian * sizeof(float));
+}
+
+void
+gatherParams(const PinnedPool &pool, DeviceBuffer &dst,
+             const std::vector<uint32_t> &load_indices)
+{
+    // Both lists are ascending: a two-pointer merge walk finds each
+    // target row in O(1) amortized — the CPU analogue of the fused
+    // selective loading kernel (§5.2), which assigns one thread per
+    // loaded Gaussian and never searches.
+    const auto &bound = dst.indices();
+    size_t r = 0;
+    for (uint32_t g : load_indices) {
+        while (r < bound.size() && bound[r] < g)
+            ++r;
+        CLM_ASSERT(r < bound.size() && bound[r] == g,
+                   "load target ", g, " not bound in buffer");
+        // The kernel splits the padded pinned record and writes the dense
+        // 49-float row (§5.2's split-and-concatenate in one kernel).
+        std::memcpy(dst.paramRow(r), pool.paramRecord(g),
+                    kNonCriticalDim * sizeof(float));
+    }
+}
+
+void
+copyCachedParams(const DeviceBuffer &src, DeviceBuffer &dst,
+                 const std::vector<uint32_t> &cached_indices)
+{
+    const auto &sb = src.indices();
+    const auto &db = dst.indices();
+    size_t rs = 0, rd = 0;
+    for (uint32_t g : cached_indices) {
+        while (rs < sb.size() && sb[rs] < g)
+            ++rs;
+        while (rd < db.size() && db[rd] < g)
+            ++rd;
+        CLM_ASSERT(rs < sb.size() && sb[rs] == g,
+                   "cached gaussian ", g, " missing in source");
+        CLM_ASSERT(rd < db.size() && db[rd] == g,
+                   "cached gaussian ", g, " not bound in dest");
+        std::memcpy(dst.paramRow(rd), src.paramRow(rs),
+                    kNonCriticalDim * sizeof(float));
+    }
+}
+
+void
+scatterAccumulateGrads(const DeviceBuffer &src, PinnedPool &pool,
+                       const std::vector<uint32_t> &store_indices)
+{
+    const auto &bound = src.indices();
+    size_t r = 0;
+    for (uint32_t g : store_indices) {
+        while (r < bound.size() && bound[r] < g)
+            ++r;
+        CLM_ASSERT(r < bound.size() && bound[r] == g,
+                   "store source ", g, " not bound in buffer");
+        const float *row = src.gradRow(r);
+        float *rec = pool.gradRecord(g);
+        for (int k = 0; k < kParamsPerGaussian; ++k)
+            rec[k] += row[k];    // fetch + add + store (§5.3)
+    }
+}
+
+void
+accumulateCarriedGrads(const DeviceBuffer &src, DeviceBuffer &dst,
+                       const std::vector<uint32_t> &carry_indices)
+{
+    const auto &sb = src.indices();
+    const auto &db = dst.indices();
+    size_t rs = 0, rd = 0;
+    for (uint32_t g : carry_indices) {
+        while (rs < sb.size() && sb[rs] < g)
+            ++rs;
+        while (rd < db.size() && db[rd] < g)
+            ++rd;
+        CLM_ASSERT(rs < sb.size() && sb[rs] == g,
+                   "carried gaussian ", g, " missing in source");
+        CLM_ASSERT(rd < db.size() && db[rd] == g,
+                   "carried gaussian ", g, " not bound in dest");
+        const float *s = src.gradRow(rs);
+        float *d = dst.gradRow(rd);
+        for (int k = 0; k < kParamsPerGaussian; ++k)
+            d[k] += s[k];
+    }
+}
+
+} // namespace clm

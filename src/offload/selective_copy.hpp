@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Functional equivalents of the selective loading / gradient offloading
+ * kernels (§5.2, §5.3): batched gather of sparse pinned-memory records
+ * into dense device buffers, scatter of device gradients back with
+ * read-modify-write accumulation, and dense row copies for the GPU-side
+ * Gaussian cache. The batched forms are microbenchmarked against naive
+ * per-record copies in bench/micro_selective_copy.
+ */
+
+#ifndef CLM_OFFLOAD_SELECTIVE_COPY_HPP
+#define CLM_OFFLOAD_SELECTIVE_COPY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "offload/pinned_pool.hpp"
+
+namespace clm {
+
+/**
+ * Dense device-side staging buffer for one microbatch: row r holds the
+ * non-critical parameters (and gradient slot) of the r-th in-frustum
+ * Gaussian. Two of these form CLM's double buffer.
+ */
+class DeviceBuffer
+{
+  public:
+    /** Allocate capacity for @p capacity Gaussians. */
+    explicit DeviceBuffer(size_t capacity);
+
+    size_t capacity() const { return capacity_; }
+
+    /** Bind the buffer to an index set (rows follow @p indices order). */
+    void bind(std::vector<uint32_t> indices);
+
+    /** Currently bound global indices (ascending). */
+    const std::vector<uint32_t> &indices() const { return indices_; }
+
+    /** Row position of global index @p g, or -1 when absent. */
+    int64_t rowOf(uint32_t g) const;
+
+    /** Non-critical parameter row r (49 floats). */
+    float *paramRow(size_t r)
+    { return &params_[r * kNonCriticalDim]; }
+    const float *paramRow(size_t r) const
+    { return &params_[r * kNonCriticalDim]; }
+
+    /** Gradient row r (59 floats). */
+    float *gradRow(size_t r)
+    { return &grads_[r * kParamsPerGaussian]; }
+    const float *gradRow(size_t r) const
+    { return &grads_[r * kParamsPerGaussian]; }
+
+    /** Number of bound rows. */
+    size_t rows() const { return indices_.size(); }
+
+    /** Zero all gradient rows. */
+    void zeroGrads();
+
+  private:
+    size_t capacity_;
+    std::vector<uint32_t> indices_;
+    std::vector<float> params_;
+    std::vector<float> grads_;
+};
+
+/**
+ * Selective loading "kernel": gather the records of @p rows (positions in
+ * dst's bound index list whose data must come from pinned memory) from
+ * @p pool into @p dst's parameter rows.
+ */
+void gatherParams(const PinnedPool &pool, DeviceBuffer &dst,
+                  const std::vector<uint32_t> &load_indices);
+
+/**
+ * Cache-copy "kernel": for every index in @p cached_indices, copy its
+ * parameter row from @p src (previous microbatch) into @p dst.
+ */
+void copyCachedParams(const DeviceBuffer &src, DeviceBuffer &dst,
+                      const std::vector<uint32_t> &cached_indices);
+
+/**
+ * Gradient offloading "kernel" with in-register accumulation (§5.3):
+ * for every index in @p store_indices, fetch the pinned gradient record,
+ * add the device row, and store the sum back.
+ */
+void scatterAccumulateGrads(const DeviceBuffer &src, PinnedPool &pool,
+                            const std::vector<uint32_t> &store_indices);
+
+/**
+ * Carry-accumulate "kernel": for every index in @p carry_indices (present
+ * in both buffers), add src's gradient row into dst's gradient row.
+ */
+void accumulateCarriedGrads(const DeviceBuffer &src, DeviceBuffer &dst,
+                            const std::vector<uint32_t> &carry_indices);
+
+} // namespace clm
+
+#endif // CLM_OFFLOAD_SELECTIVE_COPY_HPP

@@ -1,0 +1,168 @@
+#include "render/bvh.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "math/ellipsoid.hpp"
+#include "util/logging.hpp"
+
+namespace clm {
+
+Aabb
+GaussianBvh::gaussianBounds(const GaussianModel &model, size_t i)
+{
+    // Conservative: the 3-sigma ellipsoid fits inside the sphere of its
+    // largest semi-axis.
+    Ellipsoid e = Ellipsoid::fromGaussian(model.position(i),
+                                          model.worldScale(i),
+                                          model.rotation(i));
+    Aabb box;
+    box.extend(e.center);
+    box.inflate(e.boundingRadius());
+    return box;
+}
+
+GaussianBvh::GaussianBvh(const GaussianModel &model, BvhConfig config)
+    : config_(config), model_(&model)
+{
+    CLM_ASSERT(config_.leaf_size >= 1, "leaf size must be positive");
+    size_t n = model.size();
+    primitive_order_.resize(n);
+    std::iota(primitive_order_.begin(), primitive_order_.end(), 0u);
+    if (n == 0)
+        return;
+
+    std::vector<Aabb> bounds(n);
+    for (size_t i = 0; i < n; ++i)
+        bounds[i] = gaussianBounds(model, i);
+
+    nodes_.reserve(2 * n / std::max(config_.leaf_size, 1) + 2);
+    root_ = build(primitive_order_, 0, n, bounds);
+}
+
+int32_t
+GaussianBvh::build(std::vector<uint32_t> &prims, size_t begin, size_t end,
+                   const std::vector<Aabb> &bounds)
+{
+    Node node;
+    for (size_t i = begin; i < end; ++i) {
+        node.box.extend(bounds[prims[i]].lo);
+        node.box.extend(bounds[prims[i]].hi);
+    }
+
+    size_t count = end - begin;
+    if (count <= static_cast<size_t>(config_.leaf_size)) {
+        node.first = static_cast<uint32_t>(begin);
+        node.count = static_cast<uint32_t>(count);
+        // Ascending order inside the leaf keeps the output sorted cheap.
+        std::sort(prims.begin() + begin, prims.begin() + end);
+        nodes_.push_back(node);
+        return static_cast<int32_t>(nodes_.size()) - 1;
+    }
+
+    // Median split along the widest axis of the centroid extent.
+    Aabb centroid_box;
+    for (size_t i = begin; i < end; ++i)
+        centroid_box.extend(bounds[prims[i]].center());
+    Vec3 ext = centroid_box.extent();
+    int axis = 0;
+    if (ext.y > ext.x)
+        axis = 1;
+    if (ext.z > (axis == 0 ? ext.x : ext.y))
+        axis = 2;
+
+    size_t mid = begin + count / 2;
+    std::nth_element(prims.begin() + begin, prims.begin() + mid,
+                     prims.begin() + end, [&](uint32_t a, uint32_t b) {
+                         return bounds[a].center()[axis]
+                              < bounds[b].center()[axis];
+                     });
+
+    // Reserve our slot first so children land after us.
+    nodes_.push_back(node);
+    int32_t self = static_cast<int32_t>(nodes_.size()) - 1;
+    int32_t left = build(prims, begin, mid, bounds);
+    int32_t right = build(prims, mid, end, bounds);
+    nodes_[self].left = left;
+    nodes_[self].right = right;
+    return self;
+}
+
+void
+GaussianBvh::cullNode(int32_t idx, const Camera &camera,
+                      std::vector<uint32_t> &out) const
+{
+    const Node &node = nodes_[idx];
+    ++stats_.nodes_visited;
+    if (!camera.frustum().intersectsAabb(node.box)) {
+        ++stats_.boxes_rejected;
+        return;
+    }
+    if (node.count > 0 || node.left < 0) {    // leaf
+        const Frustum &fr = camera.frustum();
+        for (uint32_t k = 0; k < node.count; ++k) {
+            uint32_t g = primitive_order_[node.first + k];
+            ++stats_.leaf_tests;
+            Ellipsoid e = Ellipsoid::fromGaussian(
+                model_->position(g), model_->worldScale(g),
+                model_->rotation(g));
+            if (!fr.intersectsSphere(e.center, e.boundingRadius()))
+                continue;
+            if (e.intersectsFrustum(fr))
+                out.push_back(g);
+        }
+        return;
+    }
+    cullNode(node.left, camera, out);
+    cullNode(node.right, camera, out);
+}
+
+std::vector<uint32_t>
+GaussianBvh::cull(const Camera &camera) const
+{
+    stats_ = {};
+    std::vector<uint32_t> out;
+    if (root_ >= 0)
+        cullNode(root_, camera, out);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+Aabb
+GaussianBvh::refitNode(int32_t idx, const std::vector<Aabb> &bounds)
+{
+    Node &node = nodes_[idx];
+    Aabb box;
+    if (node.count > 0 || node.left < 0) {
+        for (uint32_t k = 0; k < node.count; ++k) {
+            const Aabb &b = bounds[primitive_order_[node.first + k]];
+            box.extend(b.lo);
+            box.extend(b.hi);
+        }
+    } else {
+        Aabb l = refitNode(node.left, bounds);
+        Aabb r = refitNode(node.right, bounds);
+        box.extend(l.lo);
+        box.extend(l.hi);
+        box.extend(r.lo);
+        box.extend(r.hi);
+    }
+    node.box = box;
+    return box;
+}
+
+void
+GaussianBvh::refit(const GaussianModel &model)
+{
+    CLM_ASSERT(model.size() == primitive_order_.size(),
+               "refit requires an unchanged topology; rebuild instead");
+    model_ = &model;
+    if (root_ < 0)
+        return;
+    std::vector<Aabb> bounds(model.size());
+    for (size_t i = 0; i < model.size(); ++i)
+        bounds[i] = gaussianBounds(model, i);
+    refitNode(root_, bounds);
+}
+
+} // namespace clm

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Bounding-volume hierarchy over Gaussian 3-sigma bounds — the spatial
+ * acceleration structure the paper proposes as future work (§8) to
+ * replace the linear frustum-culling sweep. Interior nodes store merged
+ * AABBs; culling descends only into subtrees whose boxes intersect the
+ * frustum and falls back to the exact per-Gaussian ellipsoid test at the
+ * leaves, so the result is identical to the linear sweep.
+ */
+
+#ifndef CLM_RENDER_BVH_HPP
+#define CLM_RENDER_BVH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "gaussian/model.hpp"
+#include "math/aabb.hpp"
+#include "render/camera.hpp"
+
+namespace clm {
+
+/** BVH build parameters. */
+struct BvhConfig
+{
+    /** Max Gaussians per leaf; smaller = deeper tree, tighter boxes. */
+    int leaf_size = 16;
+};
+
+/**
+ * Static median-split BVH over a model's Gaussians. Rebuild after
+ * densification or large position updates; between rebuilds,
+ * refit() cheaply re-tightens boxes for parameter drift.
+ */
+class GaussianBvh
+{
+  public:
+    /** Build from @p model (3-sigma bounds per Gaussian). */
+    GaussianBvh(const GaussianModel &model, BvhConfig config = {});
+
+    /**
+     * Frustum culling through the tree. Produces exactly the same index
+     * set as frustumCull() (ascending order).
+     */
+    std::vector<uint32_t> cull(const Camera &camera) const;
+
+    /**
+     * Re-tighten all node boxes bottom-up from @p model's current
+     * parameters without changing the topology. Cheap (O(n)).
+     */
+    void refit(const GaussianModel &model);
+
+    /** Number of tree nodes (leaves + interior). */
+    size_t nodeCount() const { return nodes_.size(); }
+
+    /** Number of Gaussians indexed. */
+    size_t size() const { return primitive_order_.size(); }
+
+    /** Culling statistics of the most recent cull() call. */
+    struct CullStats
+    {
+        size_t nodes_visited = 0;
+        size_t boxes_rejected = 0;
+        size_t leaf_tests = 0;    //!< Exact ellipsoid tests performed.
+    };
+    const CullStats &lastStats() const { return stats_; }
+
+  private:
+    struct Node
+    {
+        Aabb box;
+        int32_t left = -1;      //!< Interior: left child; leaf: -1.
+        int32_t right = -1;
+        uint32_t first = 0;     //!< Leaf: first primitive slot.
+        uint32_t count = 0;     //!< Leaf: primitive count (0 = interior).
+    };
+
+    /** 3-sigma AABB of one Gaussian. */
+    static Aabb gaussianBounds(const GaussianModel &model, size_t i);
+
+    int32_t build(std::vector<uint32_t> &prims, size_t begin, size_t end,
+                  const std::vector<Aabb> &bounds);
+
+    void cullNode(int32_t node, const Camera &camera,
+                  std::vector<uint32_t> &out) const;
+
+    Aabb refitNode(int32_t node, const std::vector<Aabb> &bounds);
+
+    BvhConfig config_;
+    const GaussianModel *model_ = nullptr;    //!< For leaf exact tests.
+    std::vector<Node> nodes_;
+    std::vector<uint32_t> primitive_order_;
+    int32_t root_ = -1;
+    mutable CullStats stats_;
+};
+
+} // namespace clm
+
+#endif // CLM_RENDER_BVH_HPP

@@ -1,0 +1,74 @@
+#include "render/camera.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace clm {
+
+Camera::Camera(const Vec3 &eye, const Mat3 &world_to_cam, int width,
+               int height, float fov_y_rad, float z_near, float z_far)
+    : eye_(eye), world_to_cam_(world_to_cam), width_(width), height_(height),
+      fov_y_(fov_y_rad), z_near_(z_near), z_far_(z_far)
+{
+    CLM_ASSERT(width > 0 && height > 0, "bad image size");
+    CLM_ASSERT(fov_y_rad > 0.0f && fov_y_rad < 3.14f, "bad fov");
+    float tan_half = std::tan(0.5f * fov_y_);
+    fy_ = 0.5f * height_ / tan_half;
+    fx_ = fy_;    // square pixels
+    cx_ = 0.5f * width_;
+    cy_ = 0.5f * height_;
+    frustum_ =
+        Frustum::fromViewProjection(projectionMatrix().mul(viewMatrix()));
+}
+
+Camera
+Camera::lookAt(const Vec3 &eye, const Vec3 &target, const Vec3 &up,
+               int width, int height, float fov_y_rad, float z_near,
+               float z_far)
+{
+    Vec3 fwd = (target - eye).normalized();
+    Vec3 right = fwd.cross(up).normalized();
+    Vec3 down = fwd.cross(right);    // y points down in camera space
+    Mat3 r;
+    r.m[0] = {right.x, right.y, right.z};
+    r.m[1] = {down.x, down.y, down.z};
+    r.m[2] = {fwd.x, fwd.y, fwd.z};
+    return Camera(eye, r, width, height, fov_y_rad, z_near, z_far);
+}
+
+Vec3
+Camera::toCameraSpace(const Vec3 &p_world) const
+{
+    return world_to_cam_.mul(p_world - eye_);
+}
+
+Mat4
+Camera::viewMatrix() const
+{
+    Mat4 v = Mat4::identity();
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            v.m[i][j] = world_to_cam_.m[i][j];
+    Vec3 t = world_to_cam_.mul(eye_) * -1.0f;
+    v.m[0][3] = t.x;
+    v.m[1][3] = t.y;
+    v.m[2][3] = t.z;
+    return v;
+}
+
+Mat4
+Camera::projectionMatrix() const
+{
+    float tan_half_y = std::tan(0.5f * fov_y_);
+    float tan_half_x = tan_half_y * width_ / height_;
+    Mat4 p;
+    p.m[0][0] = 1.0f / tan_half_x;
+    p.m[1][1] = 1.0f / tan_half_y;
+    p.m[2][2] = (z_far_ + z_near_) / (z_far_ - z_near_);
+    p.m[2][3] = -2.0f * z_far_ * z_near_ / (z_far_ - z_near_);
+    p.m[3][2] = 1.0f;
+    return p;
+}
+
+} // namespace clm

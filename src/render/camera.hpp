@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Pinhole camera with pose and intrinsics; provides the view/projection
+ * transforms and the culling frustum for one training view.
+ */
+
+#ifndef CLM_RENDER_CAMERA_HPP
+#define CLM_RENDER_CAMERA_HPP
+
+#include "math/frustum.hpp"
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+
+namespace clm {
+
+/** A posed pinhole camera (one training view). */
+class Camera
+{
+  public:
+    /**
+     * Construct from a pose and intrinsics.
+     *
+     * @param eye Camera center in world space.
+     * @param world_to_cam Rotation from world to camera axes (camera looks
+     *        down +z, x right, y down — the COLMAP/3DGS convention).
+     * @param width Image width in pixels.
+     * @param height Image height in pixels.
+     * @param fov_y_rad Vertical field of view in radians.
+     * @param z_near Near plane distance.
+     * @param z_far Far plane distance.
+     */
+    Camera(const Vec3 &eye, const Mat3 &world_to_cam, int width, int height,
+           float fov_y_rad, float z_near = 0.01f, float z_far = 1000.0f);
+
+    /** Build a camera looking from @p eye toward @p target. */
+    static Camera lookAt(const Vec3 &eye, const Vec3 &target,
+                         const Vec3 &up, int width, int height,
+                         float fov_y_rad, float z_near = 0.01f,
+                         float z_far = 1000.0f);
+
+    const Vec3 &eye() const { return eye_; }
+    const Mat3 &worldToCam() const { return world_to_cam_; }
+    int width() const { return width_; }
+    int height() const { return height_; }
+    float fx() const { return fx_; }
+    float fy() const { return fy_; }
+    float cx() const { return cx_; }
+    float cy() const { return cy_; }
+    float zNear() const { return z_near_; }
+    float zFar() const { return z_far_; }
+
+    /** World point to camera space (z is depth along the optical axis). */
+    Vec3 toCameraSpace(const Vec3 &p_world) const;
+
+    /** The 4x4 view matrix (world to camera, homogeneous). */
+    Mat4 viewMatrix() const;
+
+    /** The 4x4 OpenGL-style perspective projection matrix. */
+    Mat4 projectionMatrix() const;
+
+    /** View frustum in world space, for selection. */
+    const Frustum &frustum() const { return frustum_; }
+
+    /** Total pixels, a proxy for rendering cost. */
+    size_t pixels() const
+    { return static_cast<size_t>(width_) * height_; }
+
+  private:
+    Vec3 eye_;
+    Mat3 world_to_cam_;
+    int width_;
+    int height_;
+    float fov_y_;
+    float z_near_;
+    float z_far_;
+    float fx_, fy_, cx_, cy_;
+    Frustum frustum_;
+};
+
+} // namespace clm
+
+#endif // CLM_RENDER_CAMERA_HPP

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Pre-rendering frustum culling (§5.1): computes the in-frustum index set
+ * S_i for a view *before* rasterization, so downstream kernels only process
+ * |S_i| Gaussians and the offload engine knows exactly which parameter rows
+ * a microbatch needs. Only selection-critical attributes (position, scale,
+ * rotation) are read — the property that makes attribute-wise offload
+ * possible (§4.1).
+ */
+
+#ifndef CLM_RENDER_CULLING_HPP
+#define CLM_RENDER_CULLING_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "gaussian/model.hpp"
+#include "render/camera.hpp"
+
+namespace clm {
+
+/**
+ * Compute the in-frustum Gaussian index set S for @p camera.
+ *
+ * A Gaussian is selected when its 3-sigma ellipsoid intersects the view
+ * frustum (§4.1). Indices are returned in ascending order.
+ */
+std::vector<uint32_t> frustumCull(const GaussianModel &model,
+                                  const Camera &camera);
+
+/**
+ * Same selection rule evaluated from packed critical-attribute records
+ * (10 floats per Gaussian: position, log-scale, rotation) — the exact data
+ * the GPU-resident critical store holds.
+ *
+ * @param critical Pointer to @p count records of kCriticalDim floats.
+ */
+std::vector<uint32_t> frustumCullPacked(const float *critical, size_t count,
+                                        const Camera &camera);
+
+/**
+ * Per-view sparsity rho_i = |S_i| / N (§3). Returns 0 for an empty model.
+ */
+double sparsity(size_t in_frustum, size_t total);
+
+} // namespace clm
+
+#endif // CLM_RENDER_CULLING_HPP

@@ -1,0 +1,100 @@
+#include "render/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace clm {
+
+Image::Image(int width, int height, const Vec3 &fill)
+    : width_(width), height_(height)
+{
+    CLM_ASSERT(width >= 0 && height >= 0, "negative image size");
+    data_.resize(pixels() * 3);
+    for (size_t i = 0; i < pixels(); ++i) {
+        data_[i * 3 + 0] = fill.x;
+        data_[i * 3 + 1] = fill.y;
+        data_[i * 3 + 2] = fill.z;
+    }
+}
+
+Vec3
+Image::pixel(int x, int y) const
+{
+    size_t i = (static_cast<size_t>(y) * width_ + x) * 3;
+    return {data_[i], data_[i + 1], data_[i + 2]};
+}
+
+void
+Image::setPixel(int x, int y, const Vec3 &c)
+{
+    size_t i = (static_cast<size_t>(y) * width_ + x) * 3;
+    data_[i] = c.x;
+    data_[i + 1] = c.y;
+    data_[i + 2] = c.z;
+}
+
+void
+Image::addPixel(int x, int y, const Vec3 &c)
+{
+    size_t i = (static_cast<size_t>(y) * width_ + x) * 3;
+    data_[i] += c.x;
+    data_[i + 1] += c.y;
+    data_[i + 2] += c.z;
+}
+
+double
+Image::mse(const Image &other) const
+{
+    CLM_ASSERT(width_ == other.width_ && height_ == other.height_,
+               "image size mismatch");
+    if (data_.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i) {
+        double d = double(data_[i]) - double(other.data_[i]);
+        acc += d * d;
+    }
+    return acc / data_.size();
+}
+
+double
+Image::psnr(const Image &other) const
+{
+    double m = mse(other);
+    if (m <= 0.0)
+        return 99.0;    // identical images; cap like common tooling
+    return 10.0 * std::log10(1.0 / m);
+}
+
+double
+Image::l1(const Image &other) const
+{
+    CLM_ASSERT(width_ == other.width_ && height_ == other.height_,
+               "image size mismatch");
+    if (data_.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i)
+        acc += std::abs(double(data_[i]) - double(other.data_[i]));
+    return acc / data_.size();
+}
+
+void
+Image::writePpm(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        CLM_FATAL("cannot open ", path, " for writing");
+    std::fprintf(f, "P6\n%d %d\n255\n", width_, height_);
+    for (size_t i = 0; i < data_.size(); ++i) {
+        float v = std::clamp(data_[i], 0.0f, 1.0f);
+        unsigned char byte = static_cast<unsigned char>(v * 255.0f + 0.5f);
+        std::fwrite(&byte, 1, 1, f);
+    }
+    std::fclose(f);
+}
+
+} // namespace clm

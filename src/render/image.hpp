@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Dense 3-channel float image plus the PSNR metric used throughout the
+ * paper's quality evaluation (Figure 9).
+ */
+
+#ifndef CLM_RENDER_IMAGE_HPP
+#define CLM_RENDER_IMAGE_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "math/vec.hpp"
+
+namespace clm {
+
+/** Row-major HxWx3 float image with values nominally in [0, 1]. */
+class Image
+{
+  public:
+    Image() = default;
+
+    /** Allocate a @p width x @p height image filled with @p fill. */
+    Image(int width, int height, const Vec3 &fill = {0, 0, 0});
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    size_t pixels() const
+    { return static_cast<size_t>(width_) * height_; }
+
+    /** Pixel access (no bounds check in release). */
+    Vec3 pixel(int x, int y) const;
+    void setPixel(int x, int y, const Vec3 &c);
+    void addPixel(int x, int y, const Vec3 &c);
+
+    /** Raw channel buffer: 3 floats per pixel, row-major. */
+    const std::vector<float> &data() const { return data_; }
+    std::vector<float> &data() { return data_; }
+
+    /** Mean squared error against @p other (same dimensions). */
+    double mse(const Image &other) const;
+
+    /** Peak signal-to-noise ratio in dB against @p other (peak = 1.0). */
+    double psnr(const Image &other) const;
+
+    /** Mean absolute (L1) error against @p other. */
+    double l1(const Image &other) const;
+
+    /** Write a binary PPM (P6) file, clamping to [0, 1]. */
+    void writePpm(const std::string &path) const;
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace clm
+
+#endif // CLM_RENDER_IMAGE_HPP

@@ -1,0 +1,185 @@
+#include "render/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace clm {
+
+namespace {
+
+/**
+ * Per-center SSIM statistics for one channel, plus the three coefficient
+ * fields the backward pass scatters through the window.
+ */
+struct SsimField
+{
+    std::vector<double> mu_x, mu_y;
+    std::vector<double> d_mu;      // dSSIM/dmu_x at each center
+    std::vector<double> d_var;     // dSSIM/dsigma_x2 at each center
+    std::vector<double> d_cov;     // dSSIM/dsigma_xy at each center
+    std::vector<double> inv_n;     // 1/window-size at each center
+    double ssim_sum = 0.0;
+};
+
+SsimField
+ssimChannel(const Image &x_img, const Image &y_img, int ch,
+            const LossConfig &cfg, bool want_grads)
+{
+    const int w = x_img.width();
+    const int h = x_img.height();
+    const int r = cfg.ssim_window / 2;
+    const size_t n = static_cast<size_t>(w) * h;
+
+    SsimField f;
+    f.mu_x.resize(n);
+    f.mu_y.resize(n);
+    if (want_grads) {
+        f.d_mu.assign(n, 0.0);
+        f.d_var.assign(n, 0.0);
+        f.d_cov.assign(n, 0.0);
+        f.inv_n.assign(n, 0.0);
+    }
+
+    const std::vector<float> &xd = x_img.data();
+    const std::vector<float> &yd = y_img.data();
+    auto at = [&](const std::vector<float> &d, int px, int py) {
+        return double(d[(static_cast<size_t>(py) * w + px) * 3 + ch]);
+    };
+
+    for (int py = 0; py < h; ++py) {
+        for (int px = 0; px < w; ++px) {
+            int x0 = std::max(px - r, 0), x1 = std::min(px + r, w - 1);
+            int y0 = std::max(py - r, 0), y1 = std::min(py + r, h - 1);
+            int cnt = (x1 - x0 + 1) * (y1 - y0 + 1);
+            double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+            for (int yy = y0; yy <= y1; ++yy) {
+                for (int xx = x0; xx <= x1; ++xx) {
+                    double xv = at(xd, xx, yy);
+                    double yv = at(yd, xx, yy);
+                    sx += xv;
+                    sy += yv;
+                    sxx += xv * xv;
+                    syy += yv * yv;
+                    sxy += xv * yv;
+                }
+            }
+            double mx = sx / cnt, my = sy / cnt;
+            double vx = sxx / cnt - mx * mx;
+            double vy = syy / cnt - my * my;
+            double cxy = sxy / cnt - mx * my;
+
+            double u = 2.0 * mx * my + cfg.ssim_c1;
+            double v = 2.0 * cxy + cfg.ssim_c2;
+            double s = mx * mx + my * my + cfg.ssim_c1;
+            double t = vx + vy + cfg.ssim_c2;
+            double ssim = (u * v) / (s * t);
+            f.ssim_sum += ssim;
+
+            size_t pi = static_cast<size_t>(py) * w + px;
+            f.mu_x[pi] = mx;
+            f.mu_y[pi] = my;
+            if (want_grads) {
+                f.d_mu[pi] = 2.0 * my * v / (s * t)
+                           - (u * v) * 2.0 * mx / (s * s * t);
+                f.d_var[pi] = -(u * v) / (s * t * t);
+                f.d_cov[pi] = 2.0 * u / (s * t);
+                f.inv_n[pi] = 1.0 / cnt;
+            }
+        }
+    }
+    return f;
+}
+
+} // namespace
+
+double
+meanSsim(const Image &a, const Image &b, const LossConfig &cfg)
+{
+    CLM_ASSERT(a.width() == b.width() && a.height() == b.height(),
+               "image size mismatch");
+    double acc = 0.0;
+    for (int ch = 0; ch < 3; ++ch)
+        acc += ssimChannel(a, b, ch, cfg, false).ssim_sum;
+    return acc / (3.0 * a.pixels());
+}
+
+LossResult
+computeLoss(const Image &rendered, const Image &gt, Image *d_rendered,
+            const LossConfig &cfg)
+{
+    CLM_ASSERT(rendered.width() == gt.width()
+                   && rendered.height() == gt.height(),
+               "image size mismatch");
+    CLM_ASSERT(cfg.ssim_window % 2 == 1, "ssim window must be odd");
+
+    const int w = rendered.width();
+    const int h = rendered.height();
+    const size_t total_vals = rendered.data().size();
+    const double lam = cfg.lambda_dssim;
+
+    if (d_rendered)
+        *d_rendered = Image(w, h, {0, 0, 0});
+
+    LossResult result;
+    result.l1 = rendered.l1(gt);
+
+    // L1 gradient: (1-lam)/total * sign(x - y).
+    if (d_rendered) {
+        auto &dd = d_rendered->data();
+        const auto &xd = rendered.data();
+        const auto &yd = gt.data();
+        double scale = (1.0 - lam) / total_vals;
+        for (size_t i = 0; i < total_vals; ++i) {
+            double diff = double(xd[i]) - double(yd[i]);
+            dd[i] += static_cast<float>(
+                scale * (diff > 0 ? 1.0 : (diff < 0 ? -1.0 : 0.0)));
+        }
+    }
+
+    // SSIM term, per channel.
+    const int r = cfg.ssim_window / 2;
+    double ssim_acc = 0.0;
+    const double pixel_count = static_cast<double>(rendered.pixels());
+    for (int ch = 0; ch < 3; ++ch) {
+        SsimField f =
+            ssimChannel(rendered, gt, ch, cfg, d_rendered != nullptr);
+        ssim_acc += f.ssim_sum;
+        if (!d_rendered)
+            continue;
+        // dL/dx(q) = -lam / (3P) * sum_{centers p covering q} (1/N_p) *
+        //   [d_mu(p) + d_var(p)*2*(x(q)-mu_x(p)) + d_cov(p)*(y(q)-mu_y(p))]
+        auto &dd = d_rendered->data();
+        const auto &xd = rendered.data();
+        const auto &yd = gt.data();
+        double scale = -lam / (3.0 * pixel_count);
+        for (int qy = 0; qy < h; ++qy) {
+            for (int qx = 0; qx < w; ++qx) {
+                size_t qi = static_cast<size_t>(qy) * w + qx;
+                double xq = xd[qi * 3 + ch];
+                double yq = yd[qi * 3 + ch];
+                double acc = 0.0;
+                int py0 = std::max(qy - r, 0), py1 = std::min(qy + r, h - 1);
+                int px0 = std::max(qx - r, 0), px1 = std::min(qx + r, w - 1);
+                for (int py = py0; py <= py1; ++py) {
+                    for (int px = px0; px <= px1; ++px) {
+                        size_t pi = static_cast<size_t>(py) * w + px;
+                        acc += f.inv_n[pi]
+                             * (f.d_mu[pi]
+                                + f.d_var[pi] * 2.0 * (xq - f.mu_x[pi])
+                                + f.d_cov[pi] * (yq - f.mu_y[pi]));
+                    }
+                }
+                dd[qi * 3 + ch] += static_cast<float>(scale * acc);
+            }
+        }
+    }
+    double mean_ssim = ssim_acc / (3.0 * pixel_count);
+    result.dssim = 1.0 - mean_ssim;
+    result.total = (1.0 - lam) * result.l1 + lam * result.dssim;
+    return result;
+}
+
+} // namespace clm

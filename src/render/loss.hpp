@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Training loss: (1 - lambda) * L1 + lambda * D-SSIM, the reference 3DGS
+ * objective, with an exact analytic backward pass into dL/d(rendered).
+ */
+
+#ifndef CLM_RENDER_LOSS_HPP
+#define CLM_RENDER_LOSS_HPP
+
+#include "render/image.hpp"
+
+namespace clm {
+
+/** Loss weighting and SSIM window parameters. */
+struct LossConfig
+{
+    float lambda_dssim = 0.2f;    //!< Weight of the D-SSIM term.
+    int ssim_window = 11;         //!< Box window edge (odd).
+    float ssim_c1 = 0.01f * 0.01f;    //!< (k1 L)^2 with L = 1.
+    float ssim_c2 = 0.03f * 0.03f;    //!< (k2 L)^2 with L = 1.
+};
+
+/** Scalar loss values from one view. */
+struct LossResult
+{
+    double total = 0.0;
+    double l1 = 0.0;
+    double dssim = 0.0;    //!< 1 - mean SSIM.
+};
+
+/**
+ * Compute the loss between @p rendered and @p ground_truth.
+ *
+ * @param d_rendered When non-null, filled with dL/d(rendered) (same size
+ *        as the images); the buffer is overwritten, not accumulated.
+ */
+LossResult computeLoss(const Image &rendered, const Image &ground_truth,
+                       Image *d_rendered, const LossConfig &config = {});
+
+/**
+ * Mean SSIM between two images (box window, clamped borders). Forward only.
+ */
+double meanSsim(const Image &a, const Image &b, const LossConfig &config = {});
+
+} // namespace clm
+
+#endif // CLM_RENDER_LOSS_HPP

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * EWA splatting projection: maps a 3D Gaussian to its screen-space footprint
+ * (2D mean, 2D covariance/conic, radius, view-dependent color), plus the
+ * analytic backward pass. The math follows the reference 3DGS / gsplat
+ * kernels: Sigma2D = J W Sigma W^T J^T + 0.3 I, conic = Sigma2D^-1.
+ */
+
+#ifndef CLM_RENDER_PROJECTION_HPP
+#define CLM_RENDER_PROJECTION_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "gaussian/model.hpp"
+#include "render/camera.hpp"
+
+namespace clm {
+
+/** Screen-space blur added to the projected covariance diagonal (pixels^2). */
+constexpr float kScreenBlur = 0.3f;
+
+/** One Gaussian's projected footprint and the state cached for backward. */
+struct ProjectedGaussian
+{
+    uint32_t index = 0;        //!< Global Gaussian index.
+    bool valid = false;        //!< False when behind near plane/degenerate.
+
+    Vec2 mean2d;               //!< Pixel-space center.
+    float depth = 0.0f;        //!< Camera-space z (sort key).
+    float conic_a = 0.0f;      //!< Conic (inverse 2D covariance) [0][0].
+    float conic_b = 0.0f;      //!< Conic [0][1] == [1][0].
+    float conic_c = 0.0f;      //!< Conic [1][1].
+    float radius = 0.0f;       //!< 3-sigma pixel radius for tile binning.
+    float opacity = 0.0f;      //!< World (post-sigmoid) opacity.
+    Vec3 color;                //!< View-dependent RGB from SH.
+    std::array<bool, 3> color_valid{true, true, true};  //!< Clamp mask.
+
+    // Cached intermediates for the backward pass.
+    Vec3 t;                    //!< Camera-space position (unclamped).
+    bool clamped_u = false;    //!< t.x/t.z hit the frustum guard band.
+    bool clamped_v = false;    //!< t.y/t.z hit the frustum guard band.
+    float cov2d_a = 0.0f, cov2d_b = 0.0f, cov2d_c = 0.0f;  //!< With blur.
+};
+
+/** Gradients flowing from the rasterizer into one projected Gaussian. */
+struct ProjectionGrads
+{
+    Vec2 d_mean2d;
+    float d_conic_a = 0.0f;
+    float d_conic_b = 0.0f;    //!< Gradient of the single off-diagonal.
+    float d_conic_c = 0.0f;
+    Vec3 d_color;
+    float d_opacity = 0.0f;    //!< Gradient w.r.t. *world* opacity.
+};
+
+/**
+ * Project Gaussian @p i of @p model through @p camera.
+ *
+ * @param sh_degree Active spherical-harmonics degree in [0, 3].
+ * @return The footprint; .valid == false when the Gaussian is behind the
+ *         near plane or its projected covariance is degenerate.
+ */
+ProjectedGaussian projectGaussian(const GaussianModel &model, size_t i,
+                                  const Camera &camera, int sh_degree = 3);
+
+/**
+ * Backward of projectGaussian(): chain @p grads (w.r.t. the footprint)
+ * through the projection into parameter gradients, accumulated into @p out
+ * at row proj.index.
+ */
+void projectGaussianBackward(const GaussianModel &model,
+                             const Camera &camera, int sh_degree,
+                             const ProjectedGaussian &proj,
+                             const ProjectionGrads &grads,
+                             GaussianGrads &out);
+
+} // namespace clm
+
+#endif // CLM_RENDER_PROJECTION_HPP

@@ -1,0 +1,149 @@
+#include "render/rasterizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace clm {
+
+size_t
+RenderOutput::totalTileIntersections() const
+{
+    size_t n = 0;
+    for (const auto &l : tile_lists)
+        n += l.size();
+    return n;
+}
+
+size_t
+RenderOutput::activationBytes() const
+{
+    size_t bytes = image.data().size() * sizeof(float);
+    bytes += final_t.size() * sizeof(float);
+    bytes += n_contrib.size() * sizeof(uint32_t);
+    bytes += projected.size() * sizeof(ProjectedGaussian);
+    bytes += totalTileIntersections() * sizeof(uint32_t);
+    return bytes;
+}
+
+RenderOutput
+renderForward(const GaussianModel &model, const Camera &camera,
+              const std::vector<uint32_t> &subset, const RenderConfig &cfg)
+{
+    CLM_ASSERT(cfg.tile_size > 0, "bad tile size");
+    const int w = camera.width();
+    const int h = camera.height();
+
+    RenderOutput out;
+    out.image = Image(w, h, cfg.background);
+    out.final_t.assign(static_cast<size_t>(w) * h, 1.0f);
+    out.n_contrib.assign(static_cast<size_t>(w) * h, 0);
+    out.tiles_x = (w + cfg.tile_size - 1) / cfg.tile_size;
+    out.tiles_y = (h + cfg.tile_size - 1) / cfg.tile_size;
+    out.tile_lists.assign(
+        static_cast<size_t>(out.tiles_x) * out.tiles_y, {});
+
+    // 1. Project the subset.
+    out.projected.reserve(subset.size());
+    for (uint32_t gi : subset)
+        out.projected.push_back(
+            projectGaussian(model, gi, camera, cfg.sh_degree));
+
+    // 2. Bin footprints to tiles.
+    for (size_t s = 0; s < out.projected.size(); ++s) {
+        const ProjectedGaussian &p = out.projected[s];
+        if (!p.valid || p.radius <= 0.0f)
+            continue;
+        int x0 = static_cast<int>(
+            std::floor((p.mean2d.x - p.radius) / cfg.tile_size));
+        int x1 = static_cast<int>(
+            std::floor((p.mean2d.x + p.radius) / cfg.tile_size));
+        int y0 = static_cast<int>(
+            std::floor((p.mean2d.y - p.radius) / cfg.tile_size));
+        int y1 = static_cast<int>(
+            std::floor((p.mean2d.y + p.radius) / cfg.tile_size));
+        x0 = std::max(x0, 0);
+        y0 = std::max(y0, 0);
+        x1 = std::min(x1, out.tiles_x - 1);
+        y1 = std::min(y1, out.tiles_y - 1);
+        for (int ty = y0; ty <= y1; ++ty)
+            for (int tx = x0; tx <= x1; ++tx)
+                out.tile_lists[static_cast<size_t>(ty) * out.tiles_x + tx]
+                    .push_back(static_cast<uint32_t>(s));
+    }
+
+    // 3. Depth-sort each tile's list (front to back).
+    for (auto &list : out.tile_lists) {
+        std::sort(list.begin(), list.end(),
+                  [&](uint32_t a, uint32_t b) {
+                      return out.projected[a].depth
+                           < out.projected[b].depth;
+                  });
+    }
+
+    // 4. Composite each pixel front-to-back. Tiles touch disjoint
+    //    pixels, so they parallelize with identical results.
+    auto composite_tile = [&](size_t tile_index) {
+        int ty = static_cast<int>(tile_index) / out.tiles_x;
+        int tx = static_cast<int>(tile_index) % out.tiles_x;
+        {
+            const auto &list = out.tile_lists[tile_index];
+            if (list.empty())
+                return;
+            int px0 = tx * cfg.tile_size;
+            int py0 = ty * cfg.tile_size;
+            int px1 = std::min(px0 + cfg.tile_size, w);
+            int py1 = std::min(py0 + cfg.tile_size, h);
+            for (int py = py0; py < py1; ++py) {
+                for (int px = px0; px < px1; ++px) {
+                    float t_acc = 1.0f;
+                    Vec3 c_acc{0, 0, 0};
+                    uint32_t last = 0;
+                    Vec2 pix{px + 0.5f, py + 0.5f};
+                    for (size_t pos = 0; pos < list.size(); ++pos) {
+                        const ProjectedGaussian &g =
+                            out.projected[list[pos]];
+                        Vec2 d = g.mean2d - pix;
+                        float power =
+                            -0.5f * (g.conic_a * d.x * d.x
+                                     + g.conic_c * d.y * d.y)
+                            - g.conic_b * d.x * d.y;
+                        if (power > 0.0f)
+                            continue;
+                        float alpha =
+                            std::min(0.99f, g.opacity * std::exp(power));
+                        if (alpha < cfg.alpha_min)
+                            continue;
+                        float t_next = t_acc * (1.0f - alpha);
+                        if (t_next < cfg.transmittance_min)
+                            break;
+                        c_acc += g.color * (alpha * t_acc);
+                        t_acc = t_next;
+                        last = static_cast<uint32_t>(pos) + 1;
+                    }
+                    size_t pi = static_cast<size_t>(py) * w + px;
+                    out.final_t[pi] = t_acc;
+                    out.n_contrib[pi] = last;
+                    out.image.setPixel(px, py,
+                                       c_acc + cfg.background * t_acc);
+                }
+            }
+        }
+    };
+    size_t n_tiles = out.tile_lists.size();
+    if (cfg.parallel && n_tiles > 1) {
+        ThreadPool::global().parallelFor(
+            n_tiles, [&](size_t begin, size_t end) {
+                for (size_t t = begin; t < end; ++t)
+                    composite_tile(t);
+            });
+    } else {
+        for (size_t t = 0; t < n_tiles; ++t)
+            composite_tile(t);
+    }
+    return out;
+}
+
+} // namespace clm

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tile-based differentiable rasterizer for 3D Gaussian splats — the CPU
+ * equivalent of the gsplat CUDA kernels (§5). The forward pass composites
+ * depth-sorted Gaussians front-to-back per pixel with early termination;
+ * the backward pass replays each pixel back-to-front and produces analytic
+ * gradients for every learnable parameter.
+ *
+ * Per the pre-rendering-frustum-culling design (§5.1), the rasterizer takes
+ * an explicit in-frustum index set: it never touches Gaussians outside it.
+ */
+
+#ifndef CLM_RENDER_RASTERIZER_HPP
+#define CLM_RENDER_RASTERIZER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "gaussian/model.hpp"
+#include "render/camera.hpp"
+#include "render/image.hpp"
+#include "render/projection.hpp"
+
+namespace clm {
+
+/** Rasterization settings. */
+struct RenderConfig
+{
+    int sh_degree = 3;              //!< Active SH degree.
+    Vec3 background{0, 0, 0};       //!< Composited behind the splats.
+    int tile_size = 16;             //!< Square tile edge in pixels.
+    float alpha_min = 1.0f / 255.0f;    //!< Contribution threshold.
+    float transmittance_min = 1e-4f;    //!< Early-termination threshold.
+    /** Rasterize tiles across the global thread pool. Results are
+     *  bitwise-identical to the serial path (tiles are independent and
+     *  backward reductions run in a fixed order). */
+    bool parallel = true;
+};
+
+/**
+ * Forward-pass result plus the activation state the backward pass needs.
+ * The memory footprint of this struct is what the paper calls "activation
+ * memory": it scales with resolution and with |S_i|, not with N.
+ */
+struct RenderOutput
+{
+    Image image;
+
+    /** Per-pixel transmittance remaining after compositing. */
+    std::vector<float> final_t;
+
+    /**
+     * Per-pixel 1-based position (in the pixel's tile list) of the last
+     * composited Gaussian; 0 when nothing contributed.
+     */
+    std::vector<uint32_t> n_contrib;
+
+    /** Projected footprints of the in-frustum subset (invalid ones kept
+     *  in place so tile lists can index by subset position). */
+    std::vector<ProjectedGaussian> projected;
+
+    /** Per-tile, depth-sorted indices into `projected`. */
+    std::vector<std::vector<uint32_t>> tile_lists;
+
+    int tiles_x = 0;
+    int tiles_y = 0;
+
+    /** Sum over tiles of list lengths (the paper's "num intersections"). */
+    size_t totalTileIntersections() const;
+
+    /** Approximate bytes held by this activation state. */
+    size_t activationBytes() const;
+};
+
+/**
+ * Render @p camera's view from the Gaussians listed in @p subset.
+ *
+ * @param subset In-frustum Gaussian indices (e.g. from frustumCull()).
+ *        Indices outside the camera frustum are harmless (they project to
+ *        invalid/zero-contribution footprints) but waste work.
+ */
+RenderOutput renderForward(const GaussianModel &model, const Camera &camera,
+                           const std::vector<uint32_t> &subset,
+                           const RenderConfig &config = {});
+
+/**
+ * Backward pass: given dL/d(image), accumulate parameter gradients into
+ * @p out (sized for the full model; only rows in the rendered subset are
+ * touched — the sparsity property the offload design relies on).
+ */
+void renderBackward(const GaussianModel &model, const Camera &camera,
+                    const RenderConfig &config, const RenderOutput &fwd,
+                    const Image &d_image, GaussianGrads &out);
+
+} // namespace clm
+
+#endif // CLM_RENDER_RASTERIZER_HPP

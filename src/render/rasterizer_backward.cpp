@@ -1,0 +1,165 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "render/rasterizer.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace clm {
+
+void
+renderBackward(const GaussianModel &model, const Camera &camera,
+               const RenderConfig &cfg, const RenderOutput &fwd,
+               const Image &d_image, GaussianGrads &out)
+{
+    CLM_ASSERT(out.size() == model.size(),
+               "gradient buffer must cover the full model");
+    CLM_ASSERT(d_image.width() == camera.width()
+                   && d_image.height() == camera.height(),
+               "d_image size mismatch");
+
+    const int w = camera.width();
+    const int h = camera.height();
+
+    // Per-subset-entry gradient accumulators for the footprint
+    // quantities. A Gaussian can appear in several tiles, so parallel
+    // execution uses one accumulator array per chunk, reduced in fixed
+    // chunk order afterwards (deterministic results).
+    std::vector<ProjectionGrads> pg(fwd.projected.size());
+
+    auto backward_tile = [&](size_t tile_index,
+                             std::vector<ProjectionGrads> &acc_pg) {
+        int ty = static_cast<int>(tile_index) / fwd.tiles_x;
+        int tx = static_cast<int>(tile_index) % fwd.tiles_x;
+        {
+            const auto &list = fwd.tile_lists[tile_index];
+            if (list.empty())
+                return;
+            int px0 = tx * cfg.tile_size;
+            int py0 = ty * cfg.tile_size;
+            int px1 = std::min(px0 + cfg.tile_size, w);
+            int py1 = std::min(py0 + cfg.tile_size, h);
+            for (int py = py0; py < py1; ++py) {
+                for (int px = px0; px < px1; ++px) {
+                    size_t pi = static_cast<size_t>(py) * w + px;
+                    uint32_t n_contrib = fwd.n_contrib[pi];
+                    if (n_contrib == 0)
+                        continue;
+                    Vec2 pix{px + 0.5f, py + 0.5f};
+                    Vec3 dpix = d_image.pixel(px, py);
+                    float bg_dot =
+                        cfg.background.dot(dpix);
+
+                    // Replay back-to-front over the composited prefix.
+                    float t_acc = fwd.final_t[pi];
+                    float last_alpha = 0.0f;
+                    Vec3 last_color{0, 0, 0};
+                    Vec3 accum_rec{0, 0, 0};
+                    for (size_t pos = n_contrib; pos-- > 0;) {
+                        uint32_t s = list[pos];
+                        const ProjectedGaussian &g = fwd.projected[s];
+                        Vec2 d = g.mean2d - pix;
+                        float power =
+                            -0.5f * (g.conic_a * d.x * d.x
+                                     + g.conic_c * d.y * d.y)
+                            - g.conic_b * d.x * d.y;
+                        if (power > 0.0f)
+                            continue;
+                        float gval = std::exp(power);
+                        float raw_alpha = g.opacity * gval;
+                        bool clamped = raw_alpha > 0.99f;
+                        float alpha = clamped ? 0.99f : raw_alpha;
+                        if (alpha < cfg.alpha_min)
+                            continue;
+
+                        // Transmittance in front of this Gaussian.
+                        t_acc = t_acc / (1.0f - alpha);
+                        float dchannel_dcolor = alpha * t_acc;
+
+                        float dl_dalpha = 0.0f;
+                        // c - (color accumulated behind this Gaussian).
+                        accum_rec = last_color * last_alpha
+                                  + accum_rec * (1.0f - last_alpha);
+                        last_color = g.color;
+                        dl_dalpha += (g.color.x - accum_rec.x) * dpix.x;
+                        dl_dalpha += (g.color.y - accum_rec.y) * dpix.y;
+                        dl_dalpha += (g.color.z - accum_rec.z) * dpix.z;
+
+                        ProjectionGrads &acc = acc_pg[s];
+                        acc.d_color += dpix * dchannel_dcolor;
+
+                        dl_dalpha *= t_acc;
+                        last_alpha = alpha;
+
+                        // Background shows through less when alpha grows.
+                        dl_dalpha +=
+                            (-fwd.final_t[pi] / (1.0f - alpha)) * bg_dot;
+
+                        if (clamped)
+                            continue;    // min(0.99, .) sub-gradient = 0
+
+                        float dl_dg = g.opacity * dl_dalpha;
+                        acc.d_opacity += gval * dl_dalpha;
+
+                        // G = exp(power(d)), d = mean - pix.
+                        float gdl = gval * dl_dg;
+                        acc.d_mean2d.x +=
+                            gdl * (-g.conic_a * d.x - g.conic_b * d.y);
+                        acc.d_mean2d.y +=
+                            gdl * (-g.conic_c * d.y - g.conic_b * d.x);
+                        acc.d_conic_a += gdl * (-0.5f * d.x * d.x);
+                        acc.d_conic_b += gdl * (-d.x * d.y);
+                        acc.d_conic_c += gdl * (-0.5f * d.y * d.y);
+                    }
+                }
+            }
+        }
+    };
+
+    const size_t n_tiles = fwd.tile_lists.size();
+    if (cfg.parallel && n_tiles > 1) {
+        ThreadPool &pool = ThreadPool::global();
+        size_t n_chunks =
+            std::min<size_t>(n_tiles, pool.threads());
+        std::vector<std::vector<ProjectionGrads>> partials(
+            n_chunks, std::vector<ProjectionGrads>(fwd.projected.size()));
+        size_t chunk = (n_tiles + n_chunks - 1) / n_chunks;
+        pool.parallelFor(n_chunks, [&](size_t cb, size_t ce) {
+            for (size_t c = cb; c < ce; ++c) {
+                size_t t0 = c * chunk;
+                size_t t1 = std::min(t0 + chunk, n_tiles);
+                for (size_t t = t0; t < t1; ++t)
+                    backward_tile(t, partials[c]);
+            }
+        });
+        // Deterministic reduction in chunk order.
+        for (const auto &partial : partials) {
+            for (size_t s = 0; s < pg.size(); ++s) {
+                pg[s].d_mean2d += partial[s].d_mean2d;
+                pg[s].d_conic_a += partial[s].d_conic_a;
+                pg[s].d_conic_b += partial[s].d_conic_b;
+                pg[s].d_conic_c += partial[s].d_conic_c;
+                pg[s].d_color += partial[s].d_color;
+                pg[s].d_opacity += partial[s].d_opacity;
+            }
+        }
+    } else {
+        for (size_t t = 0; t < n_tiles; ++t)
+            backward_tile(t, pg);
+    }
+
+    // Chain footprint gradients through the projection. Subset entries
+    // map to distinct model rows, so this parallelizes safely.
+    auto chain = [&](size_t begin, size_t end) {
+        for (size_t s = begin; s < end; ++s)
+            projectGaussianBackward(model, camera, cfg.sh_degree,
+                                    fwd.projected[s], pg[s], out);
+    };
+    if (cfg.parallel && fwd.projected.size() > 256)
+        ThreadPool::global().parallelFor(fwd.projected.size(), chain);
+    else
+        chain(0, fwd.projected.size());
+}
+
+} // namespace clm

@@ -1,0 +1,144 @@
+#include "scene/camera_path.hpp"
+
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "util/logging.hpp"
+
+namespace clm {
+
+namespace {
+
+constexpr float kTau = 6.2831853f;
+
+Camera
+makeLookAt(const SceneSpec &spec, const Vec3 &eye, const Vec3 &target,
+           int w, int h)
+{
+    return Camera::lookAt(eye, target, {0, 0, 1}, w, h, spec.camera_fov_y,
+                          0.05f, spec.camera_z_far);
+}
+
+} // namespace
+
+std::vector<Camera>
+generateCameraPath(const SceneSpec &spec, int n_views, int w, int h)
+{
+    CLM_ASSERT(n_views > 0, "need at least one view");
+    std::vector<Camera> cams;
+    cams.reserve(n_views);
+    Rng rng(spec.seed ^ 0xCA3E7A);
+
+    const Vec3 &lo = spec.world_lo;
+    const Vec3 &hi = spec.world_hi;
+    Vec3 c = (lo + hi) * 0.5f;
+    Vec3 ext = hi - lo;
+
+    switch (spec.type) {
+      case SceneType::Yard: {
+        // Orbit ring looking at the central object; small jitter mimics a
+        // handheld capture.
+        float radius = 0.46f * std::min(ext.x, ext.y);
+        for (int i = 0; i < n_views; ++i) {
+            float ang = kTau * i / n_views;
+            Vec3 eye{c.x + radius * std::cos(ang),
+                     c.y + radius * std::sin(ang),
+                     c.z + 0.25f * ext.z + rng.uniform(-0.4f, 0.4f)};
+            Vec3 tgt = c + Vec3{rng.uniform(-0.5f, 0.5f),
+                                rng.uniform(-0.5f, 0.5f), 0.5f};
+            cams.push_back(makeLookAt(spec, eye, tgt, w, h));
+        }
+        break;
+      }
+      case SceneType::Aerial:
+      case SceneType::AerialCity: {
+        // Serpentine lawnmower sweep at constant altitude, looking down
+        // with a slight forward tilt.
+        int rows = std::max(1, static_cast<int>(std::sqrt(
+                                   static_cast<float>(n_views))));
+        int cols = (n_views + rows - 1) / rows;
+        float alt = spec.type == SceneType::AerialCity
+                        ? hi.z + 0.04f * std::min(ext.x, ext.y)
+                        : hi.z + 0.18f * std::min(ext.x, ext.y);
+        int produced = 0;
+        for (int r = 0; r < rows && produced < n_views; ++r) {
+            for (int k = 0; k < cols && produced < n_views; ++k) {
+                int col = (r % 2 == 0) ? k : cols - 1 - k;    // serpentine
+                float x = lo.x + ext.x * (col + 0.5f) / cols;
+                float y = lo.y + ext.y * (r + 0.5f) / rows;
+                Vec3 eye{x + rng.uniform(-0.5f, 0.5f),
+                         y + rng.uniform(-0.5f, 0.5f), alt};
+                float tilt = spec.type == SceneType::AerialCity
+                                 ? 0.05f
+                                 : 0.15f;
+                Vec3 tgt{x + rng.uniform(-1.0f, 1.0f),
+                         y + tilt * ext.y / rows, lo.z};
+                cams.push_back(makeLookAt(spec, eye, tgt, w, h));
+                ++produced;
+            }
+        }
+        break;
+      }
+      case SceneType::Indoor: {
+        // Visit the 4x4 room grid room by room; pan inside each room.
+        int per_room = std::max(1, n_views / 16);
+        int produced = 0;
+        for (int ry = 0; ry < 4 && produced < n_views; ++ry) {
+            for (int rxi = 0; rxi < 4 && produced < n_views; ++rxi) {
+                int rx = (ry % 2 == 0) ? rxi : 3 - rxi;    // snake visit
+                float room_w = ext.x / 4.0f;
+                float room_h = ext.y / 4.0f;
+                Vec3 rc{lo.x + (rx + 0.5f) * room_w,
+                        lo.y + (ry + 0.5f) * room_h, c.z};
+                for (int k = 0; k < per_room && produced < n_views; ++k) {
+                    float ang = kTau * k / per_room;
+                    Vec3 eye = rc + Vec3{rng.uniform(-0.15f, 0.15f) * room_w,
+                                         rng.uniform(-0.15f, 0.15f) * room_h,
+                                         0.0f};
+                    Vec3 tgt = eye + Vec3{std::cos(ang), std::sin(ang), 0};
+                    cams.push_back(makeLookAt(spec, eye, tgt, w, h));
+                    ++produced;
+                }
+            }
+        }
+        while (produced < n_views) {    // remainder: corridor shots
+            Vec3 eye{rng.uniform(lo.x, hi.x), rng.uniform(lo.y, hi.y), c.z};
+            Vec3 tgt = eye + Vec3{rng.normal(), rng.normal(), 0};
+            cams.push_back(makeLookAt(spec, eye, tgt, w, h));
+            ++produced;
+        }
+        break;
+      }
+      case SceneType::Street: {
+        // Drive down the road, camera facing forward with slight yaw.
+        for (int i = 0; i < n_views; ++i) {
+            float x = lo.x + ext.x * (i + 0.5f) / n_views;
+            Vec3 eye{x, c.y + rng.uniform(-1.0f, 1.0f),
+                     lo.z + 0.3f * ext.z};
+            Vec3 tgt{x + 10.0f, c.y + rng.uniform(-2.0f, 2.0f),
+                     lo.z + 0.3f * ext.z};
+            cams.push_back(makeLookAt(spec, eye, tgt, w, h));
+        }
+        break;
+      }
+    }
+    CLM_ASSERT(static_cast<int>(cams.size()) == n_views,
+               "camera path generation under-produced");
+    return cams;
+}
+
+std::vector<Camera>
+simCameras(const SceneSpec &spec)
+{
+    return generateCameraPath(spec, spec.sim.n_views, spec.sim.width,
+                              spec.sim.height);
+}
+
+std::vector<Camera>
+trainCameras(const SceneSpec &spec)
+{
+    return generateCameraPath(spec, spec.train.n_views, spec.train.width,
+                              spec.train.height);
+}
+
+} // namespace clm

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Camera-trajectory generation per scene type. Paths reproduce the capture
+ * patterns of the real datasets (orbit, lawnmower sweep, room visits,
+ * street drive), which is what gives 3DGS training its spatial locality:
+ * consecutive and nearby views share most of their in-frustum Gaussians.
+ */
+
+#ifndef CLM_SCENE_CAMERA_PATH_HPP
+#define CLM_SCENE_CAMERA_PATH_HPP
+
+#include <vector>
+
+#include "render/camera.hpp"
+#include "scene/scene_spec.hpp"
+
+namespace clm {
+
+/**
+ * Generate @p n_views posed cameras for @p spec at the given resolution.
+ *
+ * The path visits the scene in capture order (the "Camera Order" of
+ * Table 4 is meaningful for it); deterministic per spec.
+ */
+std::vector<Camera> generateCameraPath(const SceneSpec &spec, int n_views,
+                                       int width, int height);
+
+/** Convenience: the sim-profile path (spec.sim view count/resolution). */
+std::vector<Camera> simCameras(const SceneSpec &spec);
+
+/** Convenience: the train-profile path (spec.train count/resolution). */
+std::vector<Camera> trainCameras(const SceneSpec &spec);
+
+} // namespace clm
+
+#endif // CLM_SCENE_CAMERA_PATH_HPP

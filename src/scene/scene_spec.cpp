@@ -1,0 +1,142 @@
+#include "scene/scene_spec.hpp"
+
+#include "util/logging.hpp"
+
+namespace clm {
+
+SceneSpec
+SceneSpec::bicycle()
+{
+    SceneSpec s;
+    s.name = "Bicycle";
+    s.type = SceneType::Yard;
+    s.paper_images = 200;
+    s.paper_width = 3840;
+    s.paper_height = 2160;
+    s.batch_size = 4;
+    s.paper_gaussians_m = 9.0;
+    s.paper_memory_gb = 10.0;
+    s.mean_rho = 0.22;
+    s.max_rho = 0.33;
+    s.world_lo = {-10, -10, -2};
+    s.world_hi = {10, 10, 8};
+    s.camera_fov_y = 0.85f;
+    s.camera_z_far = 11.0f;
+    s.seed = 101;
+    s.sim = {60000, 64, 3840, 2160};
+    s.train = {4000, 24, 96, 54};
+    return s;
+}
+
+SceneSpec
+SceneSpec::rubble()
+{
+    SceneSpec s;
+    s.name = "Rubble";
+    s.type = SceneType::Aerial;
+    s.paper_images = 1600;
+    s.paper_width = 3840;
+    s.paper_height = 2160;
+    s.batch_size = 8;
+    s.paper_gaussians_m = 40.0;
+    s.paper_memory_gb = 50.0;
+    s.mean_rho = 0.085;
+    s.max_rho = 0.15;
+    s.world_lo = {-30, -30, 0};
+    s.world_hi = {30, 30, 4};
+    s.camera_fov_y = 1.2f;
+    s.camera_z_far = 80.0f;
+    s.seed = 202;
+    s.sim = {90000, 96, 3840, 2160};
+    s.train = {6000, 32, 96, 54};
+    return s;
+}
+
+SceneSpec
+SceneSpec::alameda()
+{
+    SceneSpec s;
+    s.name = "Alameda";
+    s.type = SceneType::Indoor;
+    s.paper_images = 1700;
+    s.paper_width = 2048;
+    s.paper_height = 1536;
+    s.batch_size = 8;
+    s.paper_gaussians_m = 45.0;
+    s.paper_memory_gb = 60.0;
+    s.mean_rho = 0.065;
+    s.max_rho = 0.13;
+    s.world_lo = {-20, -20, 0};
+    s.world_hi = {20, 20, 3};
+    s.camera_fov_y = 1.1f;
+    s.camera_z_far = 14.0f;
+    s.seed = 303;
+    s.sim = {90000, 96, 2048, 1536};
+    s.train = {6000, 32, 96, 72};
+    return s;
+}
+
+SceneSpec
+SceneSpec::ithaca()
+{
+    SceneSpec s;
+    s.name = "Ithaca";
+    s.type = SceneType::Street;
+    s.paper_images = 8200;
+    s.paper_width = 1920;
+    s.paper_height = 1080;
+    s.batch_size = 16;
+    s.paper_gaussians_m = 70.0;
+    s.paper_memory_gb = 80.0;
+    s.mean_rho = 0.025;
+    s.max_rho = 0.06;
+    s.world_lo = {-400, -8, 0};
+    s.world_hi = {400, 8, 6};
+    s.camera_fov_y = 1.0f;
+    s.camera_z_far = 25.0f;
+    s.seed = 404;
+    s.sim = {120000, 128, 1920, 1080};
+    s.train = {6000, 40, 96, 54};
+    return s;
+}
+
+SceneSpec
+SceneSpec::bigCity()
+{
+    SceneSpec s;
+    s.name = "BigCity";
+    s.type = SceneType::AerialCity;
+    s.paper_images = 60000;
+    s.paper_width = 1920;
+    s.paper_height = 1080;
+    s.batch_size = 64;
+    s.paper_gaussians_m = 100.0;
+    s.paper_memory_gb = 110.0;
+    s.mean_rho = 0.0039;
+    s.max_rho = 0.0106;
+    s.world_lo = {-300, -300, 0};
+    s.world_hi = {300, 300, 10};
+    s.camera_fov_y = 0.9f;
+    s.camera_z_far = 120.0f;
+    s.seed = 505;
+    s.sim = {150000, 256, 1920, 1080};
+    s.train = {8000, 48, 96, 54};
+    return s;
+}
+
+std::vector<SceneSpec>
+SceneSpec::all()
+{
+    return {bicycle(), rubble(), alameda(), ithaca(), bigCity()};
+}
+
+SceneSpec
+SceneSpec::byName(const std::string &name)
+{
+    for (const SceneSpec &s : all())
+        if (s.name == name)
+            return s;
+    CLM_FATAL("unknown scene: ", name);
+}
+
+} // namespace clm

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Scene specifications mirroring the paper's five evaluation datasets
+ * (Tables 2 and 3): Bicycle (yard), Rubble (aerial), Alameda (indoor),
+ * Ithaca365 (street) and MatrixCity BigCity (city-scale aerial).
+ *
+ * Each spec carries (a) the paper-reported workload statistics used by the
+ * analytic memory/performance models at full scale, and (b) scaled-down
+ * synthetic profiles used to *generate* a concrete scene + camera path with
+ * the same sparsity and locality structure on CPU.
+ */
+
+#ifndef CLM_SCENE_SCENE_SPEC_HPP
+#define CLM_SCENE_SCENE_SPEC_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "math/vec.hpp"
+
+namespace clm {
+
+/** The five scene topologies evaluated in the paper (Table 3). */
+enum class SceneType
+{
+    Yard,        //!< Orbit around a central object (Bicycle).
+    Aerial,      //!< Lawnmower sweep over terrain (Rubble).
+    Indoor,      //!< Rooms and corridors (Alameda).
+    Street,      //!< Long drive with forward camera (Ithaca365).
+    AerialCity,  //!< City-scale aerial sweep (MatrixCity BigCity).
+};
+
+/** A concrete synthetic instantiation size for experiments. */
+struct EvalProfile
+{
+    size_t n_gaussians = 0;    //!< Synthetic scene Gaussian count.
+    int n_views = 0;           //!< Camera-path length.
+    int width = 0;             //!< Render width (pixels).
+    int height = 0;            //!< Render height (pixels).
+};
+
+/** Full description of one evaluation scene. */
+struct SceneSpec
+{
+    std::string name;
+    SceneType type = SceneType::Yard;
+
+    /** @name Paper-reported full-scale workload (Tables 2 and 3) */
+    /// @{
+    int paper_images = 0;           //!< Training-view count.
+    int paper_width = 0;            //!< Native image width.
+    int paper_height = 0;           //!< Native image height.
+    int batch_size = 0;             //!< Training batch size (Table 3).
+    double paper_gaussians_m = 0;   //!< Gaussians for good quality (M).
+    double paper_memory_gb = 0;     //!< Paper's memory-demand estimate.
+    double mean_rho = 0;            //!< Mean per-view sparsity (§3/Fig 5).
+    double max_rho = 0;             //!< Maximum per-view sparsity.
+    /// @}
+
+    /** @name Synthetic world geometry */
+    /// @{
+    Vec3 world_lo;                  //!< Scene bounding box, low corner.
+    Vec3 world_hi;                  //!< Scene bounding box, high corner.
+    float camera_fov_y = 1.0f;      //!< Vertical FoV (radians).
+    float camera_z_far = 100.0f;    //!< Far plane (limits street/indoor).
+    uint64_t seed = 1;              //!< Deterministic generation seed.
+    /// @}
+
+    /** Profile for planner/simulator experiments (no rendering). */
+    EvalProfile sim;
+    /** Profile for functional training/quality experiments. */
+    EvalProfile train;
+
+    /** @name Paper scene presets */
+    /// @{
+    static SceneSpec bicycle();
+    static SceneSpec rubble();
+    static SceneSpec alameda();
+    static SceneSpec ithaca();
+    static SceneSpec bigCity();
+    /// @}
+
+    /** All five presets in the paper's table order. */
+    static std::vector<SceneSpec> all();
+
+    /** Look up a preset by (case-sensitive) name. */
+    static SceneSpec byName(const std::string &name);
+};
+
+} // namespace clm
+
+#endif // CLM_SCENE_SCENE_SPEC_HPP

@@ -1,0 +1,173 @@
+#include "scene/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "util/logging.hpp"
+
+namespace clm {
+
+namespace {
+
+/** Sample one content position for the scene type. */
+Vec3
+samplePosition(const SceneSpec &spec, Rng &rng)
+{
+    const Vec3 &lo = spec.world_lo;
+    const Vec3 &hi = spec.world_hi;
+    Vec3 c = (lo + hi) * 0.5f;
+    Vec3 ext = hi - lo;
+
+    switch (spec.type) {
+      case SceneType::Yard: {
+        // Central object cluster, surrounding ground ring, and a far
+        // background shell (trees/sky) — matching the unbounded
+        // capture of Mip-NeRF-style yard scenes, where each orbit view
+        // only covers a sector of the content.
+        float u = rng.uniform();
+        float min_ext = std::min(ext.x, ext.y);
+        if (u < 0.30f) {
+            return rng.normal3(c + Vec3{0, 0, 1.0f}, 0.14f * min_ext);
+        }
+        float ang = rng.uniform(0.0f, 6.2831853f);
+        if (u < 0.75f) {
+            float rad = rng.uniform(0.18f, 0.42f) * min_ext;
+            return {c.x + rad * std::cos(ang), c.y + rad * std::sin(ang),
+                    lo.z + rng.uniform(0.0f, 0.25f * ext.z)};
+        }
+        float rad = rng.uniform(0.42f, 0.5f) * min_ext;
+        return {c.x + rad * std::cos(ang), c.y + rad * std::sin(ang),
+                rng.uniform(lo.z, hi.z)};
+      }
+      case SceneType::Aerial: {
+        // Terrain: uniform in plan, height from low-frequency bumps.
+        float x = rng.uniform(lo.x, hi.x);
+        float y = rng.uniform(lo.y, hi.y);
+        float bump = 0.5f * (std::sin(0.21f * x) + std::cos(0.17f * y));
+        float z = lo.z + (0.3f + 0.25f * bump + rng.uniform(0.0f, 0.3f))
+                         * ext.z;
+        return {x, y, std::clamp(z, lo.z, hi.z)};
+      }
+      case SceneType::Indoor: {
+        // 4x4 grid of rooms; content hugs the rooms.
+        int rx = static_cast<int>(rng.uniformInt(0, 3));
+        int ry = static_cast<int>(rng.uniformInt(0, 3));
+        float room_w = ext.x / 4.0f;
+        float room_h = ext.y / 4.0f;
+        Vec3 room_c{lo.x + (rx + 0.5f) * room_w,
+                    lo.y + (ry + 0.5f) * room_h, c.z};
+        return {rng.normal(room_c.x, 0.22f * room_w),
+                rng.normal(room_c.y, 0.22f * room_h),
+                rng.uniform(lo.z, hi.z)};
+      }
+      case SceneType::Street: {
+        // Content along the long road band, denser near the roadside.
+        float x = rng.uniform(lo.x, hi.x);
+        float side = rng.uniform() < 0.5f ? -1.0f : 1.0f;
+        float y = side * std::abs(rng.normal(0.0f, 0.35f * ext.y * 0.5f));
+        y = std::clamp(y + c.y, lo.y, hi.y);
+        return {x, y, rng.uniform(lo.z, hi.z)};
+      }
+      case SceneType::AerialCity: {
+        // City blocks: a regular grid of buildings with street gaps.
+        constexpr int kBlocks = 18;
+        int bx = static_cast<int>(rng.uniformInt(0, kBlocks - 1));
+        int by = static_cast<int>(rng.uniformInt(0, kBlocks - 1));
+        float bw = ext.x / kBlocks;
+        float bh = ext.y / kBlocks;
+        Vec3 block_c{lo.x + (bx + 0.5f) * bw, lo.y + (by + 0.5f) * bh, 0};
+        float x = rng.normal(block_c.x, 0.28f * bw);
+        float y = rng.normal(block_c.y, 0.28f * bh);
+        // Buildings of varying height per block.
+        float height = (0.2f + 0.8f * ((bx * 7 + by * 13) % 10) / 10.0f)
+                       * ext.z;
+        float z = lo.z + rng.uniform(0.0f, height);
+        return {std::clamp(x, lo.x, hi.x), std::clamp(y, lo.y, hi.y), z};
+      }
+    }
+    return c;
+}
+
+/**
+ * Heuristic per-Gaussian scale: neighbour spacing for n points spread over
+ * the content volume, so a converged-looking reconstruction results.
+ */
+float
+typicalScale(const SceneSpec &spec, size_t n)
+{
+    Vec3 ext = spec.world_hi - spec.world_lo;
+    double volume = double(ext.x) * ext.y * std::max(ext.z, 1.0f);
+    double spacing = std::cbrt(volume / std::max<size_t>(n, 1));
+    return static_cast<float>(0.4 * spacing);
+}
+
+GaussianModel
+generate(const SceneSpec &spec, size_t n, bool ground_truth)
+{
+    Rng rng(spec.seed + (ground_truth ? 0x6007 : 0));
+    GaussianModel m;
+    m.resize(n);
+    float base_scale = typicalScale(spec, n);
+    constexpr float kY0 = 0.28209479177387814f;
+
+    for (size_t i = 0; i < n; ++i) {
+        Vec3 pos = samplePosition(spec, rng);
+        m.position(i) = pos;
+
+        // Mildly anisotropic scales around the typical spacing.
+        float ls = std::log(base_scale);
+        m.logScale(i) = {ls + rng.normal(0.0f, 0.3f),
+                         ls + rng.normal(0.0f, 0.3f),
+                         ls + rng.normal(0.0f, 0.3f)};
+
+        Vec3 axis{rng.normal(), rng.normal(), rng.normal()};
+        if (axis.norm() < 1e-6f)
+            axis = {0, 0, 1};
+        m.rotation(i) =
+            Quat::fromAxisAngle(axis, rng.uniform(0.0f, 3.1415926f));
+
+        Vec3 color;
+        if (ground_truth) {
+            // Smooth color field over space + small per-splat detail.
+            color = {
+                0.5f + 0.35f * std::sin(0.35f * pos.x + 0.11f * pos.z),
+                0.5f + 0.35f * std::sin(0.29f * pos.y + 1.7f),
+                0.5f + 0.35f * std::sin(0.21f * (pos.x + pos.y)),
+            };
+            color += Vec3{rng.normal(0.0f, 0.05f), rng.normal(0.0f, 0.05f),
+                          rng.normal(0.0f, 0.05f)};
+            color = {std::clamp(color.x, 0.05f, 0.95f),
+                     std::clamp(color.y, 0.05f, 0.95f),
+                     std::clamp(color.z, 0.05f, 0.95f)};
+        } else {
+            color = {rng.uniform(0.1f, 0.9f), rng.uniform(0.1f, 0.9f),
+                     rng.uniform(0.1f, 0.9f)};
+        }
+        float *sh = m.sh(i);
+        sh[0] = (color.x - 0.5f) / kY0;
+        sh[1] = (color.y - 0.5f) / kY0;
+        sh[2] = (color.z - 0.5f) / kY0;
+
+        float op = ground_truth ? rng.uniform(0.55f, 0.95f)
+                                : rng.uniform(0.2f, 0.8f);
+        m.rawOpacity(i) = inverseSigmoid(op);
+    }
+    return m;
+}
+
+} // namespace
+
+GaussianModel
+generateSceneGaussians(const SceneSpec &spec, size_t n)
+{
+    return generate(spec, n, false);
+}
+
+GaussianModel
+generateGroundTruth(const SceneSpec &spec, size_t n)
+{
+    return generate(spec, n, true);
+}
+
+} // namespace clm

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Procedural Gaussian-cloud generation per scene type. The generators place
+ * Gaussians where the corresponding real dataset has content (central
+ * object, terrain, rooms, street band, city blocks) so the per-view
+ * in-frustum sets produced by culling have the same sparsity and overlap
+ * structure as the paper's datasets (§3, Figure 5).
+ */
+
+#ifndef CLM_SCENE_SYNTHETIC_HPP
+#define CLM_SCENE_SYNTHETIC_HPP
+
+#include "gaussian/model.hpp"
+#include "scene/scene_spec.hpp"
+
+namespace clm {
+
+/**
+ * Generate @p n Gaussians for @p spec's world.
+ *
+ * The result is deterministic for a given (spec.seed, n).
+ * Scales are sized so neighbouring Gaussians overlap slightly, as in a
+ * converged reconstruction; opacities are mid-range.
+ */
+GaussianModel generateSceneGaussians(const SceneSpec &spec, size_t n);
+
+/**
+ * Generate a ground-truth model for quality experiments: same placement
+ * distribution as generateSceneGaussians() but with spatially-coherent
+ * colors (smooth color field plus per-Gaussian detail) and solid opacities,
+ * so rendered images contain structure a trainee model must reproduce.
+ */
+GaussianModel generateGroundTruth(const SceneSpec &spec, size_t n);
+
+} // namespace clm
+
+#endif // CLM_SCENE_SYNTHETIC_HPP

@@ -1,0 +1,105 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+
+#include "gaussian/attributes.hpp"
+#include "util/logging.hpp"
+
+namespace clm {
+
+namespace {
+
+/** The constants in CostModelConfig are calibrated on this bandwidth. */
+constexpr double kReferenceDramBw = 1008.0e9;
+constexpr double kReferenceFlops = 82.6e12;
+
+} // namespace
+
+CostModel::CostModel(const DeviceSpec &device, CostModelConfig config)
+    : device_(device), config_(config)
+{
+    // Rendering kernels on these workloads are mostly DRAM-bound with a
+    // small compute component: blend the two ratios 90/10. This puts the
+    // 2080 Ti at ~2x the 4090's kernel time, matching the ~1.5-2x the
+    // paper measures rather than the 7x FLOP ratio.
+    double bw_ratio = kReferenceDramBw / device_.dram_bw;
+    double flop_ratio = kReferenceFlops / device_.flops;
+    compute_scale_ = 0.9 * bw_ratio + 0.1 * flop_ratio;
+}
+
+double
+CostModel::pcieSeconds(double bytes) const
+{
+    if (bytes <= 0)
+        return 0.0;
+    return device_.pcie_latency_s
+         + bytes / (device_.pcie_bw * config_.pcie_efficiency);
+}
+
+double
+CostModel::kernelSeconds(double gaussians, double pixels) const
+{
+    return (config_.kernel_sec_per_gaussian * gaussians
+            + config_.kernel_sec_per_pixel * pixels)
+           * compute_scale_;
+}
+
+double
+CostModel::cpuAdamSeconds(double gaussians, bool scattered) const
+{
+    double params = gaussians * kParamsPerGaussian;
+    double throughput = device_.adam_params_per_sec_per_core
+                        * device_.cpu_cores
+                        * config_.cpu_adam_parallel_efficiency;
+    double t = params / throughput;
+    if (scattered)
+        t *= config_.cpu_adam_scatter_penalty;
+    return t;
+}
+
+double
+CostModel::duration(const PlanOp &op) const
+{
+    if (op.fixed_seconds > 0)
+        return op.fixed_seconds;
+
+    switch (op.kind) {
+      case OpKind::Cull:
+        return config_.cull_sec_per_gaussian * op.gaussians
+               * compute_scale_;
+      case OpKind::Schedule:
+        return op.fixed_seconds;    // zero when unmeasured
+      case OpKind::Forward:
+        return kernelSeconds(op.gaussians, op.pixels)
+               * config_.forward_fraction;
+      case OpKind::Backward:
+        return kernelSeconds(op.gaussians, op.pixels)
+               * (1.0 - config_.forward_fraction);
+      case OpKind::LoadParams:
+        return pcieSeconds(op.h2d_bytes)
+               + config_.pipeline_sync_overhead_s;
+      case OpKind::LoadAll:
+        return pcieSeconds(op.h2d_bytes);
+      case OpKind::StoreGrads:
+        // RMW: the fetch and the store share the link directions; the
+        // slower direction bounds the kernel.
+        return std::max(pcieSeconds(op.d2h_bytes),
+                        pcieSeconds(op.h2d_bytes));
+      case OpKind::StoreAll:
+        return pcieSeconds(op.d2h_bytes);
+      case OpKind::WriteCritical:
+        return pcieSeconds(op.h2d_bytes);
+      case OpKind::CopyCached:
+      case OpKind::CarryGrads:
+        return op.dram_bytes
+               / (device_.dram_bw * config_.dram_copy_efficiency);
+      case OpKind::CpuAdam:
+        return cpuAdamSeconds(op.gaussians, op.scattered_adam);
+      case OpKind::GpuAdam:
+        return config_.gpu_adam_sec_per_gaussian * op.gaussians
+               * compute_scale_;
+    }
+    CLM_PANIC("unreachable op kind");
+}
+
+} // namespace clm

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-op duration model. Rendering kernels are modeled as bandwidth-bound
+ * (they move a roughly fixed number of bytes per processed Gaussian and
+ * per pixel), which reproduces the paper's observation that the 4090 is
+ * only ~1.5x faster than the 2080 Ti on these kernels despite having ~7x
+ * the FLOPs. Transfers are bytes / effective-PCIe-bandwidth + latency;
+ * CPU Adam is parameters / (cores x per-core throughput).
+ */
+
+#ifndef CLM_SIM_COST_MODEL_HPP
+#define CLM_SIM_COST_MODEL_HPP
+
+#include "offload/batch_plan.hpp"
+#include "sim/device_spec.hpp"
+
+namespace clm {
+
+/** Calibration constants, expressed on the RTX 4090 and scaled to other
+ *  devices by bandwidth/FLOP ratios. */
+struct CostModelConfig
+{
+    /** Forward+backward kernel seconds per processed Gaussian (4090). */
+    double kernel_sec_per_gaussian = 24e-9;
+    /** Forward+backward kernel seconds per output pixel (4090). */
+    double kernel_sec_per_pixel = 3.2e-9;
+    /** Fraction of the fwd+bwd cost attributed to the forward pass. */
+    double forward_fraction = 0.35;
+    /** Culling kernel seconds per Gaussian (4090) — a trivial kernel. */
+    double cull_sec_per_gaussian = 0.35e-9;
+    /** GPU Adam seconds per Gaussian (4090). */
+    double gpu_adam_sec_per_gaussian = 1.2e-9;
+    /** Fraction of peak PCIe bandwidth a batched gather/scatter reaches. */
+    double pcie_efficiency = 0.85;
+    /** Fraction of peak DRAM bandwidth GPU-to-GPU copies reach. */
+    double dram_copy_efficiency = 0.70;
+    /** Parallel efficiency of the multi-core CPU Adam. */
+    double cpu_adam_parallel_efficiency = 0.85;
+    /** Slowdown of CPU Adam over a *scattered* index subset relative to
+     *  a bulk sweep (random access + per-record dispatch). */
+    double cpu_adam_scatter_penalty = 2.0;
+    /** Per-microbatch stream-sync/launch overhead of the pipelined
+     *  selective load path (events, double-buffer handoff, GIL). */
+    double pipeline_sync_overhead_s = 1.5e-3;
+};
+
+/** Computes the duration of plan ops on a device. */
+class CostModel
+{
+  public:
+    CostModel(const DeviceSpec &device, CostModelConfig config = {});
+
+    /** Seconds op @p op takes on this device. */
+    double duration(const PlanOp &op) const;
+
+    const DeviceSpec &device() const { return device_; }
+    const CostModelConfig &config() const { return config_; }
+
+    /** Seconds to move @p bytes over PCIe (one direction). */
+    double pcieSeconds(double bytes) const;
+
+    /** Seconds for a rendering kernel over G Gaussians and P pixels. */
+    double kernelSeconds(double gaussians, double pixels) const;
+
+    /** Seconds of CPU Adam over @p gaussians (all 59 params each).
+     *  @param scattered True for scattered-subset updates. */
+    double cpuAdamSeconds(double gaussians, bool scattered = false) const;
+
+  private:
+    DeviceSpec device_;
+    CostModelConfig config_;
+    double compute_scale_;    //!< Kernel slowdown vs the 4090 reference.
+};
+
+} // namespace clm
+
+#endif // CLM_SIM_COST_MODEL_HPP

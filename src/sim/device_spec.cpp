@@ -1,0 +1,39 @@
+#include "sim/device_spec.hpp"
+
+namespace clm {
+
+DeviceSpec
+DeviceSpec::rtx4090()
+{
+    DeviceSpec d;
+    d.name = "RTX 4090";
+    d.gpu_memory_bytes = 24.0e9;
+    d.gpu_reserve_bytes = 1.6e9;
+    d.flops = 82.6e12;
+    d.dram_bw = 1008.0e9;
+    d.pcie_bw = 24.0e9;          // PCIe 4.0 x16, effective
+    d.pcie_latency_s = 12e-6;
+    d.cpu_cores = 16;            // Threadripper PRO 5955WX
+    d.host_memory_bytes = 128.0e9;
+    d.adam_params_per_sec_per_core = 220.0e6;
+    return d;
+}
+
+DeviceSpec
+DeviceSpec::rtx2080ti()
+{
+    DeviceSpec d;
+    d.name = "RTX 2080 Ti";
+    d.gpu_memory_bytes = 11.0e9;
+    d.gpu_reserve_bytes = 0.9e9;
+    d.flops = 13.4e12;
+    d.dram_bw = 616.0e9;
+    d.pcie_bw = 12.0e9;          // PCIe 3.0 x16, effective
+    d.pcie_latency_s = 15e-6;
+    d.cpu_cores = 20;            // Xeon E5-2660 v3
+    d.host_memory_bytes = 256.0e9;
+    d.adam_params_per_sec_per_core = 110.0e6;    // older, slower cores
+    return d;
+}
+
+} // namespace clm

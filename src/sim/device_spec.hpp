@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hardware descriptions of the paper's two testbeds (§6.1): an RTX 4090
+ * (24 GB, PCIe 4.0, Threadripper 5955WX 16 cores) and an RTX 2080 Ti
+ * (11 GB, PCIe 3.0, Xeon E5-2660v3 20 cores). The 4090 has ~7x the FLOPs
+ * and ~1.6x the DRAM bandwidth of the 2080 Ti; PCIe 4.0 has 2x the
+ * bandwidth of PCIe 3.0 — the ratios the paper's analysis leans on.
+ */
+
+#ifndef CLM_SIM_DEVICE_SPEC_HPP
+#define CLM_SIM_DEVICE_SPEC_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace clm {
+
+/** One GPU + host testbed. */
+struct DeviceSpec
+{
+    std::string name;
+
+    /** @name GPU */
+    /// @{
+    double gpu_memory_bytes = 0;    //!< Total device memory.
+    double gpu_reserve_bytes = 0;   //!< Framework/fragmentation reserve.
+    double flops = 0;               //!< Peak fp32 FLOP/s.
+    double dram_bw = 0;             //!< Device memory bandwidth (B/s).
+    /// @}
+
+    /** @name Interconnect */
+    /// @{
+    double pcie_bw = 0;             //!< Effective PCIe bandwidth (B/s).
+    double pcie_latency_s = 0;      //!< Per-transfer launch latency.
+    /// @}
+
+    /** @name Host */
+    /// @{
+    int cpu_cores = 0;
+    double host_memory_bytes = 0;
+    /** Adam parameter-update throughput per core (params/s), in the
+     *  ballpark of ZeRO-Offload's vectorized CPU Adam. */
+    double adam_params_per_sec_per_core = 0;
+    /// @}
+
+    /** Usable GPU bytes after the reserve. */
+    double usableGpuBytes() const
+    { return gpu_memory_bytes - gpu_reserve_bytes; }
+
+    /** The RTX 4090 testbed (PCIe 4.0, 128 GB RAM, 16 cores). */
+    static DeviceSpec rtx4090();
+
+    /** The RTX 2080 Ti testbed (PCIe 3.0, 256 GB RAM, 20 cores). */
+    static DeviceSpec rtx2080ti();
+};
+
+} // namespace clm
+
+#endif // CLM_SIM_DEVICE_SPEC_HPP

@@ -1,0 +1,59 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace clm {
+
+double
+Timeline::engineBusy(const BatchPlan &plan, EngineId engine) const
+{
+    double busy = 0.0;
+    for (size_t i = 0; i < records.size(); ++i)
+        if (plan.ops[i].engine == engine)
+            busy += records[i].duration();
+    return busy;
+}
+
+std::vector<std::pair<double, double>>
+Timeline::engineIntervals(const BatchPlan &plan, EngineId engine) const
+{
+    std::vector<std::pair<double, double>> out;
+    for (size_t i = 0; i < records.size(); ++i)
+        if (plan.ops[i].engine == engine
+            && records[i].duration() > 0.0)
+            out.emplace_back(records[i].start, records[i].end);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+Timeline
+simulate(const BatchPlan &plan, const CostModel &cost)
+{
+    plan.validate();
+    Timeline tl;
+    tl.records.resize(plan.ops.size());
+
+    // Per-engine frontier: completion time of the engine's last op.
+    double engine_free[kNumEngines] = {0.0, 0.0, 0.0};
+
+    // Ops are emitted in dependency-consistent order (validate() enforces
+    // deps precede users), so one forward sweep schedules everything.
+    for (size_t i = 0; i < plan.ops.size(); ++i) {
+        const PlanOp &op = plan.ops[i];
+        int e = static_cast<int>(op.engine);
+        double ready = engine_free[e];    // stream FIFO
+        for (int d : op.deps)
+            ready = std::max(ready, tl.records[d].end);
+        double dur = cost.duration(op);
+        CLM_ASSERT(dur >= 0.0, "negative duration for ", op.label);
+        tl.records[i].start = ready;
+        tl.records[i].end = ready + dur;
+        engine_free[e] = tl.records[i].end;
+        tl.makespan = std::max(tl.makespan, tl.records[i].end);
+    }
+    return tl;
+}
+
+} // namespace clm

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Discrete-event execution of a BatchPlan on a device: each engine
+ * (compute stream, communication stream, CPU thread) executes its ops in
+ * emission order — CUDA-stream FIFO semantics — and an op additionally
+ * waits for its cross-engine dependencies (CUDA events / the pinned signal
+ * buffer of §5.4). The resulting timeline is what every performance
+ * experiment of §6.3/§6.4 is measured on.
+ */
+
+#ifndef CLM_SIM_ENGINE_HPP
+#define CLM_SIM_ENGINE_HPP
+
+#include <vector>
+
+#include "offload/batch_plan.hpp"
+#include "sim/cost_model.hpp"
+
+namespace clm {
+
+/** Execution record of one op. */
+struct OpRecord
+{
+    double start = 0.0;
+    double end = 0.0;
+    double duration() const { return end - start; }
+};
+
+/** The simulated batch execution. */
+struct Timeline
+{
+    std::vector<OpRecord> records;    //!< Parallel to plan.ops.
+    double makespan = 0.0;            //!< Batch wall-clock seconds.
+
+    /** Busy seconds of one engine. */
+    double engineBusy(const BatchPlan &plan, EngineId engine) const;
+
+    /** Busy-interval list (start, end) for an engine, sorted by start. */
+    std::vector<std::pair<double, double>>
+    engineIntervals(const BatchPlan &plan, EngineId engine) const;
+};
+
+/**
+ * Run @p plan on the device described by @p cost.
+ *
+ * Semantics: op i may start when (a) every earlier op on the same engine
+ * has finished (FIFO streams), and (b) every op in deps has finished
+ * (events). Durations come from the cost model.
+ */
+Timeline simulate(const BatchPlan &plan, const CostModel &cost);
+
+} // namespace clm
+
+#endif // CLM_SIM_ENGINE_HPP

@@ -1,0 +1,91 @@
+#include "sim/memory_model.hpp"
+
+#include "gaussian/attributes.hpp"
+#include "util/logging.hpp"
+
+namespace clm {
+
+double
+modelStateDemandBytes(double n_gaussians)
+{
+    return n_gaussians * kModelStateBytesPerGaussian;
+}
+
+MemoryBreakdown
+gpuMemoryDemand(SystemKind system, const SceneSpec &scene,
+                double n, const DeviceSpec &device,
+                const MemoryModelConfig &cfg)
+{
+    MemoryBreakdown b;
+    b.reserve_bytes = device.gpu_reserve_bytes;
+
+    double pixels = static_cast<double>(scene.paper_width)
+                  * scene.paper_height;
+    double pixel_act = pixels * cfg.act_bytes_per_pixel;
+    double base_act = n * cfg.act_bytes_per_gaussian_base;
+    double culled_act =
+        n * scene.mean_rho * cfg.act_bytes_per_gaussian_culled;
+
+    switch (system) {
+      case SystemKind::Baseline:
+        // Params + grads + two Adam moments, all resident; fused culling
+        // keeps per-input-Gaussian intermediates alive.
+        b.model_state_bytes = n * kModelStateBytesPerGaussian;
+        b.activation_bytes = base_act
+                           + n * cfg.act_bytes_per_gaussian_fused
+                           + pixel_act;
+        break;
+      case SystemKind::EnhancedBaseline:
+        b.model_state_bytes = n * kModelStateBytesPerGaussian;
+        b.activation_bytes = base_act + culled_act + pixel_act;
+        break;
+      case SystemKind::NaiveOffload:
+        // Optimizer state lives on the CPU; the GPU transiently holds all
+        // parameters plus the accumulating gradient tensor.
+        b.model_state_bytes =
+            n * 2.0 * kParamsPerGaussian * sizeof(float);
+        b.activation_bytes = base_act + culled_act + pixel_act;
+        break;
+      case SystemKind::Clm: {
+        // Resident: critical attributes of all Gaussians; double buffers
+        // sized for the worst-case in-frustum count.
+        double buffer_rows = n * scene.max_rho * cfg.clm_buffer_slack;
+        double buffer_bytes =
+            2.0 * buffer_rows
+            * (kNonCriticalBytesPerGaussian
+               + kParamsPerGaussian * sizeof(float));
+        b.model_state_bytes =
+            n * kCriticalBytesPerGaussian + buffer_bytes;
+        b.activation_bytes = base_act + culled_act + pixel_act;
+        break;
+      }
+    }
+    return b;
+}
+
+double
+maxTrainableGaussians(SystemKind system, const SceneSpec &scene,
+                      const DeviceSpec &device,
+                      const MemoryModelConfig &cfg)
+{
+    double capacity = device.gpu_memory_bytes;
+    auto fits = [&](double n) {
+        return gpuMemoryDemand(system, scene, n, device, cfg).total()
+               <= capacity;
+    };
+    if (!fits(1.0))
+        return 0.0;
+    double lo = 1.0, hi = 1.0;
+    while (fits(hi))
+        hi *= 2.0;
+    for (int it = 0; it < 64; ++it) {
+        double mid = 0.5 * (lo + hi);
+        if (fits(mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace clm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * GPU memory-demand model for the four systems (§6.2, Figures 8 and 10).
+ * Components: model states (the 59 x 4 x 4-byte estimate of §2.2, or the
+ * system's reduced form), per-Gaussian bookkeeping, per-in-frustum
+ * activations, per-pixel activations, CLM's double buffers, and a
+ * framework/fragmentation reserve (Appendix A.3). The max-trainable model
+ * size is the largest N whose demand fits the device.
+ */
+
+#ifndef CLM_SIM_MEMORY_MODEL_HPP
+#define CLM_SIM_MEMORY_MODEL_HPP
+
+#include "offload/planner.hpp"
+#include "scene/scene_spec.hpp"
+#include "sim/device_spec.hpp"
+
+namespace clm {
+
+/** Calibration constants for the memory model (bytes). */
+struct MemoryModelConfig
+{
+    /** Per-Gaussian bookkeeping (culling buffers, allocator slack) that
+     *  every system pays regardless of sparsity. */
+    double act_bytes_per_gaussian_base = 160;
+    /** Extra per-*input*-Gaussian activations when culling is fused into
+     *  the kernels (baseline only, §5.1). */
+    double act_bytes_per_gaussian_fused = 195;
+    /** Activations per *in-frustum* Gaussian for pre-culled systems. */
+    double act_bytes_per_gaussian_culled = 400;
+    /** Activations per output pixel (render targets, loss, SSIM). */
+    double act_bytes_per_pixel = 210;
+    /** CLM double-buffer sizing margin over the max in-frustum count. */
+    double clm_buffer_slack = 1.15;
+};
+
+/** GPU memory demand, split the way Figure 10 plots it. */
+struct MemoryBreakdown
+{
+    double model_state_bytes = 0;    //!< Parameter-proportional state.
+    double activation_bytes = 0;     //!< "Others" (activations etc.).
+    double reserve_bytes = 0;        //!< Framework reserve.
+
+    double total() const
+    { return model_state_bytes + activation_bytes + reserve_bytes; }
+};
+
+/** Predict GPU memory demand for training @p n Gaussians of @p scene. */
+MemoryBreakdown gpuMemoryDemand(SystemKind system, const SceneSpec &scene,
+                                double n_gaussians,
+                                const DeviceSpec &device,
+                                const MemoryModelConfig &config = {});
+
+/**
+ * Largest N (in Gaussians) trainable without OOM on @p device — the
+ * quantity plotted in Figure 8. Monotone in N, found by binary search.
+ */
+double maxTrainableGaussians(SystemKind system, const SceneSpec &scene,
+                             const DeviceSpec &device,
+                             const MemoryModelConfig &config = {});
+
+/** The paper's Table 2 estimate: model-state bytes for N Gaussians. */
+double modelStateDemandBytes(double n_gaussians);
+
+} // namespace clm
+
+#endif // CLM_SIM_MEMORY_MODEL_HPP

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Hardware-utilization metrics derived from a simulated timeline — the
+ * quantities Nsight Systems provides in the paper: SMs-active idle-rate
+ * CDF (Figure 15), CPU-core utilization, GPU DRAM read/write bandwidth
+ * utilization and PCIe RX/TX utilization (Table 7), plus the runtime
+ * decomposition of Figure 13.
+ */
+
+#ifndef CLM_SIM_METRICS_HPP
+#define CLM_SIM_METRICS_HPP
+
+#include <vector>
+
+#include "math/stats.hpp"
+#include "sim/engine.hpp"
+
+namespace clm {
+
+/** Table 7's row set, all values in percent. */
+struct HardwareUtilization
+{
+    double cpu_util = 0;
+    double dram_read_util = 0;
+    double dram_write_util = 0;
+    double pcie_rx_util = 0;    //!< CPU -> GPU direction.
+    double pcie_tx_util = 0;    //!< GPU -> CPU direction.
+    double sm_active = 0;       //!< Mean SMs-active (compute busy share).
+};
+
+/** Compute Table 7-style utilizations from a timeline. */
+HardwareUtilization computeUtilization(const BatchPlan &plan,
+                                       const Timeline &timeline,
+                                       const DeviceSpec &device);
+
+/**
+ * Sample the GPU idle rate (100 - SMs Active) at @p n_samples uniform
+ * times across the makespan, emulating the 10 kHz GPU_METRICS sampling of
+ * §6.4. Feed the result to EmpiricalCdf for the Figure 15 curves.
+ */
+std::vector<double> gpuIdleSamples(const BatchPlan &plan,
+                                   const Timeline &timeline,
+                                   int n_samples = 2000);
+
+/** Figure 13's per-batch runtime decomposition (seconds). */
+struct RuntimeBreakdown
+{
+    double total = 0;
+    double compute = 0;            //!< GPU kernel busy time.
+    double communication = 0;      //!< PCIe transfer busy time.
+    double scheduling = 0;         //!< CLM planning (cull + TSP).
+    double overlapped_adam = 0;    //!< CPU Adam hidden under GPU work.
+    double trailing_adam = 0;      //!< CPU Adam after the last transfer.
+};
+
+/** Decompose a simulated batch the way Figure 13 does. */
+RuntimeBreakdown computeBreakdown(const BatchPlan &plan,
+                                  const Timeline &timeline);
+
+/**
+ * CPU Adam trailing time (Table 5b): time from the completion of the last
+ * GPU->CPU gradient transfer to the completion of the last CPU Adam op.
+ */
+double adamTrailingSeconds(const BatchPlan &plan, const Timeline &timeline);
+
+} // namespace clm
+
+#endif // CLM_SIM_METRICS_HPP

@@ -1,0 +1,56 @@
+#include "train/naive_offload_trainer.hpp"
+
+#include <algorithm>
+
+#include "render/culling.hpp"
+
+namespace clm {
+
+NaiveOffloadTrainer::NaiveOffloadTrainer(GaussianModel model,
+                                         std::vector<Camera> cameras,
+                                         std::vector<Image> ground_truth,
+                                         TrainConfig config)
+    : Trainer(std::move(model), std::move(cameras),
+              std::move(ground_truth), config)
+{
+    grads_.resize(model_.size());
+}
+
+BatchStats
+NaiveOffloadTrainer::trainBatch(const std::vector<int> &view_ids)
+{
+    noteBatchStart();
+    BatchStats stats;
+    size_t n = model_.size();
+
+    // "Load ALL parameters" — the full CPU->GPU copy of Figure 3.
+    gpu_copy_ = model_;
+    stats.h2d_bytes =
+        static_cast<double>(n) * kParamBytesPerGaussian;
+
+    grads_.zero();
+    std::vector<uint32_t> touched;
+    for (int v : view_ids) {
+        auto subset = frustumCull(gpu_copy_, cameras_[v]);
+        stats.gaussians_rendered += subset.size();
+        stats.loss += renderAndBackprop(gpu_copy_, v, subset, grads_);
+        touched.insert(touched.end(), subset.begin(), subset.end());
+    }
+    stats.loss /= view_ids.size();
+
+    // "Store ALL gradients" — the full GPU->CPU copy.
+    stats.d2h_bytes =
+        static_cast<double>(n) * kParamBytesPerGaussian;
+
+    // CPU Adam on the master copy (sparse over touched Gaussians, the
+    // same rule every trainer uses so trajectories are comparable).
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+    adam_.updateSubset(model_, grads_, touched);
+    stats.adam_updated = touched.size();
+    observeDensify(grads_);
+    return stats;
+}
+
+} // namespace clm

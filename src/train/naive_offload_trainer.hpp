@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Functional naive offloading (§2.2, Figure 3): every batch bulk-copies
+ * all 59 parameters of every Gaussian to the "GPU" working copy, trains
+ * one image at a time with gradient accumulation, bulk-copies all
+ * gradients back, and runs CPU Adam. The math is identical to GPU-only
+ * training; only the (fully accounted) data movement differs.
+ */
+
+#ifndef CLM_TRAIN_NAIVE_OFFLOAD_TRAINER_HPP
+#define CLM_TRAIN_NAIVE_OFFLOAD_TRAINER_HPP
+
+#include "train/trainer.hpp"
+
+namespace clm {
+
+/** See file comment. */
+class NaiveOffloadTrainer : public Trainer
+{
+  public:
+    NaiveOffloadTrainer(GaussianModel model, std::vector<Camera> cameras,
+                        std::vector<Image> ground_truth,
+                        TrainConfig config);
+
+    BatchStats trainBatch(const std::vector<int> &view_ids) override;
+
+    /** The CPU-resident master copy is the source of truth. */
+    const GaussianModel &model() const override { return model_; }
+
+  protected:
+    void onModelResized() override { grads_.resize(model_.size()); }
+
+  private:
+    GaussianModel gpu_copy_;    //!< Per-batch working copy ("GPU").
+    GaussianGrads grads_;       //!< Accumulated on the "GPU".
+};
+
+} // namespace clm
+
+#endif // CLM_TRAIN_NAIVE_OFFLOAD_TRAINER_HPP

@@ -1,0 +1,168 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+
+#include "render/culling.hpp"
+#include "train/clm_trainer.hpp"
+#include "train/naive_offload_trainer.hpp"
+#include "util/logging.hpp"
+
+namespace clm {
+
+Trainer::Trainer(GaussianModel model, std::vector<Camera> cameras,
+                 std::vector<Image> ground_truth, TrainConfig config)
+    : model_(std::move(model)), cameras_(std::move(cameras)),
+      ground_truth_(std::move(ground_truth)), config_(config),
+      adam_(config.adam), rng_(config.seed)
+{
+    CLM_ASSERT(cameras_.size() == ground_truth_.size(),
+               "one ground-truth image per camera required");
+    CLM_ASSERT(!cameras_.empty(), "need at least one view");
+    adam_.reset(model_.size());
+}
+
+std::vector<BatchStats>
+Trainer::trainSteps(int steps)
+{
+    std::vector<BatchStats> stats;
+    stats.reserve(steps);
+    for (int s = 0; s < steps; ++s) {
+        std::vector<int> ids;
+        ids.reserve(config_.batch_size);
+        for (int b = 0; b < config_.batch_size; ++b)
+            ids.push_back(static_cast<int>(
+                rng_.uniformInt(0, cameras_.size() - 1)));
+        stats.push_back(trainBatch(ids));
+    }
+    return stats;
+}
+
+double
+Trainer::evaluatePsnr() const
+{
+    const GaussianModel &m = model();
+    double acc = 0.0;
+    for (size_t v = 0; v < cameras_.size(); ++v) {
+        auto subset = frustumCull(m, cameras_[v]);
+        RenderOutput out =
+            renderForward(m, cameras_[v], subset, config_.render);
+        acc += out.image.psnr(ground_truth_[v]);
+    }
+    return acc / cameras_.size();
+}
+
+void
+Trainer::enableDensification(DensifyConfig config)
+{
+    densifier_ = Densifier(config);
+    densifier_.reset(model_.size());
+    densify_enabled_ = true;
+}
+
+void
+Trainer::observeDensify(const GaussianGrads &grads)
+{
+    if (densify_enabled_)
+        densifier_.observe(grads);
+}
+
+DensifyStats
+Trainer::densifyNow()
+{
+    CLM_ASSERT(densify_enabled_, "enableDensification() first");
+    DensifyStats stats = densifier_.densify(model_, adam_, rng_);
+    onModelResized();
+    return stats;
+}
+
+int
+Trainer::activeShDegree() const
+{
+    if (config_.sh_degree_interval <= 0)
+        return config_.render.sh_degree;
+    return std::min(config_.render.sh_degree,
+                    batches_done_ / config_.sh_degree_interval);
+}
+
+RenderConfig
+Trainer::activeRenderConfig() const
+{
+    RenderConfig cfg = config_.render;
+    cfg.sh_degree = activeShDegree();
+    return cfg;
+}
+
+double
+Trainer::renderAndBackprop(const GaussianModel &m, int v,
+                           const std::vector<uint32_t> &subset,
+                           GaussianGrads &grads)
+{
+    const Camera &cam = cameras_[v];
+    RenderConfig render = activeRenderConfig();
+    RenderOutput out = renderForward(m, cam, subset, render);
+    Image d_image;
+    LossResult loss =
+        computeLoss(out.image, ground_truth_[v], &d_image, config_.loss);
+    renderBackward(m, cam, render, out, d_image, grads);
+    return loss.total;
+}
+
+GpuOnlyTrainer::GpuOnlyTrainer(GaussianModel model,
+                               std::vector<Camera> cameras,
+                               std::vector<Image> ground_truth,
+                               TrainConfig config)
+    : Trainer(std::move(model), std::move(cameras), std::move(ground_truth),
+              config)
+{
+    grads_.resize(model_.size());
+}
+
+BatchStats
+GpuOnlyTrainer::trainBatch(const std::vector<int> &view_ids)
+{
+    noteBatchStart();
+    BatchStats stats;
+    grads_.zero();
+
+    std::vector<uint32_t> touched;
+    for (int v : view_ids) {
+        auto subset = frustumCull(model_, cameras_[v]);
+        stats.gaussians_rendered += subset.size();
+        stats.loss += renderAndBackprop(model_, v, subset, grads_);
+        touched.insert(touched.end(), subset.begin(), subset.end());
+    }
+    stats.loss /= view_ids.size();
+
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+    adam_.updateSubset(model_, grads_, touched);
+    stats.adam_updated = touched.size();
+    observeDensify(grads_);
+    return stats;
+}
+
+std::unique_ptr<Trainer>
+makeTrainer(SystemKind system, GaussianModel model,
+            std::vector<Camera> cameras, std::vector<Image> ground_truth,
+            TrainConfig config)
+{
+    switch (system) {
+      case SystemKind::Baseline:
+      case SystemKind::EnhancedBaseline:
+        return std::make_unique<GpuOnlyTrainer>(
+            std::move(model), std::move(cameras), std::move(ground_truth),
+            config);
+      case SystemKind::NaiveOffload:
+        return std::make_unique<NaiveOffloadTrainer>(
+            std::move(model), std::move(cameras), std::move(ground_truth),
+            config);
+      case SystemKind::Clm:
+        return std::make_unique<ClmTrainer>(
+            std::move(model), std::move(cameras), std::move(ground_truth),
+            config);
+    }
+    CLM_PANIC("unreachable system kind");
+}
+
+} // namespace clm

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 spirit: panic() for
+ * internal invariant violations, fatal() for unrecoverable user errors,
+ * warn()/inform() for status messages that never stop execution.
+ */
+
+#ifndef CLM_UTIL_LOGGING_HPP
+#define CLM_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace clm {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Global log level; messages above this level are suppressed. */
+LogLevel logLevel();
+
+/** Set the global log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Terminate with a message; used when an internal invariant is broken. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Terminate with a message; used for unrecoverable user/configuration errors. */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Emit a warning to stderr (subject to the global log level). */
+void warnImpl(const std::string &msg);
+
+/** Emit an informational message to stderr (subject to the global log level). */
+void informImpl(const std::string &msg);
+
+/** Fold a parameter pack into a string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Emit a warning built from the streamable arguments. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit an informational message built from the streamable arguments. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace clm
+
+/** Abort: something happened that should never happen (a CLM bug). */
+#define CLM_PANIC(...) \
+    ::clm::detail::panicImpl(__FILE__, __LINE__, \
+                             ::clm::detail::concat(__VA_ARGS__))
+
+/** Exit: the run cannot continue due to a user/configuration error. */
+#define CLM_FATAL(...) \
+    ::clm::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::clm::detail::concat(__VA_ARGS__))
+
+/** Check an internal invariant; panics with the stringified condition. */
+#define CLM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::clm::detail::panicImpl(__FILE__, __LINE__, \
+                ::clm::detail::concat("assertion failed: " #cond " ", \
+                                      ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // CLM_UTIL_LOGGING_HPP

@@ -1,0 +1,90 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+#include "util/logging.hpp"
+
+namespace clm {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    CLM_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    CLM_ASSERT(cells.size() == headers_.size(),
+               "row has ", cells.size(), " cells, expected ",
+               headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+        }
+        os << " |\n";
+    };
+
+    emit_row(headers_);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        os << (c == 0 ? "|" : "-|");
+        os << std::string(widths[c] + 2, '-');
+    }
+    os << "|\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c)
+            os << (c == 0 ? "" : ",") << row[c];
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+Table::fmt(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+Table::fmtBytes(double bytes)
+{
+    const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    int u = 0;
+    while (bytes >= 1024.0 && u < 4) {
+        bytes /= 1024.0;
+        ++u;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[u]);
+    return buf;
+}
+
+} // namespace clm

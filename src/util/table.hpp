@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to emit the rows
+ * of each paper table/figure in a uniform, diffable format.
+ */
+
+#ifndef CLM_UTIL_TABLE_HPP
+#define CLM_UTIL_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace clm {
+
+/**
+ * A simple left-padded text table. Columns are sized to their widest cell.
+ * Used by bench binaries so every reproduced table has the same layout.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row of preformatted cells; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table (headers, separator, rows) to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render the table as comma-separated values. */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Format a double with @p digits fractional digits. */
+    static std::string fmt(double value, int digits = 2);
+
+    /** Format a byte count as a human-readable "x.y GB" style string. */
+    static std::string fmtBytes(double bytes);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace clm
+
+#endif // CLM_UTIL_TABLE_HPP

@@ -1,0 +1,99 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace clm {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0) {
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    task_cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            task_cv_.wait(lock,
+                          [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty())
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0)
+                done_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        CLM_ASSERT(!stop_, "submit after shutdown");
+        tasks_.push(std::move(task));
+        ++in_flight_;
+    }
+    task_cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(size_t n,
+                        const std::function<void(size_t, size_t)> &body)
+{
+    if (n == 0)
+        return;
+    size_t chunks = std::min<size_t>(n, threads() * 2);
+    if (chunks <= 1) {
+        body(0, n);
+        return;
+    }
+    size_t chunk = (n + chunks - 1) / chunks;
+    for (size_t begin = 0; begin < n; begin += chunk) {
+        size_t end = std::min(begin + chunk, n);
+        submit([=, &body] { body(begin, end); });
+    }
+    wait();
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace clm

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal blocking thread pool. Used to parallelize the tile rasterizer
+ * and the vectorized CPU Adam (the paper's CPU-side work runs across all
+ * cores), and to host the dedicated CPU Adam thread of §5.4.
+ */
+
+#ifndef CLM_UTIL_THREAD_POOL_HPP
+#define CLM_UTIL_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace clm {
+
+/** Fixed-size worker pool with fork-join parallelFor. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (0 = hardware concurrency). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Run @p body over [0, n) split into contiguous chunks across the
+     * pool (the calling thread also works). Blocks until all chunks are
+     * done. @p body receives (begin, end).
+     */
+    void parallelFor(size_t n,
+                     const std::function<void(size_t, size_t)> &body);
+
+    /** Enqueue one task; returns immediately. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /** Process-wide shared pool. */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable task_cv_;    //!< Wakes workers.
+    std::condition_variable done_cv_;    //!< Wakes wait().
+    size_t in_flight_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace clm
+
+#endif // CLM_UTIL_THREAD_POOL_HPP

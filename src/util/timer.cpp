@@ -1,0 +1,12 @@
+#include "util/timer.hpp"
+
+namespace clm {
+
+double
+Timer::seconds() const
+{
+    auto dt = Clock::now() - start_;
+    return std::chrono::duration<double>(dt).count();
+}
+
+} // namespace clm

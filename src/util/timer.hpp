@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Wall-clock timer used for the TSP time budget and harness reporting.
+ */
+
+#ifndef CLM_UTIL_TIMER_HPP
+#define CLM_UTIL_TIMER_HPP
+
+#include <chrono>
+
+namespace clm {
+
+/** Monotonic wall-clock stopwatch. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or the last reset(). */
+    double seconds() const;
+
+    /** Elapsed milliseconds since construction or the last reset(). */
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace clm
+
+#endif // CLM_UTIL_TIMER_HPP

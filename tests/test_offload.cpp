@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Offload-core tests: the cache planner's conservation invariants, the
+ * finalization schedule (§4.2.2), the pinned pool layout (§5.2) and the
+ * selective copy kernels' round-trip/accumulation semantics (§5.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gaussian/model.hpp"
+#include "math/rng.hpp"
+#include "offload/cache_planner.hpp"
+#include "offload/finalization.hpp"
+#include "offload/frustum_sets.hpp"
+#include "offload/pinned_pool.hpp"
+#include "offload/selective_copy.hpp"
+
+namespace clm {
+namespace {
+
+std::vector<std::vector<uint32_t>>
+randomSets(size_t n_views, uint32_t universe, double density,
+           uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<uint32_t>> sets(n_views);
+    for (auto &s : sets)
+        for (uint32_t g = 0; g < universe; ++g)
+            if (rng.uniform() < density)
+                s.push_back(g);
+    return sets;
+}
+
+std::vector<uint32_t>
+merge(const std::vector<uint32_t> &a, const std::vector<uint32_t> &b)
+{
+    std::vector<uint32_t> u = a;
+    u.insert(u.end(), b.begin(), b.end());
+    std::sort(u.begin(), u.end());
+    u.erase(std::unique(u.begin(), u.end()), u.end());
+    return u;
+}
+
+/** Property suite over random batch shapes. */
+class CachePlanProperty
+    : public ::testing::TestWithParam<std::tuple<int, double, uint64_t>>
+{
+};
+
+TEST_P(CachePlanProperty, ConservationInvariants)
+{
+    auto [views, density, seed] = GetParam();
+    auto sets = randomSets(views, 500, density, seed);
+    CachePlan plan = planCache(sets, true);
+    ASSERT_EQ(plan.mb.size(), sets.size());
+
+    for (size_t i = 0; i < sets.size(); ++i) {
+        const MicrobatchTransfers &t = plan.mb[i];
+        // (1) load_new and copy_cached partition S_i.
+        EXPECT_EQ(merge(t.load_new, t.copy_cached), sets[i]) << i;
+        std::vector<uint32_t> inter;
+        std::set_intersection(t.load_new.begin(), t.load_new.end(),
+                              t.copy_cached.begin(), t.copy_cached.end(),
+                              std::back_inserter(inter));
+        EXPECT_TRUE(inter.empty());
+        // (2) cached rows must exist in the previous microbatch.
+        if (i == 0) {
+            EXPECT_TRUE(t.copy_cached.empty());
+        } else {
+            EXPECT_TRUE(std::includes(sets[i - 1].begin(),
+                                      sets[i - 1].end(),
+                                      t.copy_cached.begin(),
+                                      t.copy_cached.end()));
+        }
+        // (3) store_grads and carry_grads partition S_i.
+        EXPECT_EQ(merge(t.store_grads, t.carry_grads), sets[i]);
+        // (4) carried rows must be in the next microbatch.
+        if (i + 1 == sets.size()) {
+            EXPECT_TRUE(t.carry_grads.empty());
+        } else {
+            EXPECT_TRUE(std::includes(sets[i + 1].begin(),
+                                      sets[i + 1].end(),
+                                      t.carry_grads.begin(),
+                                      t.carry_grads.end()));
+        }
+    }
+    // (5) every Gaussian's gradient reaches the CPU exactly as many
+    // times as it leaves the working set == store events reconstruct
+    // the full touched multiset.
+    EXPECT_EQ(plan.totalLoads(),
+              std::accumulate(sets.begin(), sets.end(), size_t{0},
+                              [](size_t acc, const auto &s) {
+                                  return acc + s.size();
+                              }));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CachePlanProperty,
+    ::testing::Combine(::testing::Values(1, 2, 5, 12),
+                       ::testing::Values(0.05, 0.3, 0.8),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(CachePlan, NoCacheDisablesEverything)
+{
+    auto sets = randomSets(6, 200, 0.4, 4);
+    CachePlan plan = planCache(sets, false);
+    for (size_t i = 0; i < sets.size(); ++i) {
+        EXPECT_EQ(plan.mb[i].load_new, sets[i]);
+        EXPECT_TRUE(plan.mb[i].copy_cached.empty());
+        EXPECT_EQ(plan.mb[i].store_grads, sets[i]);
+        EXPECT_TRUE(plan.mb[i].carry_grads.empty());
+    }
+    EXPECT_EQ(plan.cacheHits(), 0u);
+}
+
+TEST(CachePlan, CachingReducesLoadBytes)
+{
+    // Overlapping consecutive sets: the cache must cut PCIe loads.
+    std::vector<std::vector<uint32_t>> sets;
+    for (uint32_t v = 0; v < 8; ++v) {
+        std::vector<uint32_t> s;
+        for (uint32_t g = v * 5; g < v * 5 + 40; ++g)
+            s.push_back(g);
+        sets.push_back(std::move(s));
+    }
+    CachePlan with = planCache(sets, true);
+    CachePlan without = planCache(sets, false);
+    EXPECT_LT(with.paramLoadBytes(), without.paramLoadBytes());
+    EXPECT_GT(with.cacheHits(), 0u);
+    EXPECT_LT(with.gradStoreBytes(), without.gradStoreBytes());
+}
+
+TEST(CachePlan, ByteAccounting)
+{
+    std::vector<std::vector<uint32_t>> sets{{0, 1, 2}, {2, 3}};
+    CachePlan plan = planCache(sets, true);
+    // Loads: 3 new + 1 new (gaussian 2 cached).
+    EXPECT_EQ(plan.paramLoadBytes(),
+              4u * kNonCriticalBytesPerGaussian);
+    EXPECT_EQ(plan.cacheCopyBytes(), 1u * kNonCriticalBytesPerGaussian);
+    // Stores: mb0 flushes {0,1} (2 carried to mb1), mb1 flushes {2,3}.
+    EXPECT_EQ(plan.gradStoreBytes(), 4u * kGradBytesPerGaussian);
+    EXPECT_EQ(plan.gradFetchBytes(), plan.gradStoreBytes());
+}
+
+TEST(Finalization, LastTouchComputedCorrectly)
+{
+    std::vector<std::vector<uint32_t>> sets{
+        {0, 1, 2}, {1, 3}, {1, 4}};
+    FinalizationSchedule f = computeFinalization(6, sets, true);
+    ASSERT_EQ(f.finalized_after.size(), 4u);
+    EXPECT_EQ(f.finalized_after[0], (std::vector<uint32_t>{5}));
+    EXPECT_EQ(f.finalized_after[1], (std::vector<uint32_t>{0, 2}));
+    EXPECT_EQ(f.finalized_after[2], (std::vector<uint32_t>{3}));
+    EXPECT_EQ(f.finalized_after[3], (std::vector<uint32_t>{1, 4}));
+    EXPECT_EQ(f.touched(), 5u);
+    EXPECT_EQ(f.overlappableUpdates(), 3u);
+    EXPECT_EQ(f.trailingUpdates(), 2u);
+}
+
+TEST(Finalization, SafetyProperty)
+{
+    // A Gaussian may never be finalized before a microbatch that still
+    // touches it (the §4.2.2 safety property).
+    auto sets = randomSets(8, 300, 0.25, 5);
+    FinalizationSchedule f = computeFinalization(300, sets, false);
+    for (size_t j = 0; j < f.finalized_after.size(); ++j) {
+        for (uint32_t g : f.finalized_after[j]) {
+            for (size_t later = j; later < sets.size(); ++later) {
+                // Microbatch indices are 1-based in the schedule:
+                // ordered_sets[later] is microbatch later+1 > j.
+                EXPECT_FALSE(std::binary_search(sets[later].begin(),
+                                                sets[later].end(), g))
+                    << "g=" << g << " finalized at " << j
+                    << " but touched by microbatch " << later + 1;
+            }
+        }
+    }
+}
+
+TEST(Finalization, PartitionsTouchedSet)
+{
+    auto sets = randomSets(6, 200, 0.3, 6);
+    FinalizationSchedule f = computeFinalization(200, sets, true);
+    // Union of all F_j (j>=1) == union of sets; F_0 is the complement.
+    std::vector<uint32_t> all_f;
+    for (size_t j = 1; j < f.finalized_after.size(); ++j)
+        all_f.insert(all_f.end(), f.finalized_after[j].begin(),
+                     f.finalized_after[j].end());
+    std::sort(all_f.begin(), all_f.end());
+    std::vector<uint32_t> expected;
+    for (const auto &s : sets)
+        expected = merge(expected, s);
+    EXPECT_EQ(all_f, expected);
+    EXPECT_EQ(f.finalized_after[0].size(), 200u - expected.size());
+}
+
+TEST(PinnedPool, LayoutAndAlignment)
+{
+    PinnedPool pool(100);
+    EXPECT_EQ(pool.size(), 100u);
+    EXPECT_EQ(PinnedLayout::paramStride(), 256u);
+    EXPECT_EQ(PinnedLayout::gradStride(), 256u);    // 236 -> 256
+    EXPECT_EQ(pool.bytes(), PinnedLayout::totalBytes(100));
+    // Every record cache-line aligned (§5.2).
+    for (size_t i : {0u, 1u, 57u, 99u}) {
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(pool.paramRecord(i))
+                      % kCacheLineBytes,
+                  0u);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(pool.gradRecord(i))
+                      % kCacheLineBytes,
+                  0u);
+    }
+    // Signal slots distinct cache lines (§5.4).
+    EXPECT_NE(pool.signalSlot(0), pool.signalSlot(1));
+    EXPECT_GE(reinterpret_cast<uintptr_t>(pool.signalSlot(1))
+                  - reinterpret_cast<uintptr_t>(pool.signalSlot(0)),
+              kCacheLineBytes);
+}
+
+TEST(PinnedPool, UploadDownloadRoundTrip)
+{
+    Rng rng(13);
+    GaussianModel m = GaussianModel::random(20, {-1, -1, -1}, {1, 1, 1},
+                                            0.1f, rng);
+    for (size_t i = 0; i < m.size(); ++i)
+        for (int k = 0; k < kShDim; ++k)
+            m.sh(i)[k] = rng.normal();
+    PinnedPool pool(20);
+    pool.uploadParams(m);
+    GaussianModel m2(20);
+    pool.downloadParams(m2);
+    for (size_t i = 0; i < 20; ++i) {
+        EXPECT_FLOAT_EQ(m2.sh(i)[17], m.sh(i)[17]);
+        EXPECT_FLOAT_EQ(m2.rawOpacity(i), m.rawOpacity(i));
+    }
+}
+
+TEST(DeviceBuffer, BindAndRowLookup)
+{
+    DeviceBuffer buf(10);
+    buf.bind({2, 5, 9});
+    EXPECT_EQ(buf.rows(), 3u);
+    EXPECT_EQ(buf.rowOf(2), 0);
+    EXPECT_EQ(buf.rowOf(9), 2);
+    EXPECT_EQ(buf.rowOf(3), -1);
+    EXPECT_THROW(buf.bind({3, 1}), std::logic_error);    // unsorted
+}
+
+TEST(SelectiveCopy, GatherScatterRoundTrip)
+{
+    Rng rng(14);
+    GaussianModel m = GaussianModel::random(30, {-1, -1, -1}, {1, 1, 1},
+                                            0.1f, rng);
+    PinnedPool pool(30);
+    pool.uploadParams(m);
+
+    DeviceBuffer buf(30);
+    std::vector<uint32_t> set{3, 7, 8, 21};
+    buf.bind(set);
+    gatherParams(pool, buf, set);
+    for (size_t r = 0; r < set.size(); ++r) {
+        float expect[kNonCriticalDim];
+        m.packNonCritical(set[r], expect);
+        for (int k = 0; k < kNonCriticalDim; ++k)
+            EXPECT_FLOAT_EQ(buf.paramRow(r)[k], expect[k]);
+    }
+}
+
+TEST(SelectiveCopy, CachedCopyMatchesPinnedLoad)
+{
+    Rng rng(15);
+    GaussianModel m = GaussianModel::random(30, {-1, -1, -1}, {1, 1, 1},
+                                            0.1f, rng);
+    PinnedPool pool(30);
+    pool.uploadParams(m);
+
+    DeviceBuffer a(30), b(30);
+    a.bind({1, 2, 3, 4});
+    gatherParams(pool, a, a.indices());
+    b.bind({2, 3, 10});
+    // 2 and 3 cached from a; 10 loaded from pinned memory.
+    copyCachedParams(a, b, {2, 3});
+    gatherParams(pool, b, {10});
+    for (uint32_t g : {2u, 3u, 10u}) {
+        float expect[kNonCriticalDim];
+        m.packNonCritical(g, expect);
+        const float *row = b.paramRow(b.rowOf(g));
+        for (int k = 0; k < kNonCriticalDim; ++k)
+            EXPECT_FLOAT_EQ(row[k], expect[k]) << "g=" << g;
+    }
+}
+
+TEST(SelectiveCopy, ScatterAccumulatesRmw)
+{
+    PinnedPool pool(5);
+    pool.zeroGradients();
+    DeviceBuffer buf(5);
+    buf.bind({1, 3});
+    buf.zeroGrads();
+    buf.gradRow(0)[0] = 2.0f;      // gaussian 1
+    buf.gradRow(1)[58] = -1.5f;    // gaussian 3, opacity slot
+
+    scatterAccumulateGrads(buf, pool, {1, 3});
+    scatterAccumulateGrads(buf, pool, {1});    // accumulate again
+    EXPECT_FLOAT_EQ(pool.gradRecord(1)[0], 4.0f);
+    EXPECT_FLOAT_EQ(pool.gradRecord(3)[58], -1.5f);
+    EXPECT_FLOAT_EQ(pool.gradRecord(0)[0], 0.0f);
+}
+
+TEST(SelectiveCopy, CarryAccumulation)
+{
+    DeviceBuffer a(6), b(6);
+    a.bind({2, 4});
+    a.zeroGrads();
+    a.gradRow(0)[5] = 1.25f;    // gaussian 2
+    b.bind({2, 5});
+    b.zeroGrads();
+    b.gradRow(0)[5] = 0.75f;
+    accumulateCarriedGrads(a, b, {2});
+    EXPECT_FLOAT_EQ(b.gradRow(0)[5], 2.0f);
+}
+
+TEST(FrustumSetsHelpers, UnionAndSelect)
+{
+    FrustumSets fs;
+    fs.total_gaussians = 10;
+    fs.sets = {{1, 2}, {2, 3}, {8}};
+    EXPECT_EQ(fs.unionSet(), (std::vector<uint32_t>{1, 2, 3, 8}));
+    auto rho = fs.sparsities();
+    EXPECT_DOUBLE_EQ(rho[0], 0.2);
+    FrustumSets sel = selectViews(fs, {2, 0});
+    ASSERT_EQ(sel.sets.size(), 2u);
+    EXPECT_EQ(sel.sets[0], (std::vector<uint32_t>{8}));
+}
+
+} // namespace
+} // namespace clm

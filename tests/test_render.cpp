@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Forward-pass renderer tests: camera geometry, culling vs a brute-force
+ * reference, rasterizer compositing semantics, image metrics, and the
+ * loss forward values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/ellipsoid.hpp"
+#include "math/rng.hpp"
+#include "render/camera.hpp"
+#include "render/culling.hpp"
+#include "render/image.hpp"
+#include "render/loss.hpp"
+#include "render/rasterizer.hpp"
+
+namespace clm {
+namespace {
+
+/** A single Gaussian dead ahead of a canonical camera. */
+GaussianModel
+singleGaussian(const Vec3 &pos, float scale, const Vec3 &color,
+               float opacity)
+{
+    GaussianModel m(1);
+    m.position(0) = pos;
+    float ls = std::log(scale);
+    m.logScale(0) = {ls, ls, ls};
+    m.rotation(0) = Quat{1, 0, 0, 0};
+    constexpr float kY0 = 0.28209479177387814f;
+    m.sh(0)[0] = (color.x - 0.5f) / kY0;
+    m.sh(0)[1] = (color.y - 0.5f) / kY0;
+    m.sh(0)[2] = (color.z - 0.5f) / kY0;
+    m.rawOpacity(0) = inverseSigmoid(opacity);
+    return m;
+}
+
+Camera
+canonicalCamera(int w = 64, int h = 64)
+{
+    return Camera::lookAt({0, 0, 0}, {0, 0, 10}, {0, 1, 0}, w, h, 1.0f,
+                          0.1f, 100.0f);
+}
+
+TEST(Camera, ToCameraSpaceDepth)
+{
+    Camera cam = canonicalCamera();
+    Vec3 t = cam.toCameraSpace({0, 0, 7});
+    EXPECT_NEAR(t.x, 0.0f, 1e-5f);
+    EXPECT_NEAR(t.y, 0.0f, 1e-5f);
+    EXPECT_NEAR(t.z, 7.0f, 1e-5f);
+}
+
+TEST(Camera, CenterProjectsToPrincipalPoint)
+{
+    Camera cam = canonicalCamera(128, 96);
+    GaussianModel m = singleGaussian({0, 0, 5}, 0.2f, {1, 0, 0}, 0.9f);
+    ProjectedGaussian p = projectGaussian(m, 0, cam, 0);
+    ASSERT_TRUE(p.valid);
+    EXPECT_NEAR(p.mean2d.x, 64.0f, 1e-3f);
+    EXPECT_NEAR(p.mean2d.y, 48.0f, 1e-3f);
+    EXPECT_NEAR(p.depth, 5.0f, 1e-5f);
+}
+
+TEST(Camera, LookAtOrientation)
+{
+    // Point above the target appears in the upper image half (y down).
+    Camera cam = canonicalCamera();
+    GaussianModel m = singleGaussian({0, 2, 10}, 0.2f, {1, 1, 1}, 0.9f);
+    ProjectedGaussian p = projectGaussian(m, 0, cam, 0);
+    ASSERT_TRUE(p.valid);
+    EXPECT_LT(p.mean2d.y, 32.0f);
+}
+
+TEST(Projection, BehindCameraInvalid)
+{
+    Camera cam = canonicalCamera();
+    GaussianModel m = singleGaussian({0, 0, -5}, 0.2f, {1, 1, 1}, 0.9f);
+    EXPECT_FALSE(projectGaussian(m, 0, cam, 0).valid);
+}
+
+TEST(Projection, FartherGaussianHasSmallerFootprint)
+{
+    Camera cam = canonicalCamera();
+    GaussianModel near = singleGaussian({0, 0, 3}, 0.3f, {1, 1, 1}, 0.9f);
+    GaussianModel far = singleGaussian({0, 0, 30}, 0.3f, {1, 1, 1}, 0.9f);
+    ProjectedGaussian pn = projectGaussian(near, 0, cam, 0);
+    ProjectedGaussian pf = projectGaussian(far, 0, cam, 0);
+    ASSERT_TRUE(pn.valid && pf.valid);
+    EXPECT_GT(pn.radius, pf.radius);
+}
+
+/** Brute-force reference: sample the frustum test on a dense set of
+ *  points on the ellipsoid surface + center. */
+bool
+bruteForceInFrustum(const GaussianModel &m, size_t i, const Camera &cam)
+{
+    const Frustum &f = cam.frustum();
+    Mat3 r = m.unitRotation(i).toRotationMatrix();
+    Vec3 s = m.worldScale(i) * 3.0f;
+    if (f.contains(m.position(i)))
+        return true;
+    for (int a = 0; a < 24; ++a) {
+        for (int b = 0; b < 12; ++b) {
+            float theta = 6.2831853f * a / 24;
+            float phi = 3.1415926f * b / 12;
+            Vec3 u{std::sin(phi) * std::cos(theta),
+                   std::sin(phi) * std::sin(theta), std::cos(phi)};
+            Vec3 p = m.position(i) + r.mul(u.cwiseMul(s));
+            if (f.contains(p))
+                return true;
+        }
+    }
+    return false;
+}
+
+TEST(Culling, MatchesBruteForceReference)
+{
+    Camera cam = canonicalCamera();
+    Rng rng(42);
+    GaussianModel m = GaussianModel::random(400, {-15, -15, -10},
+                                            {15, 15, 30}, 0.4f, rng);
+    auto culled = frustumCull(m, cam);
+    std::vector<bool> in_set(m.size(), false);
+    for (uint32_t g : culled)
+        in_set[g] = true;
+
+    for (size_t i = 0; i < m.size(); ++i) {
+        bool brute = bruteForceInFrustum(m, i, cam);
+        if (brute) {
+            // The support test is exact per plane, so it must accept
+            // everything the sampled reference accepts.
+            EXPECT_TRUE(in_set[i]) << "gaussian " << i << " missed";
+        }
+        // The plane test may conservatively accept near corners; accept
+        // false positives but they must be near the boundary: reject only
+        // wild mismatches (center far outside every plane).
+        if (!brute && in_set[i]) {
+            float d = 0.0f;
+            for (int pl = 0; pl < 6; ++pl)
+                d = std::min(
+                    d, cam.frustum().plane(pl).signedDistance(
+                           m.position(i)));
+            Ellipsoid e = Ellipsoid::fromGaussian(
+                m.position(i), m.worldScale(i), m.rotation(i));
+            EXPECT_GT(d, -2.0f * e.boundingRadius());
+        }
+    }
+}
+
+TEST(Culling, PackedMatchesModel)
+{
+    Camera cam = canonicalCamera();
+    Rng rng(43);
+    GaussianModel m = GaussianModel::random(300, {-15, -15, -10},
+                                            {15, 15, 30}, 0.4f, rng);
+    std::vector<float> packed(m.size() * kCriticalDim);
+    for (size_t i = 0; i < m.size(); ++i)
+        m.packCritical(i, &packed[i * kCriticalDim]);
+
+    auto a = frustumCull(m, cam);
+    auto b = frustumCullPacked(packed.data(), m.size(), cam);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Culling, SparsityHelper)
+{
+    EXPECT_DOUBLE_EQ(sparsity(5, 100), 0.05);
+    EXPECT_DOUBLE_EQ(sparsity(0, 0), 0.0);
+}
+
+TEST(Rasterizer, SingleGaussianBrightensCenter)
+{
+    Camera cam = canonicalCamera();
+    GaussianModel m = singleGaussian({0, 0, 5}, 0.5f, {0.9f, 0.1f, 0.1f},
+                                     0.95f);
+    RenderConfig cfg;
+    cfg.sh_degree = 0;
+    RenderOutput out = renderForward(m, cam, {0}, cfg);
+    Vec3 center = out.image.pixel(32, 32);
+    Vec3 corner = out.image.pixel(1, 1);
+    EXPECT_GT(center.x, 0.5f);
+    EXPECT_GT(center.x, center.y);             // red dominates
+    EXPECT_LT(corner.x, 0.1f);                 // background black
+    EXPECT_LT(out.final_t[32 * 64 + 32], 0.3f);
+    EXPECT_EQ(out.n_contrib[32 * 64 + 32], 1u);
+}
+
+TEST(Rasterizer, EmptySubsetRendersBackground)
+{
+    Camera cam = canonicalCamera();
+    GaussianModel m = singleGaussian({0, 0, 5}, 0.5f, {1, 1, 1}, 0.9f);
+    RenderConfig cfg;
+    cfg.background = {0.2f, 0.4f, 0.6f};
+    RenderOutput out = renderForward(m, cam, {}, cfg);
+    Vec3 p = out.image.pixel(10, 10);
+    EXPECT_FLOAT_EQ(p.x, 0.2f);
+    EXPECT_FLOAT_EQ(p.y, 0.4f);
+    EXPECT_FLOAT_EQ(p.z, 0.6f);
+}
+
+TEST(Rasterizer, FrontGaussianOccludesBack)
+{
+    Camera cam = canonicalCamera();
+    GaussianModel m(2);
+    // Back gaussian: green, nearly opaque; front: red, nearly opaque.
+    constexpr float kY0 = 0.28209479177387814f;
+    m.position(0) = {0, 0, 8};
+    m.position(1) = {0, 0, 4};
+    for (size_t i = 0; i < 2; ++i) {
+        float ls = std::log(0.6f);
+        m.logScale(i) = {ls, ls, ls};
+        m.rotation(i) = Quat{1, 0, 0, 0};
+        m.rawOpacity(i) = inverseSigmoid(0.97f);
+    }
+    m.sh(0)[1] = 0.5f / kY0;     // green back
+    m.sh(0)[0] = -0.5f / kY0;
+    m.sh(0)[2] = -0.5f / kY0;
+    m.sh(1)[0] = 0.5f / kY0;     // red front
+    m.sh(1)[1] = -0.5f / kY0;
+    m.sh(1)[2] = -0.5f / kY0;
+
+    RenderConfig cfg;
+    cfg.sh_degree = 0;
+    RenderOutput out = renderForward(m, cam, {0, 1}, cfg);
+    Vec3 c = out.image.pixel(32, 32);
+    EXPECT_GT(c.x, 5.0f * c.y);    // red in front wins
+}
+
+TEST(Rasterizer, SubsetMattersOnlyForListedGaussians)
+{
+    Camera cam = canonicalCamera();
+    Rng rng(44);
+    GaussianModel m = GaussianModel::random(50, {-3, -3, 3}, {3, 3, 12},
+                                            0.3f, rng);
+    RenderConfig cfg;
+    cfg.sh_degree = 0;
+    auto all = frustumCull(m, cam);
+    RenderOutput full = renderForward(m, cam, all, cfg);
+    // Adding out-of-frustum Gaussians to the subset must not change the
+    // image (they project invalid or contribute nothing).
+    std::vector<uint32_t> everything(m.size());
+    for (size_t i = 0; i < m.size(); ++i)
+        everything[i] = static_cast<uint32_t>(i);
+    RenderOutput with_extra = renderForward(m, cam, everything, cfg);
+    EXPECT_LT(full.image.mse(with_extra.image), 1e-10);
+}
+
+TEST(Rasterizer, ActivationBytesScaleWithResolution)
+{
+    GaussianModel m = singleGaussian({0, 0, 5}, 0.5f, {1, 1, 1}, 0.9f);
+    RenderConfig cfg;
+    RenderOutput small =
+        renderForward(m, canonicalCamera(32, 32), {0}, cfg);
+    RenderOutput big =
+        renderForward(m, canonicalCamera(128, 128), {0}, cfg);
+    EXPECT_GT(big.activationBytes(), small.activationBytes());
+}
+
+TEST(Image, MetricsBasics)
+{
+    Image a(8, 8, {0.5f, 0.5f, 0.5f});
+    Image b(8, 8, {0.5f, 0.5f, 0.5f});
+    EXPECT_DOUBLE_EQ(a.mse(b), 0.0);
+    EXPECT_GE(a.psnr(b), 99.0);
+    b.setPixel(0, 0, {1.0f, 0.5f, 0.5f});
+    EXPECT_GT(a.mse(b), 0.0);
+    EXPECT_LT(a.psnr(b), 99.0);
+    EXPECT_GT(a.l1(b), 0.0);
+}
+
+TEST(Image, PsnrDecreasesWithNoise)
+{
+    Rng rng(45);
+    Image gt(16, 16, {0.5f, 0.5f, 0.5f});
+    Image small_noise = gt, big_noise = gt;
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x) {
+            float n = rng.normal(0.0f, 1.0f);
+            small_noise.addPixel(x, y, {0.01f * n, 0.01f * n, 0.01f * n});
+            big_noise.addPixel(x, y, {0.1f * n, 0.1f * n, 0.1f * n});
+        }
+    EXPECT_GT(gt.psnr(small_noise), gt.psnr(big_noise));
+}
+
+TEST(Loss, ZeroForIdenticalImages)
+{
+    Image a(16, 16, {0.3f, 0.6f, 0.9f});
+    LossResult r = computeLoss(a, a, nullptr);
+    EXPECT_NEAR(r.l1, 0.0, 1e-9);
+    EXPECT_NEAR(r.dssim, 0.0, 1e-6);
+    EXPECT_NEAR(r.total, 0.0, 1e-6);
+}
+
+TEST(Loss, SsimPenalizesStructuralChange)
+{
+    Rng rng(46);
+    Image a(24, 24);
+    for (int y = 0; y < 24; ++y)
+        for (int x = 0; x < 24; ++x) {
+            float v = 0.5f + 0.4f * std::sin(0.5f * x);
+            a.setPixel(x, y, {v, v, v});
+        }
+    // Constant image with the same mean destroys structure.
+    Image b(24, 24, {0.5f, 0.5f, 0.5f});
+    double ssim = meanSsim(a, b);
+    EXPECT_LT(ssim, 0.9);
+    EXPECT_GT(meanSsim(a, a), 0.999);
+}
+
+TEST(Loss, WeightsCombine)
+{
+    Image a(12, 12, {0.5f, 0.5f, 0.5f});
+    Image b(12, 12, {0.7f, 0.7f, 0.7f});
+    LossConfig cfg;
+    cfg.lambda_dssim = 0.0f;
+    LossResult l1_only = computeLoss(a, b, nullptr, cfg);
+    EXPECT_NEAR(l1_only.total, l1_only.l1, 1e-9);
+    cfg.lambda_dssim = 1.0f;
+    LossResult ssim_only = computeLoss(a, b, nullptr, cfg);
+    EXPECT_NEAR(ssim_only.total, ssim_only.dssim, 1e-9);
+}
+
+} // namespace
+} // namespace clm

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Gradient checks: the analytic backward pass of the full differentiable
+ * pipeline (rasterizer -> projection -> SH/covariance/opacity) and of the
+ * L1 + D-SSIM loss are validated against central finite differences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "math/rng.hpp"
+#include "render/camera.hpp"
+#include "render/loss.hpp"
+#include "render/rasterizer.hpp"
+
+namespace clm {
+namespace {
+
+Camera
+testCamera(int wh = 24)
+{
+    return Camera::lookAt({0, 0, 0}, {0, 0, 10}, {0, 1, 0}, wh, wh, 1.0f,
+                          0.1f, 100.0f);
+}
+
+/** A well-conditioned random scene away from clamp boundaries. */
+GaussianModel
+fdScene(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    GaussianModel m(n);
+    constexpr float kY0 = 0.28209479177387814f;
+    for (size_t i = 0; i < n; ++i) {
+        m.position(i) = {rng.uniform(-2.0f, 2.0f),
+                         rng.uniform(-2.0f, 2.0f),
+                         rng.uniform(4.0f, 9.0f)};
+        float ls = std::log(rng.uniform(0.3f, 0.7f));
+        m.logScale(i) = {ls + rng.normal(0.0f, 0.15f),
+                         ls + rng.normal(0.0f, 0.15f),
+                         ls + rng.normal(0.0f, 0.15f)};
+        Vec3 axis{rng.normal(), rng.normal(), rng.normal()};
+        m.rotation(i) = Quat::fromAxisAngle(
+            axis.norm() > 1e-5f ? axis : Vec3{0, 0, 1},
+            rng.uniform(0.0f, 3.0f));
+        // Mid-range colors keep the SH clamp inactive.
+        m.sh(i)[0] = (rng.uniform(0.35f, 0.75f) - 0.5f) / kY0;
+        m.sh(i)[1] = (rng.uniform(0.35f, 0.75f) - 0.5f) / kY0;
+        m.sh(i)[2] = (rng.uniform(0.35f, 0.75f) - 0.5f) / kY0;
+        for (int k = 3; k < kShDim; ++k)
+            m.sh(i)[k] = rng.normal(0.0f, 0.03f);
+        m.rawOpacity(i) = inverseSigmoid(rng.uniform(0.4f, 0.75f));
+    }
+    return m;
+}
+
+Image
+fdGroundTruth(int wh, uint64_t seed)
+{
+    Rng rng(seed);
+    Image gt(wh, wh);
+    for (int y = 0; y < wh; ++y)
+        for (int x = 0; x < wh; ++x)
+            gt.setPixel(x, y, {0.5f + 0.3f * std::sin(0.4f * x),
+                               0.5f + 0.3f * std::cos(0.3f * y),
+                               rng.uniform(0.3f, 0.7f)});
+    return gt;
+}
+
+/**
+ * The renderer backward is checked against a *smooth* random linear
+ * functional L = sum_ij w_ij . image_ij, so finite differences are exact.
+ * (The L1 term of the real loss has sign kinks that make FD unreliable;
+ * the loss backward has its own dedicated FD test below.)
+ */
+struct Pipeline
+{
+    Camera cam = testCamera();
+    RenderConfig render;
+    Image weights = fdGroundTruth(24, 99);    // random smooth weights
+    std::vector<uint32_t> subset;
+
+    explicit Pipeline(size_t n, int sh_degree = 3)
+    {
+        render.sh_degree = sh_degree;
+        render.background = {0.1f, 0.1f, 0.1f};
+        // The production thresholds (1/255 alpha cut, early termination)
+        // and the 3-sigma tile truncation are step discontinuities; FD
+        // across them measures the jump, not the gradient. Relax the
+        // thresholds and use a larger eps so the jumps' contribution is
+        // negligible relative to the smooth gradient.
+        render.alpha_min = 1e-6f;
+        render.transmittance_min = 1e-9f;
+        for (size_t i = 0; i < n; ++i)
+            subset.push_back(static_cast<uint32_t>(i));
+    }
+
+    double
+    forward(const GaussianModel &m) const
+    {
+        RenderOutput out = renderForward(m, cam, subset, render);
+        double acc = 0.0;
+        const auto &img = out.image.data();
+        const auto &w = weights.data();
+        for (size_t i = 0; i < img.size(); ++i)
+            acc += double(w[i]) * img[i];
+        return acc;
+    }
+
+    GaussianGrads
+    backward(const GaussianModel &m) const
+    {
+        RenderOutput out = renderForward(m, cam, subset, render);
+        GaussianGrads g;
+        g.resize(m.size());
+        renderBackward(m, cam, render, out, weights, g);
+        return g;
+    }
+};
+
+/** Central finite difference of the pipeline loss w.r.t. one scalar. */
+double
+finiteDiff(Pipeline &pipe, GaussianModel &m, float &param,
+           float eps = 1e-2f)
+{
+    float saved = param;
+    param = saved + eps;
+    double lp = pipe.forward(m);
+    param = saved - eps;
+    double lm = pipe.forward(m);
+    param = saved;
+    return (lp - lm) / (2.0 * eps);
+}
+
+void
+expectClose(double analytic, double fd, double scale_hint)
+{
+    double tol = 5e-2 * std::max({std::abs(analytic), std::abs(fd),
+                                  scale_hint});
+    EXPECT_NEAR(analytic, fd, tol);
+}
+
+TEST(LossBackward, MatchesFiniteDifference)
+{
+    Rng rng(7);
+    int wh = 12;
+    Image x(wh, wh), y(wh, wh);
+    for (int py = 0; py < wh; ++py)
+        for (int px = 0; px < wh; ++px) {
+            x.setPixel(px, py, {rng.uniform(0.2f, 0.8f),
+                                rng.uniform(0.2f, 0.8f),
+                                rng.uniform(0.2f, 0.8f)});
+            y.setPixel(px, py, {rng.uniform(0.2f, 0.8f),
+                                rng.uniform(0.2f, 0.8f),
+                                rng.uniform(0.2f, 0.8f)});
+        }
+    LossConfig cfg;
+    cfg.ssim_window = 5;
+    Image d;
+    computeLoss(x, y, &d, cfg);
+
+    const float eps = 1e-3f;
+    Rng pick(8);
+    for (int it = 0; it < 30; ++it) {
+        size_t idx = static_cast<size_t>(
+            pick.uniformInt(0, static_cast<int64_t>(x.data().size()) - 1));
+        float saved = x.data()[idx];
+        x.data()[idx] = saved + eps;
+        double lp = computeLoss(x, y, nullptr, cfg).total;
+        x.data()[idx] = saved - eps;
+        double lm = computeLoss(x, y, nullptr, cfg).total;
+        x.data()[idx] = saved;
+        double fd = (lp - lm) / (2.0 * eps);
+        EXPECT_NEAR(d.data()[idx], fd,
+                    2e-2 * std::max(1e-4, std::abs(fd)))
+            << "pixel value index " << idx;
+    }
+}
+
+class RenderBackwardTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RenderBackwardTest, PositionGradients)
+{
+    int sh_degree = GetParam();
+    Pipeline pipe(6, sh_degree);
+    GaussianModel m = fdScene(6, 10 + sh_degree);
+    GaussianGrads g = pipe.backward(m);
+    for (size_t i = 0; i < m.size(); i += 2) {
+        expectClose(g.d_position[i].x,
+                    finiteDiff(pipe, m, m.position(i).x), 1e-4);
+        expectClose(g.d_position[i].y,
+                    finiteDiff(pipe, m, m.position(i).y), 1e-4);
+        expectClose(g.d_position[i].z,
+                    finiteDiff(pipe, m, m.position(i).z), 1e-4);
+    }
+}
+
+TEST_P(RenderBackwardTest, ScaleGradients)
+{
+    Pipeline pipe(6, GetParam());
+    GaussianModel m = fdScene(6, 20 + GetParam());
+    GaussianGrads g = pipe.backward(m);
+    for (size_t i = 0; i < m.size(); i += 2) {
+        expectClose(g.d_log_scale[i].x,
+                    finiteDiff(pipe, m, m.logScale(i).x), 1e-4);
+        expectClose(g.d_log_scale[i].z,
+                    finiteDiff(pipe, m, m.logScale(i).z), 1e-4);
+    }
+}
+
+TEST_P(RenderBackwardTest, RotationGradients)
+{
+    Pipeline pipe(6, GetParam());
+    GaussianModel m = fdScene(6, 30 + GetParam());
+    GaussianGrads g = pipe.backward(m);
+    for (size_t i = 0; i < m.size(); i += 3) {
+        expectClose(g.d_rotation[i].w,
+                    finiteDiff(pipe, m, m.rotation(i).w), 1e-4);
+        expectClose(g.d_rotation[i].x,
+                    finiteDiff(pipe, m, m.rotation(i).x), 1e-4);
+        expectClose(g.d_rotation[i].y,
+                    finiteDiff(pipe, m, m.rotation(i).y), 1e-4);
+        expectClose(g.d_rotation[i].z,
+                    finiteDiff(pipe, m, m.rotation(i).z), 1e-4);
+    }
+}
+
+TEST_P(RenderBackwardTest, OpacityGradients)
+{
+    Pipeline pipe(6, GetParam());
+    GaussianModel m = fdScene(6, 40 + GetParam());
+    GaussianGrads g = pipe.backward(m);
+    for (size_t i = 0; i < m.size(); ++i) {
+        expectClose(g.d_opacity[i],
+                    finiteDiff(pipe, m, m.rawOpacity(i)), 1e-4);
+    }
+}
+
+TEST_P(RenderBackwardTest, ShGradients)
+{
+    int sh_degree = GetParam();
+    Pipeline pipe(4, sh_degree);
+    GaussianModel m = fdScene(4, 50 + sh_degree);
+    GaussianGrads g = pipe.backward(m);
+    int nb = shBasisCount(sh_degree);
+    for (size_t i = 0; i < m.size(); i += 2) {
+        for (int k = 0; k < nb * 3; k += 7) {
+            expectClose(g.d_sh[i * kShDim + k],
+                        finiteDiff(pipe, m, m.sh(i)[k]), 1e-4);
+        }
+        // Coefficients above the active degree must have zero gradient.
+        for (int k = nb * 3; k < kShDim; ++k)
+            EXPECT_FLOAT_EQ(g.d_sh[i * kShDim + k], 0.0f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShDegrees, RenderBackwardTest,
+                         ::testing::Values(0, 1, 3));
+
+TEST(RenderBackward, UntouchedRowsStayZero)
+{
+    Pipeline pipe(3);
+    GaussianModel m = fdScene(3, 60);
+    // Render only Gaussian 1; rows 0 and 2 must keep zero gradients.
+    pipe.subset = {1};
+    GaussianGrads g = pipe.backward(m);
+    for (size_t i : {0u, 2u}) {
+        EXPECT_FLOAT_EQ(g.d_position[i].x, 0.0f);
+        EXPECT_FLOAT_EQ(g.d_opacity[i], 0.0f);
+        EXPECT_FLOAT_EQ(g.d_sh[i * kShDim], 0.0f);
+    }
+    EXPECT_NE(g.d_opacity[1], 0.0f);
+}
+
+TEST(RenderBackward, GradientDescentReducesRealLoss)
+{
+    // End-to-end: SGD along the analytic gradient of the *real* training
+    // loss (L1 + D-SSIM) must reduce it.
+    Camera cam = testCamera();
+    RenderConfig render;
+    LossConfig loss;
+    loss.ssim_window = 5;
+    Image gt = fdGroundTruth(24, 99);
+    GaussianModel m = fdScene(8, 70);
+    std::vector<uint32_t> subset;
+    for (size_t i = 0; i < m.size(); ++i)
+        subset.push_back(static_cast<uint32_t>(i));
+
+    auto eval = [&](GaussianGrads *g) {
+        RenderOutput out = renderForward(m, cam, subset, render);
+        Image d_image;
+        LossResult r =
+            computeLoss(out.image, gt, g ? &d_image : nullptr, loss);
+        if (g)
+            renderBackward(m, cam, render, out, d_image, *g);
+        return r.total;
+    };
+
+    double before = eval(nullptr);
+    for (int step = 0; step < 8; ++step) {
+        GaussianGrads g;
+        g.resize(m.size());
+        eval(&g);
+        for (size_t i = 0; i < m.size(); ++i) {
+            m.position(i) -= g.d_position[i] * 20.0f;
+            m.logScale(i) -= g.d_log_scale[i] * 5.0f;
+            m.rawOpacity(i) -= 50.0f * g.d_opacity[i];
+            for (int k = 0; k < kShDim; ++k)
+                m.sh(i)[k] -= 50.0f * g.d_sh[i * kShDim + k];
+        }
+    }
+    double after = eval(nullptr);
+    EXPECT_LT(after, before);
+}
+
+} // namespace
+} // namespace clm

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Scheduler tests: sorted-set algebra, the symmetric-difference metric
+ * (Appendix A.1's metric-TSP claim), TSP solver validity and quality
+ * (SLS reaches the Held-Karp optimum on small instances), and the four
+ * ordering strategies of Table 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "math/rng.hpp"
+#include "sched/ordering.hpp"
+#include "sched/tsp.hpp"
+
+namespace clm {
+namespace {
+
+std::vector<std::vector<uint32_t>>
+randomSets(size_t n_views, uint32_t universe, double density,
+           uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<uint32_t>> sets(n_views);
+    for (auto &s : sets) {
+        for (uint32_t g = 0; g < universe; ++g)
+            if (rng.uniform() < density)
+                s.push_back(g);
+    }
+    return sets;
+}
+
+bool
+isPermutation(const std::vector<int> &tour, size_t n)
+{
+    if (tour.size() != n)
+        return false;
+    std::vector<bool> seen(n, false);
+    for (int v : tour) {
+        if (v < 0 || static_cast<size_t>(v) >= n || seen[v])
+            return false;
+        seen[v] = true;
+    }
+    return true;
+}
+
+TEST(SetOps, IntersectionAndSymmetricDifference)
+{
+    std::vector<uint32_t> a{1, 3, 5, 7};
+    std::vector<uint32_t> b{3, 4, 5, 9, 11};
+    EXPECT_EQ(intersectionSize(a, b), 2u);
+    EXPECT_EQ(symmetricDifferenceSize(a, b), 4u + 5u - 4u);
+    EXPECT_EQ(symmetricDifferenceSize(a, a), 0u);
+    EXPECT_EQ(intersectionSize(a, {}), 0u);
+    EXPECT_EQ(symmetricDifferenceSize(a, {}), a.size());
+}
+
+TEST(SetOps, SymmetricDifferenceIsMetric)
+{
+    // |A xor B| is a metric: the distance matrix over random sets must
+    // satisfy symmetry, identity and the triangle inequality.
+    auto sets = randomSets(12, 200, 0.2, 21);
+    DistanceMatrix d = buildOverlapDistanceMatrix(sets);
+    EXPECT_TRUE(d.isMetric());
+}
+
+TEST(DistanceMatrix, SetAndGet)
+{
+    DistanceMatrix d(3);
+    d.set(0, 2, 5.0);
+    EXPECT_DOUBLE_EQ(d.at(0, 2), 5.0);
+    EXPECT_DOUBLE_EQ(d.at(2, 0), 5.0);
+    EXPECT_DOUBLE_EQ(d.at(1, 1), 0.0);
+}
+
+TEST(Tsp, TrivialInstances)
+{
+    DistanceMatrix d0(0);
+    EXPECT_TRUE(solveTsp(d0).tour.empty());
+    DistanceMatrix d1(1);
+    EXPECT_EQ(solveTsp(d1).tour, std::vector<int>{0});
+    DistanceMatrix d2(2);
+    d2.set(0, 1, 3.0);
+    TspResult r = solveTsp(d2);
+    EXPECT_TRUE(isPermutation(r.tour, 2));
+    EXPECT_DOUBLE_EQ(r.length, 3.0);
+}
+
+TEST(Tsp, TourIsAlwaysAValidPermutation)
+{
+    Rng rng(5);
+    for (int n : {3, 7, 16, 40}) {
+        DistanceMatrix d(n);
+        for (int i = 0; i < n; ++i)
+            for (int j = i + 1; j < n; ++j)
+                d.set(i, j, rng.uniform(1.0f, 100.0f));
+        TspConfig cfg;
+        cfg.time_limit_ms = 2.0;
+        TspResult r = solveTsp(d, cfg);
+        EXPECT_TRUE(isPermutation(r.tour, n)) << "n=" << n;
+        EXPECT_NEAR(r.length, tourLength(d, r.tour), 1e-9);
+    }
+}
+
+TEST(Tsp, SolvesLineGraphOptimally)
+{
+    // Points on a line: the optimal open path visits them in order.
+    int n = 10;
+    DistanceMatrix d(n);
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            d.set(i, j, std::abs(i - j));
+    TspConfig cfg;
+    cfg.time_limit_ms = 5.0;
+    TspResult r = solveTsp(d, cfg);
+    EXPECT_DOUBLE_EQ(r.length, n - 1.0);    // 9 unit edges
+}
+
+TEST(TspExact, MatchesBruteForceOnTinyInstance)
+{
+    Rng rng(6);
+    int n = 7;
+    DistanceMatrix d(n);
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            d.set(i, j, rng.uniform(1.0f, 50.0f));
+    TspResult exact = solveTspExact(d);
+    EXPECT_TRUE(isPermutation(exact.tour, n));
+
+    // Brute force over all permutations.
+    std::vector<int> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    double best = 1e300;
+    do {
+        best = std::min(best, tourLength(d, perm));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(exact.length, best, 1e-9);
+}
+
+/** Appendix A.1's empirical claim: the 1 ms SLS finds the optimum for
+ *  batch-sized instances. Parameterized over instance size. */
+class TspQualityTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TspQualityTest, SlsReachesExactOptimum)
+{
+    int n = GetParam();
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+        auto sets = randomSets(n, 400, 0.25, 100 + seed);
+        DistanceMatrix d = buildOverlapDistanceMatrix(sets);
+        TspConfig cfg;
+        cfg.time_limit_ms = 1.0;    // the paper's budget
+        cfg.seed = seed;
+        TspResult sls = solveTsp(d, cfg);
+        TspResult exact = solveTspExact(d);
+        // Metric instances this small: SLS should match the optimum
+        // (allow a 2% slack to keep the test robust).
+        EXPECT_LE(sls.length, exact.length * 1.02 + 1e-9)
+            << "n=" << n << " seed=" << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, TspQualityTest,
+                         ::testing::Values(4, 8, 12));
+
+TEST(Tsp, TwoOptImprovesOverNearestNeighbour)
+{
+    // On clustered metric instances, polishing must never hurt.
+    Rng rng(7);
+    DistanceMatrix d(24);
+    std::vector<Vec3> pts;
+    for (int i = 0; i < 24; ++i)
+        pts.push_back(rng.uniformInBox({0, 0, 0}, {100, 100, 0}));
+    for (int i = 0; i < 24; ++i)
+        for (int j = i + 1; j < 24; ++j)
+            d.set(i, j, (pts[i] - pts[j]).norm());
+
+    TspConfig no_polish;
+    no_polish.time_limit_ms = 0.0;    // construction only
+    no_polish.use_3opt = false;
+    TspConfig full;
+    full.time_limit_ms = 10.0;
+    EXPECT_LE(solveTsp(d, full).length,
+              solveTsp(d, no_polish).length + 1e-9);
+}
+
+TEST(Ordering, NamesAndInventory)
+{
+    auto all = allOrderingStrategies();
+    EXPECT_EQ(all.size(), 4u);
+    EXPECT_STREQ(orderingName(OrderingStrategy::Tsp), "TSP Order");
+    EXPECT_STREQ(orderingName(OrderingStrategy::GsCount),
+                 "GS Count Order");
+}
+
+TEST(Ordering, AllStrategiesReturnPermutations)
+{
+    auto sets = randomSets(10, 300, 0.2, 9);
+    std::vector<Vec3> centers;
+    Rng rng(10);
+    for (int i = 0; i < 10; ++i)
+        centers.push_back(rng.uniformInBox({0, 0, 0}, {10, 10, 10}));
+    OrderingInputs in;
+    in.sets = &sets;
+    in.camera_centers = &centers;
+    for (OrderingStrategy s : allOrderingStrategies()) {
+        auto order = orderViews(s, 10, in);
+        EXPECT_TRUE(isPermutation(order, 10)) << orderingName(s);
+    }
+}
+
+TEST(Ordering, GsCountSortsDescending)
+{
+    std::vector<std::vector<uint32_t>> sets{{1, 2}, {1, 2, 3, 4}, {7}};
+    OrderingInputs in;
+    in.sets = &sets;
+    auto order = orderViews(OrderingStrategy::GsCount, 3, in);
+    EXPECT_EQ(order, (std::vector<int>{1, 0, 2}));
+}
+
+TEST(Ordering, CameraSortsAlongPrincipalAxis)
+{
+    // Centers spread along x: camera order must be an x-sweep (either
+    // direction, as the principal axis sign is arbitrary).
+    std::vector<Vec3> centers{
+        {5, 0, 0}, {1, 0.1f, 0}, {9, -0.1f, 0}, {3, 0, 0.1f}};
+    OrderingInputs in;
+    in.camera_centers = &centers;
+    auto order = orderViews(OrderingStrategy::Camera, 4, in);
+    std::vector<int> fwd{1, 3, 0, 2};
+    std::vector<int> rev{2, 0, 3, 1};
+    EXPECT_TRUE(order == fwd || order == rev);
+}
+
+TEST(Ordering, TspMaximizesConsecutiveOverlap)
+{
+    // TSP order must achieve no worse total symmetric difference than
+    // random order on a locality-rich instance.
+    Rng rng(11);
+    // Sets with a sliding-window structure: view v covers [v*10, v*10+60).
+    std::vector<std::vector<uint32_t>> sets;
+    std::vector<int> shuffled(12);
+    std::iota(shuffled.begin(), shuffled.end(), 0);
+    std::shuffle(shuffled.begin(), shuffled.end(), rng.engine());
+    for (int v : shuffled) {
+        std::vector<uint32_t> s;
+        for (uint32_t g = v * 10; g < uint32_t(v * 10 + 60); ++g)
+            s.push_back(g);
+        sets.push_back(std::move(s));
+    }
+    OrderingInputs in;
+    in.sets = &sets;
+    in.tsp.time_limit_ms = 5.0;
+
+    auto cost = [&](const std::vector<int> &order) {
+        double c = 0;
+        for (size_t i = 0; i + 1 < order.size(); ++i)
+            c += symmetricDifferenceSize(sets[order[i]],
+                                         sets[order[i + 1]]);
+        return c;
+    };
+    auto tsp = orderViews(OrderingStrategy::Tsp, sets.size(), in);
+    auto random = orderViews(OrderingStrategy::Random, sets.size(), in);
+    EXPECT_LE(cost(tsp), cost(random));
+    // The sliding-window instance has a known optimal sweep cost.
+    double optimal = 11 * 20.0;    // each adjacent pair differs by 20
+    EXPECT_NEAR(cost(tsp), optimal, 1e-9);
+}
+
+TEST(Ordering, RandomIsSeedDeterministic)
+{
+    OrderingInputs a, b;
+    a.seed = b.seed = 77;
+    auto sets = randomSets(8, 100, 0.3, 12);
+    a.sets = b.sets = &sets;
+    EXPECT_EQ(orderViews(OrderingStrategy::Random, 8, a),
+              orderViews(OrderingStrategy::Random, 8, b));
+}
+
+} // namespace
+} // namespace clm

@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Simulator tests: device presets, cost-model ratios, discrete-event
+ * engine causality (stream FIFO + event dependencies), overlap behaviour
+ * (CLM hides communication; naive cannot), the memory model's Figure 8
+ * ordering, and the Nsight-style metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "offload/planner.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/device_spec.hpp"
+#include "sim/engine.hpp"
+#include "sim/memory_model.hpp"
+#include "sim/metrics.hpp"
+
+namespace clm {
+namespace {
+
+BatchWorkload
+makeWorkload(int views, uint32_t universe, double density, uint64_t seed)
+{
+    Rng rng(seed);
+    BatchWorkload wl;
+    for (int v = 0; v < views; ++v) {
+        std::vector<uint32_t> s;
+        for (uint32_t g = 0; g < universe; ++g)
+            if (rng.uniform() < density)
+                s.push_back(g);
+        wl.sets.push_back(std::move(s));
+        wl.camera_centers.push_back(
+            rng.uniformInBox({0, 0, 0}, {10, 10, 10}));
+    }
+    wl.n_synthetic = universe;
+    wl.n_target = universe;
+    wl.pixels_per_view = 1920.0 * 1080.0;
+    return wl;
+}
+
+Timeline
+runSystem(SystemKind system, const BatchWorkload &wl,
+          const DeviceSpec &dev, BatchPlanResult *out_plan = nullptr)
+{
+    PlannerConfig cfg;
+    cfg.system = system;
+    BatchPlanResult r = planBatch(cfg, wl);
+    CostModel cost(dev);
+    Timeline tl = simulate(r.plan, cost);
+    if (out_plan)
+        *out_plan = std::move(r);
+    return tl;
+}
+
+TEST(DeviceSpec, PresetsMatchTestbeds)
+{
+    DeviceSpec a = DeviceSpec::rtx4090();
+    DeviceSpec b = DeviceSpec::rtx2080ti();
+    EXPECT_NEAR(a.gpu_memory_bytes, 24e9, 1e6);
+    EXPECT_NEAR(b.gpu_memory_bytes, 11e9, 1e6);
+    // ~7x FLOPs and 2x PCIe, as §6.1 states.
+    EXPECT_NEAR(a.flops / b.flops, 7.0, 1.0);
+    EXPECT_NEAR(a.pcie_bw / b.pcie_bw, 2.0, 0.1);
+    EXPECT_GT(a.usableGpuBytes(), 0.0);
+    EXPECT_LT(a.usableGpuBytes(), a.gpu_memory_bytes);
+}
+
+TEST(CostModel, TransfersScaleWithBytes)
+{
+    DeviceSpec dev = DeviceSpec::rtx4090();
+    CostModel cost(dev);
+    double t1 = cost.pcieSeconds(1e9);
+    double t2 = cost.pcieSeconds(2e9);
+    EXPECT_GT(t2, t1);
+    // The marginal gigabyte costs 1/(effective bandwidth) seconds; the
+    // latency term cancels in the difference.
+    EXPECT_NEAR(t2 - t1,
+                1e9 / (dev.pcie_bw * cost.config().pcie_efficiency),
+                1e-6);
+    EXPECT_DOUBLE_EQ(cost.pcieSeconds(0.0), 0.0);
+}
+
+TEST(CostModel, Pcie3IsTwiceAsSlow)
+{
+    CostModel fast(DeviceSpec::rtx4090());
+    CostModel slow(DeviceSpec::rtx2080ti());
+    double ratio = slow.pcieSeconds(4e9) / fast.pcieSeconds(4e9);
+    EXPECT_NEAR(ratio, 2.0, 0.15);
+}
+
+TEST(CostModel, KernelsAreBandwidthBoundNotFlopBound)
+{
+    // The 2080 Ti should be ~1.5-1.7x slower on render kernels (the
+    // paper's measured behaviour), not 7x (the FLOP ratio).
+    CostModel fast(DeviceSpec::rtx4090());
+    CostModel slow(DeviceSpec::rtx2080ti());
+    double ratio =
+        slow.kernelSeconds(1e6, 2e6) / fast.kernelSeconds(1e6, 2e6);
+    EXPECT_GT(ratio, 1.3);
+    EXPECT_LT(ratio, 2.5);
+}
+
+TEST(CostModel, CpuAdamScalesWithGaussians)
+{
+    CostModel cost(DeviceSpec::rtx4090());
+    EXPECT_NEAR(cost.cpuAdamSeconds(2e6), 2.0 * cost.cpuAdamSeconds(1e6),
+                1e-9);
+    // ~46M Gaussians take on the order of a second (Figure 13 scale).
+    double t = cost.cpuAdamSeconds(46e6);
+    EXPECT_GT(t, 0.2);
+    EXPECT_LT(t, 5.0);
+}
+
+TEST(CostModel, FixedSecondsOverride)
+{
+    CostModel cost(DeviceSpec::rtx4090());
+    PlanOp op;
+    op.kind = OpKind::Schedule;
+    op.engine = EngineId::CpuThread;
+    op.fixed_seconds = 0.0125;
+    EXPECT_DOUBLE_EQ(cost.duration(op), 0.0125);
+}
+
+TEST(Engine, RespectsDependencies)
+{
+    BatchPlan plan;
+    plan.batch_size = 1;
+    PlanOp a;
+    a.kind = OpKind::LoadAll;
+    a.engine = EngineId::CommStream;
+    a.h2d_bytes = 1e9;
+    a.label = "load";
+    int ia = plan.add(a);
+    PlanOp b;
+    b.kind = OpKind::Forward;
+    b.engine = EngineId::ComputeStream;
+    b.gaussians = 1e6;
+    b.pixels = 1e6;
+    b.deps.push_back(ia);
+    b.label = "fwd";
+    plan.add(b);
+
+    CostModel cost(DeviceSpec::rtx4090());
+    Timeline tl = simulate(plan, cost);
+    EXPECT_GE(tl.records[1].start, tl.records[0].end);
+    EXPECT_DOUBLE_EQ(tl.makespan, tl.records[1].end);
+}
+
+TEST(Engine, StreamFifoSerializesSameEngine)
+{
+    BatchPlan plan;
+    plan.batch_size = 1;
+    for (int i = 0; i < 3; ++i) {
+        PlanOp op;
+        op.kind = OpKind::Forward;
+        op.engine = EngineId::ComputeStream;
+        op.gaussians = 1e6;
+        op.label = "k" + std::to_string(i);
+        plan.add(op);
+    }
+    CostModel cost(DeviceSpec::rtx4090());
+    Timeline tl = simulate(plan, cost);
+    for (int i = 1; i < 3; ++i)
+        EXPECT_GE(tl.records[i].start, tl.records[i - 1].end - 1e-12);
+}
+
+TEST(Engine, IndependentEnginesOverlap)
+{
+    BatchPlan plan;
+    plan.batch_size = 1;
+    PlanOp comm;
+    comm.kind = OpKind::LoadAll;
+    comm.engine = EngineId::CommStream;
+    comm.h2d_bytes = 2e9;
+    comm.label = "load";
+    plan.add(comm);
+    PlanOp kern;
+    kern.kind = OpKind::Forward;
+    kern.engine = EngineId::ComputeStream;
+    kern.gaussians = 10e6;
+    kern.pixels = 8e6;
+    kern.label = "fwd";
+    plan.add(kern);
+
+    CostModel cost(DeviceSpec::rtx4090());
+    Timeline tl = simulate(plan, cost);
+    // No dependency: both start at zero and overlap fully.
+    EXPECT_DOUBLE_EQ(tl.records[0].start, 0.0);
+    EXPECT_DOUBLE_EQ(tl.records[1].start, 0.0);
+    EXPECT_LT(tl.makespan,
+              tl.records[0].duration() + tl.records[1].duration());
+}
+
+TEST(Engine, CausalityPropertyOnClmPlan)
+{
+    BatchWorkload wl = makeWorkload(8, 2000, 0.15, 31);
+    BatchPlanResult r;
+    Timeline tl = runSystem(SystemKind::Clm, wl,
+                            DeviceSpec::rtx4090(), &r);
+    // Every op starts after its deps end and engines never overlap
+    // themselves.
+    for (size_t i = 0; i < r.plan.ops.size(); ++i)
+        for (int d : r.plan.ops[i].deps)
+            EXPECT_GE(tl.records[i].start, tl.records[d].end - 1e-12);
+    for (int e = 0; e < kNumEngines; ++e) {
+        auto iv = tl.engineIntervals(r.plan, static_cast<EngineId>(e));
+        for (size_t i = 1; i < iv.size(); ++i)
+            EXPECT_GE(iv[i].first, iv[i - 1].second - 1e-12);
+    }
+}
+
+TEST(Sim, ClmFasterThanNaiveOffloading)
+{
+    // Strong consecutive overlap (locality) + moderate sparsity: the
+    // regime where CLM's pipelining pays (Figure 11).
+    BatchWorkload wl = makeWorkload(8, 20000, 0.05, 32);
+    wl.n_target = 30e6;    // paper-scale model
+    for (auto dev : {DeviceSpec::rtx4090(), DeviceSpec::rtx2080ti()}) {
+        double t_clm = runSystem(SystemKind::Clm, wl, dev).makespan;
+        double t_naive =
+            runSystem(SystemKind::NaiveOffload, wl, dev).makespan;
+        EXPECT_LT(t_clm, t_naive) << dev.name;
+        EXPECT_GT(t_naive / t_clm, 1.2) << dev.name;
+    }
+}
+
+TEST(Sim, ClmOverheadVsEnhancedBaselineIsModest)
+{
+    BatchWorkload wl = makeWorkload(8, 20000, 0.05, 33);
+    wl.n_target = 15e6;
+    for (auto dev : {DeviceSpec::rtx4090(), DeviceSpec::rtx2080ti()}) {
+        double t_clm = runSystem(SystemKind::Clm, wl, dev).makespan;
+        double t_enh =
+            runSystem(SystemKind::EnhancedBaseline, wl, dev).makespan;
+        EXPECT_GT(t_clm, t_enh) << dev.name;    // offloading costs >0
+        EXPECT_LT(t_clm / t_enh, 2.2) << dev.name;    // but modest
+    }
+}
+
+TEST(Sim, SlowGpuHidesOffloadingBetter)
+{
+    // §6.3: the 2080 Ti's longer kernels overlap more of the
+    // communication, so CLM's relative overhead is smaller there.
+    BatchWorkload wl = makeWorkload(8, 20000, 0.05, 34);
+    wl.n_target = 15e6;
+    auto ratio = [&](const DeviceSpec &dev) {
+        double t_clm = runSystem(SystemKind::Clm, wl, dev).makespan;
+        double t_enh =
+            runSystem(SystemKind::EnhancedBaseline, wl, dev).makespan;
+        return t_clm / t_enh;
+    };
+    EXPECT_LT(ratio(DeviceSpec::rtx2080ti()),
+              ratio(DeviceSpec::rtx4090()));
+}
+
+TEST(MemoryModel, Figure8SystemOrdering)
+{
+    MemoryModelConfig cfg;
+    for (const SceneSpec &scene : SceneSpec::all()) {
+        for (auto dev :
+             {DeviceSpec::rtx4090(), DeviceSpec::rtx2080ti()}) {
+            double base = maxTrainableGaussians(SystemKind::Baseline,
+                                                scene, dev, cfg);
+            double enh = maxTrainableGaussians(
+                SystemKind::EnhancedBaseline, scene, dev, cfg);
+            double naive = maxTrainableGaussians(
+                SystemKind::NaiveOffload, scene, dev, cfg);
+            double cl =
+                maxTrainableGaussians(SystemKind::Clm, scene, dev, cfg);
+            EXPECT_GT(enh, base) << scene.name << dev.name;
+            EXPECT_GT(naive, enh) << scene.name << dev.name;
+            EXPECT_GT(cl, naive) << scene.name << dev.name;
+        }
+    }
+}
+
+TEST(MemoryModel, ClmHeadroomLargestOnBigCity)
+{
+    // The paper's headline: ~6x the enhanced baseline on BigCity, and
+    // ~2x over naive offloading.
+    MemoryModelConfig cfg;
+    DeviceSpec dev = DeviceSpec::rtx4090();
+    SceneSpec big = SceneSpec::bigCity();
+    double enh = maxTrainableGaussians(SystemKind::EnhancedBaseline, big,
+                                       dev, cfg);
+    double naive =
+        maxTrainableGaussians(SystemKind::NaiveOffload, big, dev, cfg);
+    double cl = maxTrainableGaussians(SystemKind::Clm, big, dev, cfg);
+    EXPECT_GT(cl / enh, 3.5);
+    EXPECT_GT(cl / naive, 1.7);
+    // And the absolute scale: tens of millions on 24 GB.
+    EXPECT_GT(cl, 60e6);
+    EXPECT_LT(cl, 150e6);
+}
+
+TEST(MemoryModel, DemandIsMonotoneInN)
+{
+    MemoryModelConfig cfg;
+    DeviceSpec dev = DeviceSpec::rtx4090();
+    SceneSpec scene = SceneSpec::rubble();
+    for (SystemKind s :
+         {SystemKind::Baseline, SystemKind::EnhancedBaseline,
+          SystemKind::NaiveOffload, SystemKind::Clm}) {
+        double prev = 0;
+        for (double n : {1e6, 5e6, 20e6, 80e6}) {
+            double total = gpuMemoryDemand(s, scene, n, dev, cfg).total();
+            EXPECT_GT(total, prev);
+            prev = total;
+        }
+    }
+}
+
+TEST(MemoryModel, Table2ModelStateEstimate)
+{
+    // 59 params x 4 floats x 4 bytes: 100M Gaussians ~ 94.4 GB of model
+    // state (the bulk of Table 2's 110 GB demand).
+    EXPECT_NEAR(modelStateDemandBytes(100e6), 94.4e9, 0.1e9);
+}
+
+TEST(MemoryModel, BreakdownComponentsPositive)
+{
+    MemoryBreakdown b =
+        gpuMemoryDemand(SystemKind::Clm, SceneSpec::bigCity(), 50e6,
+                        DeviceSpec::rtx4090());
+    EXPECT_GT(b.model_state_bytes, 0);
+    EXPECT_GT(b.activation_bytes, 0);
+    EXPECT_GT(b.reserve_bytes, 0);
+    EXPECT_NEAR(b.total(), b.model_state_bytes + b.activation_bytes
+                               + b.reserve_bytes,
+                1.0);
+    // CLM's model-state share is small: critical attrs + buffers only.
+    MemoryBreakdown base =
+        gpuMemoryDemand(SystemKind::Baseline, SceneSpec::bigCity(), 50e6,
+                        DeviceSpec::rtx4090());
+    EXPECT_LT(b.model_state_bytes, 0.25 * base.model_state_bytes);
+}
+
+TEST(Metrics, UtilizationInRangeAndClmBeatsNaive)
+{
+    BatchWorkload wl = makeWorkload(8, 20000, 0.05, 35);
+    wl.n_target = 30e6;
+    DeviceSpec dev = DeviceSpec::rtx4090();
+
+    BatchPlanResult rc, rn;
+    Timeline tc = runSystem(SystemKind::Clm, wl, dev, &rc);
+    Timeline tn = runSystem(SystemKind::NaiveOffload, wl, dev, &rn);
+    HardwareUtilization uc = computeUtilization(rc.plan, tc, dev);
+    HardwareUtilization un = computeUtilization(rn.plan, tn, dev);
+
+    for (double v : {uc.cpu_util, uc.sm_active, uc.pcie_rx_util,
+                     uc.pcie_tx_util, uc.dram_read_util,
+                     uc.dram_write_util}) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 100.0);
+    }
+    // Table 7's shape: CLM keeps both the CPU and the GPU busier.
+    EXPECT_GT(uc.cpu_util, un.cpu_util);
+    EXPECT_GT(uc.sm_active, un.sm_active);
+}
+
+TEST(Metrics, IdleCdfClmLowerIdleThanNaive)
+{
+    BatchWorkload wl = makeWorkload(8, 20000, 0.05, 36);
+    wl.n_target = 30e6;
+    DeviceSpec dev = DeviceSpec::rtx4090();
+    BatchPlanResult rc, rn;
+    Timeline tc = runSystem(SystemKind::Clm, wl, dev, &rc);
+    Timeline tn = runSystem(SystemKind::NaiveOffload, wl, dev, &rn);
+    auto idle_c = gpuIdleSamples(rc.plan, tc, 1000);
+    auto idle_n = gpuIdleSamples(rn.plan, tn, 1000);
+    double mean_c = 0, mean_n = 0;
+    for (double v : idle_c)
+        mean_c += v;
+    for (double v : idle_n)
+        mean_n += v;
+    EXPECT_LT(mean_c / idle_c.size(), mean_n / idle_n.size());
+}
+
+TEST(Metrics, BreakdownSumsAreConsistent)
+{
+    BatchWorkload wl = makeWorkload(6, 10000, 0.1, 37);
+    wl.n_target = 20e6;
+    DeviceSpec dev = DeviceSpec::rtx4090();
+    BatchPlanResult r;
+    Timeline tl = runSystem(SystemKind::Clm, wl, dev, &r);
+    RuntimeBreakdown b = computeBreakdown(r.plan, tl);
+    EXPECT_GT(b.total, 0);
+    EXPECT_GT(b.compute, 0);
+    EXPECT_GT(b.communication, 0);
+    EXPECT_GE(b.overlapped_adam, 0);
+    EXPECT_GE(b.trailing_adam, 0);
+    // Compute alone can't exceed the makespan.
+    EXPECT_LE(b.compute, b.total + 1e-9);
+    // Trailing Adam is bounded by total CPU Adam time.
+    EXPECT_LE(b.trailing_adam, b.overlapped_adam + b.trailing_adam + 1e-9);
+}
+
+TEST(Metrics, OverlapAdamReducesTrailingTime)
+{
+    BatchWorkload wl = makeWorkload(8, 20000, 0.08, 38);
+    wl.n_target = 30e6;
+    DeviceSpec dev = DeviceSpec::rtx4090();
+    CostModel cost(dev);
+
+    PlannerConfig cfg;
+    cfg.system = SystemKind::Clm;
+    cfg.overlap_adam = true;
+    BatchPlanResult with = planBatch(cfg, wl);
+    cfg.overlap_adam = false;
+    BatchPlanResult without = planBatch(cfg, wl);
+
+    double trail_with =
+        adamTrailingSeconds(with.plan, simulate(with.plan, cost));
+    double trail_without =
+        adamTrailingSeconds(without.plan, simulate(without.plan, cost));
+    EXPECT_LT(trail_with, trail_without);
+}
+
+
+TEST(Sim, ThroughputMonotoneInDeviceParameters)
+{
+    // Sanity for the what-if analyses: more PCIe bandwidth, more DRAM
+    // bandwidth or more host cores can never slow a system down.
+    BatchWorkload wl = makeWorkload(6, 10000, 0.05, 40);
+    wl.n_target = 20e6;
+    for (SystemKind sys : {SystemKind::NaiveOffload, SystemKind::Clm}) {
+        PlannerConfig cfg;
+        cfg.system = sys;
+        BatchPlanResult r = planBatch(cfg, wl);
+        auto makespan = [&](auto mutate) {
+            DeviceSpec dev = DeviceSpec::rtx4090();
+            mutate(dev);
+            CostModel cost(dev);
+            return simulate(r.plan, cost).makespan;
+        };
+        double base = makespan([](DeviceSpec &) {});
+        EXPECT_LE(makespan([](DeviceSpec &d) { d.pcie_bw *= 2; }),
+                  base + 1e-12);
+        EXPECT_LE(makespan([](DeviceSpec &d) { d.cpu_cores *= 2; }),
+                  base + 1e-12);
+        EXPECT_GE(makespan([](DeviceSpec &d) { d.pcie_bw *= 0.25; }),
+                  base - 1e-12);
+    }
+}
+
+TEST(Sim, EveryOpKindHasFiniteNonNegativeCost)
+{
+    CostModel cost(DeviceSpec::rtx2080ti());
+    for (OpKind kind :
+         {OpKind::Cull, OpKind::Schedule, OpKind::LoadParams,
+          OpKind::CopyCached, OpKind::Forward, OpKind::Backward,
+          OpKind::StoreGrads, OpKind::CarryGrads, OpKind::CpuAdam,
+          OpKind::GpuAdam, OpKind::LoadAll, OpKind::StoreAll,
+          OpKind::WriteCritical}) {
+        PlanOp op;
+        op.kind = kind;
+        op.engine = EngineId::ComputeStream;
+        op.gaussians = 1e6;
+        op.pixels = 1e6;
+        op.h2d_bytes = 1e8;
+        op.d2h_bytes = 1e8;
+        op.dram_bytes = 1e8;
+        double d = cost.duration(op);
+        EXPECT_TRUE(std::isfinite(d)) << opKindName(kind);
+        EXPECT_GE(d, 0.0) << opKindName(kind);
+    }
+}
+
+TEST(Sim, ScatteredAdamCostsMoreThanBulk)
+{
+    CostModel cost(DeviceSpec::rtx4090());
+    PlanOp bulk, scattered;
+    bulk.kind = scattered.kind = OpKind::CpuAdam;
+    bulk.engine = scattered.engine = EngineId::CpuThread;
+    bulk.gaussians = scattered.gaussians = 1e6;
+    scattered.scattered_adam = true;
+    EXPECT_GT(cost.duration(scattered), cost.duration(bulk));
+}
+
+} // namespace
+} // namespace clm

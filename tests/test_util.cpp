@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the util layer: logging error paths, the table printer, the
+ * timer, and image file output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "render/image.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace clm {
+namespace {
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(CLM_PANIC("boom ", 42), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(CLM_FATAL("bad config"), std::runtime_error);
+}
+
+TEST(Logging, AssertPassesAndFails)
+{
+    CLM_ASSERT(1 + 1 == 2, "fine");
+    EXPECT_THROW(CLM_ASSERT(false, "value was ", 7), std::logic_error);
+}
+
+TEST(Logging, LevelsAreSettable)
+{
+    LogLevel old_level = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    warn("suppressed");    // must not crash
+    inform("suppressed");
+    setLogLevel(old_level);
+}
+
+TEST(Table, PrintsAlignedMarkdown)
+{
+    Table t({"A", "Long header"});
+    t.addRow({"1", "x"});
+    t.addRow({"22", "yy"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("| A "), std::string::npos);
+    EXPECT_NE(s.find("Long header"), std::string::npos);
+    // Header + separator + 2 rows.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsWrongArity)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only one"}), std::logic_error);
+}
+
+TEST(Table, Formatting)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+    EXPECT_EQ(Table::fmtBytes(1024.0), "1.00 KB");
+    EXPECT_EQ(Table::fmtBytes(1536.0 * 1024 * 1024), "1.50 GB");
+}
+
+TEST(Timer, MeasuresElapsedTime)
+{
+    Timer t;
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    double ms = t.millis();
+    EXPECT_GE(ms, 10.0);
+    EXPECT_LT(ms, 2000.0);
+    t.reset();
+    EXPECT_LT(t.millis(), 10.0);
+}
+
+TEST(Image, PpmRoundTripHeader)
+{
+    Image img(4, 3, {1.0f, 0.0f, 0.5f});
+    std::string path = "/tmp/clm_test_img.ppm";
+    img.writePpm(path);
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char magic[3] = {};
+    ASSERT_EQ(std::fscanf(f, "%2s", magic), 1);
+    EXPECT_STREQ(magic, "P6");
+    int w = 0, h = 0, maxv = 0;
+    ASSERT_EQ(std::fscanf(f, "%d %d %d", &w, &h, &maxv), 3);
+    EXPECT_EQ(w, 4);
+    EXPECT_EQ(h, 3);
+    EXPECT_EQ(maxv, 255);
+    std::fgetc(f);    // newline
+    // First pixel: clamped bytes 255, 0, 127|128.
+    int r = std::fgetc(f), g = std::fgetc(f), b = std::fgetc(f);
+    EXPECT_EQ(r, 255);
+    EXPECT_EQ(g, 0);
+    EXPECT_NEAR(b, 128, 1);
+    std::fclose(f);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace clm
