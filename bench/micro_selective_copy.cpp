@@ -68,7 +68,7 @@ BM_GatherPerRecordCalls(benchmark::State &state)
     };
     for (auto _ : state) {
         for (uint32_t g : idx) {
-            int64_t r = buf.rowOf(g);
+            size_t r = buf.boundRow(g);
             copy_one(pool.paramRecord(g), buf.paramRow(r));
         }
         benchmark::DoNotOptimize(buf.paramRow(0));

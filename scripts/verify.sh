@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build and run the full test suite, then
+# repeat under AddressSanitizer + UBSan (-DCLM_SANITIZE=ON).
+#
+# Usage: scripts/verify.sh [--no-sanitize]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+SANITIZE=1
+if [[ "${1:-}" == "--no-sanitize" ]]; then
+    SANITIZE=0
+fi
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S .
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+if [[ "$SANITIZE" == "1" ]]; then
+    echo "== sanitized: ASan + UBSan build + ctest =="
+    cmake -B build-sanitize -S . -DCLM_SANITIZE=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build build-sanitize -j"$JOBS"
+    ctest --test-dir build-sanitize --output-on-failure -j"$JOBS"
+fi
+
+echo "verify: OK"

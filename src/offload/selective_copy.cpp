@@ -33,6 +33,14 @@ DeviceBuffer::rowOf(uint32_t g) const
     return it - indices_.begin();
 }
 
+size_t
+DeviceBuffer::boundRow(uint32_t g) const
+{
+    int64_t r = rowOf(g);
+    CLM_ASSERT(r >= 0, "gaussian ", g, " not bound in buffer");
+    return static_cast<size_t>(r);
+}
+
 void
 DeviceBuffer::zeroGrads()
 {

@@ -4,7 +4,9 @@
  * kernels (§5.2, §5.3): batched gather of sparse pinned-memory records
  * into dense device buffers, scatter of device gradients back with
  * read-modify-write accumulation, and dense row copies for the GPU-side
- * Gaussian cache. The batched forms are microbenchmarked against naive
+ * Gaussian cache. These kernels are driven exclusively by the
+ * TransferEngine (offload/transfer_engine.hpp); trainers never call them
+ * directly. The batched forms are microbenchmarked against naive
  * per-record copies in bench/micro_selective_copy.
  */
 
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "offload/pinned_pool.hpp"
+#include "util/logging.hpp"
 
 namespace clm {
 
@@ -37,20 +40,38 @@ class DeviceBuffer
     /** Currently bound global indices (ascending). */
     const std::vector<uint32_t> &indices() const { return indices_; }
 
-    /** Row position of global index @p g, or -1 when absent. */
+    /** Row position of global index @p g, or -1 when absent. This is the
+     *  single not-found convention: every caller that can miss checks for
+     *  int64_t -1; callers that must hit use boundRow(). */
     int64_t rowOf(uint32_t g) const;
+
+    /** Row position of global index @p g, asserting that it is bound.
+     *  Use instead of rowOf() wherever absence would be a logic error. */
+    size_t boundRow(uint32_t g) const;
 
     /** Non-critical parameter row r (49 floats). */
     float *paramRow(size_t r)
-    { return &params_[r * kNonCriticalDim]; }
+    {
+        CLM_DBG_ASSERT(r < rows(), "param row ", r, " of ", rows());
+        return &params_[r * kNonCriticalDim];
+    }
     const float *paramRow(size_t r) const
-    { return &params_[r * kNonCriticalDim]; }
+    {
+        CLM_DBG_ASSERT(r < rows(), "param row ", r, " of ", rows());
+        return &params_[r * kNonCriticalDim];
+    }
 
     /** Gradient row r (59 floats). */
     float *gradRow(size_t r)
-    { return &grads_[r * kParamsPerGaussian]; }
+    {
+        CLM_DBG_ASSERT(r < rows(), "grad row ", r, " of ", rows());
+        return &grads_[r * kParamsPerGaussian];
+    }
     const float *gradRow(size_t r) const
-    { return &grads_[r * kParamsPerGaussian]; }
+    {
+        CLM_DBG_ASSERT(r < rows(), "grad row ", r, " of ", rows());
+        return &grads_[r * kParamsPerGaussian];
+    }
 
     /** Number of bound rows. */
     size_t rows() const { return indices_.size(); }

@@ -117,6 +117,72 @@ computeBreakdown(const BatchPlan &plan, const Timeline &tl)
     return b;
 }
 
+RuntimeBreakdown
+computeBreakdown(const StageTimings &t)
+{
+    RuntimeBreakdown b;
+    b.total = t.batch_seconds;
+    b.compute = t[TrainStage::Compute];
+    b.communication = t.communication();
+    b.scheduling = t[TrainStage::Schedule];
+    if (t.finalize_inline) {
+        // Finalization blocked the critical path between microbatches:
+        // all of it is non-overlapped, wherever it fell in the batch.
+        b.trailing_adam = t[TrainStage::Finalize];
+        b.overlapped_adam = 0;
+    } else {
+        b.trailing_adam = t.trailing_adam_seconds;
+        b.overlapped_adam = std::max(
+            0.0, t[TrainStage::Finalize] - t.trailing_adam_seconds);
+    }
+    return b;
+}
+
+std::vector<double>
+gpuIdleSamples(const StageTimings &t, int n_samples)
+{
+    // Reconstruct a sequential busy/idle timeline from the measured
+    // durations: scheduling (idle), then per microbatch the staging stall
+    // (idle) followed by compute (busy), then trailing Adam (idle). With
+    // prefetch enabled the stalls are the *exposed* staging time, exactly
+    // what SMs-active sampling would see.
+    struct Segment
+    {
+        double duration;
+        bool busy;
+    };
+    std::vector<Segment> segments;
+    segments.push_back({t[TrainStage::Schedule], false});
+    for (const StageTimings::Microbatch &mb : t.microbatches) {
+        segments.push_back({mb.wait, false});
+        segments.push_back({mb.compute, true});
+    }
+    // Inline finalization stalls the compute engine for its full
+    // duration; a dedicated Adam thread exposes only the trailing part.
+    segments.push_back({t.finalize_inline ? t[TrainStage::Finalize]
+                                          : t.trailing_adam_seconds,
+                        false});
+
+    double span = 0;
+    for (const Segment &s : segments)
+        span += s.duration;
+    std::vector<double> samples;
+    samples.reserve(n_samples);
+    if (span <= 0)
+        return samples;
+    size_t cursor = 0;
+    double cursor_end = segments[0].duration;
+    for (int s = 0; s < n_samples; ++s) {
+        double at = span * (s + 0.5) / n_samples;
+        while (cursor + 1 < segments.size() && cursor_end < at) {
+            ++cursor;
+            cursor_end += segments[cursor].duration;
+        }
+        samples.push_back(segments[cursor].busy ? 0.0 : 100.0);
+    }
+    return samples;
+}
+
 double
 adamTrailingSeconds(const BatchPlan &plan, const Timeline &tl)
 {

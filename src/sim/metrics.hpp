@@ -1,10 +1,13 @@
 /**
  * @file
- * Hardware-utilization metrics derived from a simulated timeline — the
- * quantities Nsight Systems provides in the paper: SMs-active idle-rate
- * CDF (Figure 15), CPU-core utilization, GPU DRAM read/write bandwidth
- * utilization and PCIe RX/TX utilization (Table 7), plus the runtime
- * decomposition of Figure 13.
+ * Hardware-utilization metrics from two sources. (a) The simulated
+ * timeline: the quantities Nsight Systems provides in the paper —
+ * SMs-active idle-rate CDF (Figure 15), CPU-core utilization, GPU DRAM
+ * read/write bandwidth utilization and PCIe RX/TX utilization (Table 7),
+ * plus the runtime decomposition of Figure 13. (b) Measured StageTimings
+ * recorded by the TransferEngine while the functional trainers run: the
+ * same RuntimeBreakdown / idle-sample shapes, derived from real stage
+ * timers instead of the cost model.
  */
 
 #ifndef CLM_SIM_METRICS_HPP
@@ -14,6 +17,7 @@
 
 #include "math/stats.hpp"
 #include "sim/engine.hpp"
+#include "sim/stage_timings.hpp"
 
 namespace clm {
 
@@ -56,6 +60,24 @@ struct RuntimeBreakdown
 /** Decompose a simulated batch the way Figure 13 does. */
 RuntimeBreakdown computeBreakdown(const BatchPlan &plan,
                                   const Timeline &timeline);
+
+/**
+ * Decompose *measured* stage timers (recorded by the TransferEngine) the
+ * way Figure 13 does: compute = forward+backward busy time, communication
+ * = gather + cached copy + scatter + carry busy time, scheduling = cull +
+ * plan, and finalization Adam split into its overlapped and trailing
+ * shares.
+ */
+RuntimeBreakdown computeBreakdown(const StageTimings &timings);
+
+/**
+ * Sample the measured GPU idle rate from stage timers: the compute engine
+ * is busy during each microbatch's forward/backward and idle while it
+ * stalls on staging, scheduling, or trailing Adam. Same sampling scheme
+ * as the simulated overload, so both feed EmpiricalCdf for Figure 15.
+ */
+std::vector<double> gpuIdleSamples(const StageTimings &timings,
+                                   int n_samples = 2000);
 
 /**
  * CPU Adam trailing time (Table 5b): time from the completion of the last

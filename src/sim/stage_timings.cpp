@@ -1,0 +1,84 @@
+#include "sim/stage_timings.hpp"
+
+#include "util/logging.hpp"
+
+namespace clm {
+
+const char *
+stageName(TrainStage s)
+{
+    switch (s) {
+      case TrainStage::Schedule:
+        return "Schedule";
+      case TrainStage::Gather:
+        return "Gather";
+      case TrainStage::CacheCopy:
+        return "CacheCopy";
+      case TrainStage::Compute:
+        return "Compute";
+      case TrainStage::Scatter:
+        return "Scatter";
+      case TrainStage::Carry:
+        return "Carry";
+      case TrainStage::Finalize:
+        return "Finalize";
+    }
+    CLM_PANIC("unreachable stage");
+}
+
+void
+StageTimings::add(TrainStage s, double secs)
+{
+    seconds[static_cast<size_t>(s)] += secs;
+    count[static_cast<size_t>(s)] += 1;
+}
+
+void
+StageTimings::noteMicrobatch(double wait_seconds, double compute_seconds)
+{
+    if (microbatches.size() < kMaxMicrobatchSamples)
+        microbatches.push_back({wait_seconds, compute_seconds});
+}
+
+void
+StageTimings::merge(const StageTimings &other)
+{
+    for (int s = 0; s < kNumTrainStages; ++s) {
+        seconds[s] += other.seconds[s];
+        count[s] += other.count[s];
+    }
+    microbatches.insert(microbatches.end(), other.microbatches.begin(),
+                        other.microbatches.end());
+    batch_seconds += other.batch_seconds;
+    trailing_adam_seconds += other.trailing_adam_seconds;
+    finalize_inline = finalize_inline || other.finalize_inline;
+}
+
+void
+StageTimings::reset()
+{
+    seconds.fill(0);
+    count.fill(0);
+    microbatches.clear();
+    batch_seconds = 0;
+    trailing_adam_seconds = 0;
+    finalize_inline = false;
+}
+
+double
+StageTimings::total() const
+{
+    double acc = 0;
+    for (double s : seconds)
+        acc += s;
+    return acc;
+}
+
+double
+StageTimings::communication() const
+{
+    return (*this)[TrainStage::Gather] + (*this)[TrainStage::CacheCopy]
+           + (*this)[TrainStage::Scatter] + (*this)[TrainStage::Carry];
+}
+
+} // namespace clm

@@ -1,206 +1,53 @@
 #include "train/clm_trainer.hpp"
 
-#include <algorithm>
-#include <cstring>
-#include <limits>
-
-#include "render/culling.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace clm {
 
-void
-packGradRecord(const GaussianGrads &grads, size_t i, float *out)
+namespace {
+
+TransferEngineConfig
+engineConfig(const TrainConfig &config)
 {
-    out[0] = grads.d_position[i].x;
-    out[1] = grads.d_position[i].y;
-    out[2] = grads.d_position[i].z;
-    out[3] = grads.d_log_scale[i].x;
-    out[4] = grads.d_log_scale[i].y;
-    out[5] = grads.d_log_scale[i].z;
-    out[6] = grads.d_rotation[i].w;
-    out[7] = grads.d_rotation[i].x;
-    out[8] = grads.d_rotation[i].y;
-    out[9] = grads.d_rotation[i].z;
-    std::memcpy(out + kShOffset, &grads.d_sh[i * kShDim],
-                kShDim * sizeof(float));
-    out[kOpacityOffset] = grads.d_opacity[i];
+    TransferEngineConfig ec;
+    ec.prefetch = config.prefetch;
+    ec.async_finalize = config.async_adam;
+    return ec;
 }
 
-void
-unpackGradRecord(const float *in, GaussianGrads &grads, size_t i)
-{
-    grads.d_position[i] = {in[0], in[1], in[2]};
-    grads.d_log_scale[i] = {in[3], in[4], in[5]};
-    grads.d_rotation[i] = {in[6], in[7], in[8], in[9]};
-    std::memcpy(&grads.d_sh[i * kShDim], in + kShOffset,
-                kShDim * sizeof(float));
-    grads.d_opacity[i] = in[kOpacityOffset];
-}
+} // namespace
 
 ClmTrainer::ClmTrainer(GaussianModel model, std::vector<Camera> cameras,
                        std::vector<Image> ground_truth, TrainConfig config)
     : Trainer(std::move(model), std::move(cameras),
               std::move(ground_truth), config),
-      pool_(model_.size()),
-      critical_(model_.size() * kCriticalDim),
-      gpu_scratch_(model_.size()),
-      buffers_{DeviceBuffer(model_.size()), DeviceBuffer(model_.size())}
+      ctx_(model_, adam_, densifier_),
+      engine_(model_.size(), engineConfig(config_))
 {
-    if (config_.async_adam)
-        adam_thread_ = std::thread([this] { adamThreadLoop(); });
-    onModelResized();
+    engine_.setFinalizeFn([this](const std::vector<uint32_t> &fin) {
+        return ctx_.finalize(engine_.pool(), fin, densificationEnabled());
+    });
+    engine_.uploadParams(model_);
 }
 
 void
 ClmTrainer::onModelResized()
 {
-    // (Re)build the offload state for the current model topology.
-    // Attribute-wise offload (§4.1): non-critical attributes go to pinned
-    // CPU memory; critical attributes are resident on the "GPU".
-    size_t n = model_.size();
-    if (pool_.size() != n)
-        pool_ = PinnedPool(n);
-    critical_.assign(n * kCriticalDim, 0.0f);
-    gpu_scratch_.resize(n);
-    buffers_ = {DeviceBuffer(n), DeviceBuffer(n)};
-    pool_.uploadParams(model_);
-    pool_.zeroGradients();
-    for (size_t i = 0; i < n; ++i) {
-        model_.packCritical(i, &critical_[i * kCriticalDim]);
-        // The scratch render model shares the critical attributes; its
-        // non-critical rows are only valid while loaded.
-        gpu_scratch_.unpackCritical(i, &critical_[i * kCriticalDim]);
-    }
-    scratch_grads_.resize(n);
-    cpu_grads_.resize(n);
-}
-
-void
-ClmTrainer::debugPoisonScratchNonCritical()
-{
-    float poison[kNonCriticalDim];
-    for (int k = 0; k < kNonCriticalDim; ++k)
-        poison[k] = std::numeric_limits<float>::quiet_NaN();
-    for (size_t i = 0; i < gpu_scratch_.size(); ++i)
-        gpu_scratch_.unpackNonCritical(i, poison);
+    ctx_.rebuild();
+    engine_.reset(model_.size());
+    engine_.uploadParams(model_);
 }
 
 DensifyStats
 ClmTrainer::densifyNow()
 {
-    // The Adam thread holds references into the offload state; quiesce
-    // it before restructuring (the real system synchronizes the stream
-    // and the Adam thread before densification for the same reason).
-    drainAdamThread();
+    // The finalization thread holds references into the offload state;
+    // quiesce it before restructuring (the real system synchronizes the
+    // stream and the Adam thread before densification for the same
+    // reason).
+    engine_.drain();
     return Trainer::densifyNow();
-}
-
-ClmTrainer::~ClmTrainer()
-{
-    if (adam_thread_.joinable()) {
-        {
-            std::lock_guard<std::mutex> lock(adam_mutex_);
-            adam_stop_ = true;
-        }
-        adam_cv_.notify_all();
-        adam_thread_.join();
-    }
-}
-
-void
-ClmTrainer::adamThreadLoop()
-{
-    for (;;) {
-        AdamJob job;
-        {
-            std::unique_lock<std::mutex> lock(adam_mutex_);
-            adam_cv_.wait(lock, [this] {
-                return adam_stop_ || !adam_jobs_.empty();
-            });
-            if (adam_stop_ && adam_jobs_.empty())
-                return;
-            job = std::move(adam_jobs_.front());
-            adam_jobs_.pop();
-        }
-        // Honour the §5.4 handshake: the communication "stream" set the
-        // gradient-completion flag via DMA before enqueueing the job.
-        uint32_t *signal = pool_.signalSlot(job.signal_slot);
-        CLM_ASSERT(*signal == 1u, "adam thread woke before gradients");
-        async_adam_updated_ += finalizeGaussians(job.fin);
-        *signal = 0;
-        {
-            std::lock_guard<std::mutex> lock(adam_mutex_);
-            --adam_pending_;
-            if (adam_pending_ == 0)
-                adam_cv_.notify_all();
-        }
-    }
-}
-
-void
-ClmTrainer::dispatchFinalization(std::vector<uint32_t> fin, size_t slot,
-                                 BatchStats &stats)
-{
-    if (fin.empty())
-        return;
-    if (!config_.async_adam) {
-        stats.adam_updated += finalizeGaussians(fin);
-        return;
-    }
-    // "DMA" the completion signal, then wake the Adam thread (§5.4).
-    *pool_.signalSlot(slot) = 1;
-    {
-        std::lock_guard<std::mutex> lock(adam_mutex_);
-        adam_jobs_.push(AdamJob{std::move(fin), slot});
-        ++adam_pending_;
-    }
-    adam_cv_.notify_one();
-}
-
-void
-ClmTrainer::drainAdamThread()
-{
-    if (!config_.async_adam)
-        return;
-    std::unique_lock<std::mutex> lock(adam_mutex_);
-    adam_cv_.wait(lock, [this] { return adam_pending_ == 0; });
-}
-
-void
-ClmTrainer::writeBackCritical(const std::vector<uint32_t> &indices)
-{
-    for (uint32_t g : indices) {
-        model_.packCritical(g, &critical_[size_t(g) * kCriticalDim]);
-        gpu_scratch_.unpackCritical(g,
-                                    &critical_[size_t(g) * kCriticalDim]);
-    }
-}
-
-size_t
-ClmTrainer::finalizeGaussians(const std::vector<uint32_t> &fin)
-{
-    if (fin.empty())
-        return 0;
-    // Gradients for the finalized set are complete in pinned memory;
-    // stage them and run subset Adam on the master copy (§4.2.2, §5.4).
-    for (uint32_t g : fin)
-        unpackGradRecord(pool_.gradRecord(g), cpu_grads_, g);
-    if (densificationEnabled())
-        for (uint32_t g : fin)
-            densifier_.observeNorm(g, cpu_grads_.positionGradNorm(g));
-    adam_.updateSubset(model_, cpu_grads_, fin);
-
-    // Updated non-critical parameters become visible to future loads;
-    // gradient records reset for the next batch.
-    for (uint32_t g : fin) {
-        model_.packNonCritical(g, pool_.paramRecord(g));
-        std::memset(pool_.gradRecord(g), 0,
-                    kParamsPerGaussian * sizeof(float));
-    }
-    // Updated critical attributes flow back to the GPU store (§4.1).
-    writeBackCritical(fin);
-    return fin.size();
 }
 
 BatchStats
@@ -211,87 +58,44 @@ ClmTrainer::trainBatch(const std::vector<int> &view_ids)
     size_t b = view_ids.size();
     CLM_ASSERT(b > 0, "empty batch");
 
-    // 1. Pre-rendering frustum culling from the packed critical store.
-    BatchWorkload wl;
-    wl.sets.reserve(b);
-    wl.camera_centers.reserve(b);
-    for (int v : view_ids) {
-        wl.sets.push_back(frustumCullPacked(critical_.data(),
-                                            model_.size(), cameras_[v]));
-        wl.camera_centers.push_back(cameras_[v].eye());
-    }
-    wl.n_synthetic = model_.size();
-    wl.n_target = static_cast<double>(model_.size());
-    wl.pixels_per_view = cameras_[view_ids[0]].pixels();
-
-    // 2. Plan: ordering, caching, finalization (§4.2).
+    // 1. Pre-rendering frustum culling (§5.1) + batch planning (§4.2):
+    // ordering, caching, finalization — the Figure 13 scheduling stage.
+    Timer sched;
+    BatchWorkload wl = ctx_.buildWorkload(cameras_, view_ids);
     PlannerConfig pc = config_.planner;
     pc.system = SystemKind::Clm;
-    last_plan_ = planBatch(pc, wl);
-    const CachePlan &cache = last_plan_.cache;
-    const FinalizationSchedule &fin = last_plan_.fin;
+    const BatchPlanResult &plan = ctx_.planViews(pc, wl);
+    engine_.addStageTime(TrainStage::Schedule, sched.seconds());
 
-    // 3. Execute microbatches in planned order.
+    // 2. Execute microbatches in planned order through the engine.
+    engine_.beginBatch(ctx_.orderedSets(wl), plan.cache, plan.fin);
     for (size_t i = 0; i < b; ++i) {
-        int view = view_ids[last_plan_.order[i]];
-        const std::vector<uint32_t> &set =
-            wl.sets[last_plan_.order[i]];
-        const MicrobatchTransfers &t = cache.mb[i];
+        int view = view_ids[plan.order[i]];
+        DeviceBuffer &buf = engine_.acquire(i);
+        const std::vector<uint32_t> &set = buf.indices();
 
-        DeviceBuffer &buf = buffers_[i % 2];
-        DeviceBuffer &prev = buffers_[(i + 1) % 2];
-        buf.bind(set);
-        peak_buffer_rows_ = std::max(peak_buffer_rows_, buf.rows());
-
-        // Selective load (PCIe) + cache copy (GPU-GPU) (§4.2.1, §5.2).
-        gatherParams(pool_, buf, t.load_new);
-        if (i > 0)
-            copyCachedParams(prev, buf, t.copy_cached);
-        stats.h2d_bytes += static_cast<double>(t.load_new.size())
-                           * kNonCriticalBytesPerGaussian;
-        stats.cache_hits += t.copy_cached.size();
-
-        // Gradient buffer: zero, then take over carried accumulations
-        // from the previous microbatch (§5.3).
-        buf.zeroGrads();
-        if (i > 0)
-            accumulateCarriedGrads(prev, buf,
-                                   cache.mb[i - 1].carry_grads);
-
-        // Materialize render inputs for this subset.
-        for (size_t r = 0; r < set.size(); ++r)
-            gpu_scratch_.unpackNonCritical(set[r], buf.paramRow(r));
-
-        // Forward + backward on the "GPU".
-        scratch_grads_.zeroRows(set);
+        // Materialize render inputs, then forward + backward.
+        ctx_.materialize(buf);
+        ctx_.scratchGrads().zeroRows(set);
         stats.gaussians_rendered += set.size();
-        stats.loss +=
-            renderAndBackprop(gpu_scratch_, view, set, scratch_grads_);
+        stats.loss += renderAndBackprop(ctx_.scratch(), view, set,
+                                        ctx_.scratchGrads());
 
         // Microbatch gradients into the device buffer rows.
-        for (size_t r = 0; r < set.size(); ++r) {
-            float rec[kParamsPerGaussian];
-            packGradRecord(scratch_grads_, set[r], rec);
-            float *row = buf.gradRow(r);
-            for (int k = 0; k < kParamsPerGaussian; ++k)
-                row[k] += rec[k];
-        }
-
-        // Selective RMW gradient offload for rows not needed next (§5.3).
-        scatterAccumulateGrads(buf, pool_, t.store_grads);
-        stats.d2h_bytes += static_cast<double>(t.store_grads.size())
-                           * kGradBytesPerGaussian;
-
-        // Overlapped CPU Adam: everything finalized by this microbatch
-        // (inline, or handed to the dedicated Adam thread).
-        dispatchFinalization(fin.finalized_after[i + 1], i % 64, stats);
+        accumulateGradRows(ctx_.scratchGrads(), buf);
+        engine_.release(i);
     }
+    // The batch completes only when the finalization thread has applied
+    // every queued update (the next batch's culling must see them).
+    engine_.endBatch();
 
-    // The batch completes only when the Adam thread has applied every
-    // queued update (the next batch's culling must see them).
-    drainAdamThread();
-    stats.adam_updated += async_adam_updated_.exchange(0);
-
+    const TransferEngine::Counters &c = engine_.counters();
+    stats.h2d_bytes = static_cast<double>(c.records_loaded)
+                      * kNonCriticalBytesPerGaussian;
+    stats.d2h_bytes =
+        static_cast<double>(c.records_stored) * kGradBytesPerGaussian;
+    stats.cache_hits = c.cache_hits;
+    stats.adam_updated = c.finalized;
     stats.loss /= b;
     return stats;
 }

@@ -1,27 +1,21 @@
 /**
  * @file
- * The functional CLM trainer: executes every mechanism of §4/§5 —
- * attribute-wise offload (GPU-resident critical store, pinned non-critical
- * records), pre-rendering frustum culling from the packed critical store,
- * TSP-ordered microbatches, precise Gaussian caching through real double
- * buffers, RMW gradient offloading, and finalization-driven subset CPU
- * Adam — and produces parameter trajectories equivalent to GPU-only
+ * The functional CLM trainer, now a thin policy over the shared offload
+ * subsystem: TrainerContext holds the attribute-split state (critical
+ * store, scratch render model, finalization Adam) and TransferEngine owns
+ * the whole data path (pinned pool, double-buffered staging, prefetch
+ * overlap, RMW gradient scatter, dedicated finalization thread). The
+ * trainer itself only culls, plans (§4.2), renders, and feeds gradient
+ * rows — and produces parameter trajectories equivalent to GPU-only
  * training (verified by the integration tests).
  */
 
 #ifndef CLM_TRAIN_CLM_TRAINER_HPP
 #define CLM_TRAIN_CLM_TRAINER_HPP
 
-#include <array>
-#include <atomic>
-#include <condition_variable>
-#include <mutex>
-#include <queue>
-#include <thread>
-
-#include "offload/pinned_pool.hpp"
-#include "offload/selective_copy.hpp"
+#include "offload/transfer_engine.hpp"
 #include "train/trainer.hpp"
+#include "train/trainer_context.hpp"
 
 namespace clm {
 
@@ -32,25 +26,27 @@ class ClmTrainer : public Trainer
     ClmTrainer(GaussianModel model, std::vector<Camera> cameras,
                std::vector<Image> ground_truth, TrainConfig config);
 
-    ~ClmTrainer() override;
-
     BatchStats trainBatch(const std::vector<int> &view_ids) override;
 
     /** The CPU-resident master copy (updated by CPU Adam). */
     const GaussianModel &model() const override { return model_; }
 
     /** Pinned host memory in use (the Table 6 quantity). */
-    size_t pinnedBytes() const { return pool_.bytes(); }
+    size_t pinnedBytes() const { return engine_.pinnedBytes(); }
 
     /** Peak rows ever bound in one device buffer (memory accounting). */
-    size_t peakBufferRows() const { return peak_buffer_rows_; }
+    size_t peakBufferRows() const { return engine_.peakBufferRows(); }
 
     /** The planner result of the most recent batch (for inspection). */
-    const BatchPlanResult &lastPlan() const { return last_plan_; }
+    const BatchPlanResult &lastPlan() const { return ctx_.lastPlan(); }
 
-    /** Densification with offload-state rebuild: drains the Adam thread,
-     *  restructures the model, then rebuilds the pinned pool, critical
-     *  store, scratch model and double buffers. */
+    /** Measured per-stage wall times from the TransferEngine (feeds the
+     *  Figure 13/15 benches through sim/metrics). */
+    const StageTimings &stageTimings() const { return engine_.timings(); }
+
+    /** Densification with offload-state rebuild: drains the engine's
+     *  threads, restructures the model, then rebuilds the critical
+     *  store, scratch model, pinned pool and double buffers. */
     DensifyStats densifyNow() override;
 
     /**
@@ -61,60 +57,16 @@ class ClmTrainer : public Trainer
      * memory first (§4.1) — any read of an unloaded attribute poisons
      * the output and fails the test.
      */
-    void debugPoisonScratchNonCritical();
+    void debugPoisonScratchNonCritical()
+    { ctx_.debugPoisonScratchNonCritical(); }
 
   protected:
     void onModelResized() override;
 
   private:
-    /** Push master's critical attributes for @p indices to the "GPU". */
-    void writeBackCritical(const std::vector<uint32_t> &indices);
-
-    /** Hand a finalized set to the Adam thread (async) or run inline. */
-    void dispatchFinalization(std::vector<uint32_t> fin, size_t slot,
-                              BatchStats &stats);
-
-    /** Block until the Adam thread has drained all queued work. */
-    void drainAdamThread();
-
-    /** The §5.4 dedicated-thread loop: wait on the signal buffer, run
-     *  subset Adam, repeat. */
-    void adamThreadLoop();
-
-    /** Run CPU Adam for the finalized set @p fin and sync the pool.
-     *  @return Number of Gaussians updated. */
-    size_t finalizeGaussians(const std::vector<uint32_t> &fin);
-
-    PinnedPool pool_;                  //!< Pinned params + grads (CPU).
-    std::vector<float> critical_;      //!< Packed critical store ("GPU").
-    GaussianModel gpu_scratch_;        //!< Materialized render inputs.
-    std::array<DeviceBuffer, 2> buffers_;    //!< CLM's double buffer.
-    GaussianGrads scratch_grads_;      //!< Per-microbatch backprop target.
-    GaussianGrads cpu_grads_;          //!< Staging for subset Adam.
-    BatchPlanResult last_plan_;
-    size_t peak_buffer_rows_ = 0;
-
-    // Dedicated CPU Adam thread state (active when config_.async_adam).
-    struct AdamJob
-    {
-        std::vector<uint32_t> fin;
-        size_t signal_slot;
-    };
-    std::thread adam_thread_;
-    std::mutex adam_mutex_;
-    std::condition_variable adam_cv_;
-    std::queue<AdamJob> adam_jobs_;
-    size_t adam_pending_ = 0;
-    bool adam_stop_ = false;
-    std::atomic<size_t> async_adam_updated_{0};
+    TrainerContext ctx_;
+    TransferEngine engine_;
 };
-
-/** Pack one Gaussian's gradient row into the 59-float pinned record
- *  layout: position, log-scale, rotation, SH, opacity. */
-void packGradRecord(const GaussianGrads &grads, size_t i, float *out);
-
-/** Unpack a 59-float gradient record into @p grads at row @p i. */
-void unpackGradRecord(const float *in, GaussianGrads &grads, size_t i);
 
 } // namespace clm
 

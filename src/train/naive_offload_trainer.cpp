@@ -1,19 +1,56 @@
 #include "train/naive_offload_trainer.hpp"
 
 #include <algorithm>
+#include <numeric>
 
-#include "render/culling.hpp"
+#include "util/logging.hpp"
 
 namespace clm {
+
+namespace {
+
+TransferEngineConfig
+naiveEngineConfig(const TrainConfig &config)
+{
+    // Figure 3's pipeline has no overlap: transfers sit on the critical
+    // path (prefetch off) and every record reloads each batch (caching
+    // is disabled per batch in the cache plan below).
+    TransferEngineConfig ec;
+    ec.prefetch = false;
+    ec.async_finalize = config.async_adam;
+    return ec;
+}
+
+} // namespace
 
 NaiveOffloadTrainer::NaiveOffloadTrainer(GaussianModel model,
                                          std::vector<Camera> cameras,
                                          std::vector<Image> ground_truth,
                                          TrainConfig config)
     : Trainer(std::move(model), std::move(cameras),
-              std::move(ground_truth), config)
+              std::move(ground_truth), config),
+      ctx_(model_, adam_, densifier_),
+      engine_(model_.size(), naiveEngineConfig(config_))
 {
-    grads_.resize(model_.size());
+    engine_.setFinalizeFn([this](const std::vector<uint32_t> &fin) {
+        return ctx_.finalize(engine_.pool(), fin, densificationEnabled());
+    });
+    engine_.uploadParams(model_);
+}
+
+void
+NaiveOffloadTrainer::onModelResized()
+{
+    ctx_.rebuild();
+    engine_.reset(model_.size());
+    engine_.uploadParams(model_);
+}
+
+DensifyStats
+NaiveOffloadTrainer::densifyNow()
+{
+    engine_.drain();
+    return Trainer::densifyNow();
 }
 
 BatchStats
@@ -23,33 +60,47 @@ NaiveOffloadTrainer::trainBatch(const std::vector<int> &view_ids)
     BatchStats stats;
     size_t n = model_.size();
 
-    // "Load ALL parameters" — the full CPU->GPU copy of Figure 3.
-    gpu_copy_ = model_;
-    stats.h2d_bytes =
-        static_cast<double>(n) * kParamBytesPerGaussian;
+    // "Load ALL parameters" — the full CPU->GPU copy of Figure 3, as one
+    // whole-model microbatch with caching disabled.
+    std::vector<uint32_t> all(n);
+    std::iota(all.begin(), all.end(), 0u);
+    CachePlan cache = planCache({all}, /*enable_cache=*/false);
+    engine_.beginBatch({all}, std::move(cache), FinalizationSchedule{});
+    DeviceBuffer &buf = engine_.acquire(0);
+    ctx_.materialize(buf);
 
-    grads_.zero();
+    // Train one view at a time with gradient accumulation into the
+    // staging rows (the "GPU" working copy).
     std::vector<uint32_t> touched;
     for (int v : view_ids) {
-        auto subset = frustumCull(gpu_copy_, cameras_[v]);
+        std::vector<uint32_t> subset = ctx_.cullView(cameras_[v]);
         stats.gaussians_rendered += subset.size();
-        stats.loss += renderAndBackprop(gpu_copy_, v, subset, grads_);
+        ctx_.scratchGrads().zeroRows(subset);
+        stats.loss += renderAndBackprop(ctx_.scratch(), v, subset,
+                                        ctx_.scratchGrads());
+        accumulateGradRows(ctx_.scratchGrads(), buf, subset);
         touched.insert(touched.end(), subset.begin(), subset.end());
     }
     stats.loss /= view_ids.size();
 
-    // "Store ALL gradients" — the full GPU->CPU copy.
-    stats.d2h_bytes =
-        static_cast<double>(n) * kParamBytesPerGaussian;
-
-    // CPU Adam on the master copy (sparse over touched Gaussians, the
-    // same rule every trainer uses so trajectories are comparable).
+    // "Store ALL gradients" — the full GPU->CPU scatter — then CPU Adam
+    // on the master copy (sparse over touched Gaussians, the same rule
+    // every trainer uses so trajectories are comparable).
+    engine_.release(0);
     std::sort(touched.begin(), touched.end());
     touched.erase(std::unique(touched.begin(), touched.end()),
                   touched.end());
-    adam_.updateSubset(model_, grads_, touched);
-    stats.adam_updated = touched.size();
-    observeDensify(grads_);
+    engine_.finalizeNow(std::move(touched));
+    engine_.endBatch();
+
+    // Figure 3 moves every Gaussian's full 59-parameter record in both
+    // directions; the engine's record counters scale accordingly.
+    const TransferEngine::Counters &c = engine_.counters();
+    stats.h2d_bytes = static_cast<double>(c.records_loaded)
+                      * kParamBytesPerGaussian;
+    stats.d2h_bytes = static_cast<double>(c.records_stored)
+                      * kParamBytesPerGaussian;
+    stats.adam_updated = c.finalized;
     return stats;
 }
 

@@ -1,16 +1,20 @@
 /**
  * @file
- * Functional naive offloading (§2.2, Figure 3): every batch bulk-copies
- * all 59 parameters of every Gaussian to the "GPU" working copy, trains
- * one image at a time with gradient accumulation, bulk-copies all
- * gradients back, and runs CPU Adam. The math is identical to GPU-only
- * training; only the (fully accounted) data movement differs.
+ * Functional naive offloading (§2.2, Figure 3), expressed as the
+ * degenerate policy over the shared TransferEngine: prefetch and caching
+ * disabled, the whole model staged as a single microbatch ("load ALL
+ * parameters"), per-view rendering with gradient accumulation into the
+ * staging rows, one bulk RMW scatter ("store ALL gradients"), then CPU
+ * Adam over the touched set. The math is identical to GPU-only training;
+ * only the (fully accounted) data movement differs.
  */
 
 #ifndef CLM_TRAIN_NAIVE_OFFLOAD_TRAINER_HPP
 #define CLM_TRAIN_NAIVE_OFFLOAD_TRAINER_HPP
 
+#include "offload/transfer_engine.hpp"
 #include "train/trainer.hpp"
+#include "train/trainer_context.hpp"
 
 namespace clm {
 
@@ -27,12 +31,19 @@ class NaiveOffloadTrainer : public Trainer
     /** The CPU-resident master copy is the source of truth. */
     const GaussianModel &model() const override { return model_; }
 
+    /** Measured per-stage wall times (the exposed bulk transfers show up
+     *  as staging stalls — the Figure 13/15 contrast to CLM). */
+    const StageTimings &stageTimings() const { return engine_.timings(); }
+
+    /** Drains the engine before the model is restructured. */
+    DensifyStats densifyNow() override;
+
   protected:
-    void onModelResized() override { grads_.resize(model_.size()); }
+    void onModelResized() override;
 
   private:
-    GaussianModel gpu_copy_;    //!< Per-batch working copy ("GPU").
-    GaussianGrads grads_;       //!< Accumulated on the "GPU".
+    TrainerContext ctx_;
+    TransferEngine engine_;
 };
 
 } // namespace clm

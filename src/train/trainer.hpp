@@ -5,9 +5,10 @@
  * accumulation algorithm over the shared differentiable rasterizer, so
  * their parameter trajectories are equivalent — the paper's offloading
  * techniques change *where* state lives and *when* updates run, never the
- * math. The CLM trainer executes the full offloading machinery
- * (attribute-wise split, pinned pool, selective copies, caching,
- * finalization-driven subset Adam) functionally.
+ * math. Both offloaded trainers are thin policies over the shared
+ * offload subsystem (TrainerContext + TransferEngine): CLM enables
+ * caching, prefetch overlap and finalization-driven subset Adam; naive
+ * offloading stages the whole model synchronously each batch.
  */
 
 #ifndef CLM_TRAIN_TRAINER_HPP
@@ -45,6 +46,11 @@ struct TrainConfig
      *  a finalized Gaussian is never touched again within the batch, so
      *  the Adam thread and the render path access disjoint rows. */
     bool async_adam = false;
+    /** Stage microbatch k+1 on the TransferEngine's worker thread while
+     *  k computes (§5.3). Bit-identical to synchronous staging; disable
+     *  to serialize transfers onto the critical path (the naive trainer
+     *  always runs without prefetch). */
+    bool prefetch = true;
     uint64_t seed = 42;
 };
 

@@ -86,4 +86,14 @@ inform(Args &&...args)
         } \
     } while (0)
 
+/** CLM_ASSERT compiled only into debug (!NDEBUG) builds — for invariants
+ *  on hot paths (e.g. per-row buffer bounds checks). */
+#ifdef NDEBUG
+#define CLM_DBG_ASSERT(cond, ...) \
+    do { \
+    } while (0)
+#else
+#define CLM_DBG_ASSERT(cond, ...) CLM_ASSERT(cond, ##__VA_ARGS__)
+#endif
+
 #endif // CLM_UTIL_LOGGING_HPP

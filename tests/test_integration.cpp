@@ -15,6 +15,7 @@
 #include "render/culling.hpp"
 #include "scene/camera_path.hpp"
 #include "scene/synthetic.hpp"
+#include "sim/metrics.hpp"
 #include "train/clm_trainer.hpp"
 #include "train/quality_harness.hpp"
 
@@ -167,6 +168,59 @@ TEST(Lifecycle, AsyncAdamWithDensification)
     EXPECT_GT(stats.back().adam_updated, 0u);
     EXPECT_EQ(t.pinnedBytes(),
               PinnedLayout::totalBytes(t.model().size()));
+}
+
+TEST(TransferEnginePolicy, PrefetchMatchesSynchronousTrajectory)
+{
+    // Prefetch staging is a pure overlap optimization: the TransferEngine
+    // performs the same gathers/copies/scatters in the same order, so the
+    // learned parameters must be bit-identical with it on or off.
+    SceneFixture f(0);
+    TrainConfig sync_cfg = f.config;
+    sync_cfg.prefetch = false;
+    TrainConfig pre_cfg = f.config;
+    pre_cfg.prefetch = true;
+    ClmTrainer sync_t(makeTrainee(f.gt, 350, 28), f.cameras, f.gt_images,
+                      sync_cfg);
+    ClmTrainer pre_t(makeTrainee(f.gt, 350, 28), f.cameras, f.gt_images,
+                     pre_cfg);
+    for (int step = 0; step < 3; ++step) {
+        std::vector<int> ids{step % 8, (step + 3) % 8, (step + 5) % 8,
+                             (step + 6) % 8};
+        BatchStats ss = sync_t.trainBatch(ids);
+        BatchStats sp = pre_t.trainBatch(ids);
+        EXPECT_EQ(ss.cache_hits, sp.cache_hits);
+        EXPECT_EQ(ss.h2d_bytes, sp.h2d_bytes);
+        EXPECT_EQ(ss.adam_updated, sp.adam_updated);
+    }
+    for (size_t i = 0; i < sync_t.model().size(); ++i) {
+        EXPECT_FLOAT_EQ(sync_t.model().position(i).x,
+                        pre_t.model().position(i).x);
+        EXPECT_FLOAT_EQ(sync_t.model().sh(i)[3], pre_t.model().sh(i)[3]);
+        EXPECT_FLOAT_EQ(sync_t.model().rawOpacity(i),
+                        pre_t.model().rawOpacity(i));
+    }
+}
+
+TEST(TransferEnginePolicy, StageTimingsCoverTheBatch)
+{
+    SceneFixture f(0);
+    ClmTrainer t(makeTrainee(f.gt, 350, 29), f.cameras, f.gt_images,
+                 f.config);
+    t.trainBatch({0, 2, 5, 7});
+    const StageTimings &st = t.stageTimings();
+    EXPECT_EQ(st.microbatches.size(), 4u);
+    EXPECT_GT(st[TrainStage::Schedule], 0.0);
+    EXPECT_GT(st[TrainStage::Compute], 0.0);
+    EXPECT_GT(st[TrainStage::Finalize], 0.0);
+    EXPECT_GE(st.batch_seconds, st[TrainStage::Compute]);
+    RuntimeBreakdown b = computeBreakdown(st);
+    EXPECT_EQ(b.compute, st[TrainStage::Compute]);
+    EXPECT_GT(b.total, 0.0);
+    auto idle = gpuIdleSamples(st, 500);
+    ASSERT_EQ(idle.size(), 500u);
+    for (double v : idle)
+        EXPECT_TRUE(v == 0.0 || v == 100.0);
 }
 
 TEST(Determinism, SameSeedSameTrajectory)

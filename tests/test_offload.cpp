@@ -1,13 +1,15 @@
 /**
  * @file
  * Offload-core tests: the cache planner's conservation invariants, the
- * finalization schedule (§4.2.2), the pinned pool layout (§5.2) and the
- * selective copy kernels' round-trip/accumulation semantics (§5.3).
+ * finalization schedule (§4.2.2), the pinned pool layout (§5.2), the
+ * selective copy kernels' round-trip/accumulation semantics (§5.3) and
+ * the TransferEngine's staging/scatter/prefetch behaviour.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 
 #include "gaussian/model.hpp"
@@ -17,6 +19,7 @@
 #include "offload/frustum_sets.hpp"
 #include "offload/pinned_pool.hpp"
 #include "offload/selective_copy.hpp"
+#include "offload/transfer_engine.hpp"
 
 namespace clm {
 namespace {
@@ -288,7 +291,7 @@ TEST(SelectiveCopy, CachedCopyMatchesPinnedLoad)
     for (uint32_t g : {2u, 3u, 10u}) {
         float expect[kNonCriticalDim];
         m.packNonCritical(g, expect);
-        const float *row = b.paramRow(b.rowOf(g));
+        const float *row = b.paramRow(b.boundRow(g));
         for (int k = 0; k < kNonCriticalDim; ++k)
             EXPECT_FLOAT_EQ(row[k], expect[k]) << "g=" << g;
     }
@@ -322,6 +325,182 @@ TEST(SelectiveCopy, CarryAccumulation)
     b.gradRow(0)[5] = 0.75f;
     accumulateCarriedGrads(a, b, {2});
     EXPECT_FLOAT_EQ(b.gradRow(0)[5], 2.0f);
+}
+
+TEST(TransferEngine, GatherScatterRoundTripBitExact)
+{
+    Rng rng(16);
+    GaussianModel m = GaussianModel::random(40, {-1, -1, -1}, {1, 1, 1},
+                                            0.1f, rng);
+    for (size_t i = 0; i < m.size(); ++i)
+        for (int k = 0; k < kShDim; ++k)
+            m.sh(i)[k] = rng.normal();
+
+    TransferEngineConfig ec;
+    ec.prefetch = false;
+    TransferEngine engine(40, ec);
+    engine.uploadParams(m);
+
+    std::vector<uint32_t> set{1, 4, 5, 19, 33};
+    CachePlan cache = planCache({set}, true);
+    engine.beginBatch({set}, std::move(cache), FinalizationSchedule{});
+    DeviceBuffer &buf = engine.acquire(0);
+
+    // Staged parameter rows are bit-exact copies of the pinned records.
+    for (size_t r = 0; r < set.size(); ++r) {
+        float expect[kNonCriticalDim];
+        m.packNonCritical(set[r], expect);
+        EXPECT_EQ(std::memcmp(buf.paramRow(r), expect,
+                              sizeof(expect)),
+                  0)
+            << "row " << r;
+    }
+
+    // Gradient rows written on the "GPU" come back bit-exactly through
+    // the RMW scatter (pool gradients start at zero).
+    for (size_t r = 0; r < set.size(); ++r)
+        for (int k = 0; k < kParamsPerGaussian; ++k)
+            buf.gradRow(r)[k] = 0.25f * float(r + 1) - 0.01f * float(k);
+    engine.release(0);
+    engine.endBatch();
+    for (size_t r = 0; r < set.size(); ++r)
+        EXPECT_EQ(std::memcmp(engine.pool().gradRecord(set[r]),
+                              buf.gradRow(r),
+                              kParamsPerGaussian * sizeof(float)),
+                  0)
+            << "record " << set[r];
+
+    EXPECT_EQ(engine.counters().records_loaded, set.size());
+    EXPECT_EQ(engine.counters().records_stored, set.size());
+    EXPECT_EQ(engine.peakBufferRows(), set.size());
+}
+
+/** Drive one batch through an engine with a deterministic fake "compute"
+ *  (grad row r of microbatch i gets i + r/100), return pool grads. */
+std::vector<std::vector<float>>
+runFakeBatch(TransferEngine &engine, const GaussianModel &m,
+             const std::vector<std::vector<uint32_t>> &sets)
+{
+    engine.uploadParams(m);
+    CachePlan cache = planCache(sets, true);
+    engine.beginBatch(sets, std::move(cache), FinalizationSchedule{});
+    for (size_t i = 0; i < sets.size(); ++i) {
+        DeviceBuffer &buf = engine.acquire(i);
+        // Staged params must match the pinned records regardless of
+        // whether they arrived via PCIe gather or cached copy.
+        for (size_t r = 0; r < buf.rows(); ++r) {
+            float expect[kNonCriticalDim];
+            m.packNonCritical(buf.indices()[r], expect);
+            EXPECT_EQ(std::memcmp(buf.paramRow(r), expect,
+                                  sizeof(expect)),
+                      0);
+        }
+        for (size_t r = 0; r < buf.rows(); ++r)
+            for (int k = 0; k < kParamsPerGaussian; ++k)
+                buf.gradRow(r)[k] += float(i) + float(r) / 100.0f;
+        engine.release(i);
+    }
+    engine.endBatch();
+    std::vector<std::vector<float>> grads;
+    for (size_t g = 0; g < m.size(); ++g)
+        grads.emplace_back(engine.pool().gradRecord(g),
+                           engine.pool().gradRecord(g)
+                               + kParamsPerGaussian);
+    return grads;
+}
+
+TEST(TransferEngine, PrefetchMatchesSynchronousStaging)
+{
+    Rng rng(17);
+    GaussianModel m = GaussianModel::random(60, {-1, -1, -1}, {1, 1, 1},
+                                            0.1f, rng);
+    // Overlapping sets exercise caching, carried grads and RMW stores.
+    auto sets = randomSets(6, 60, 0.4, 18);
+
+    TransferEngineConfig sync_cfg;
+    sync_cfg.prefetch = false;
+    TransferEngineConfig pre_cfg;
+    pre_cfg.prefetch = true;
+    TransferEngine sync_engine(60, sync_cfg);
+    TransferEngine pre_engine(60, pre_cfg);
+
+    auto sync_grads = runFakeBatch(sync_engine, m, sets);
+    auto pre_grads = runFakeBatch(pre_engine, m, sets);
+    for (size_t g = 0; g < 60; ++g)
+        EXPECT_EQ(std::memcmp(sync_grads[g].data(), pre_grads[g].data(),
+                              kParamsPerGaussian * sizeof(float)),
+                  0)
+            << "gaussian " << g;
+
+    // Identical plans -> identical traffic counters either way.
+    EXPECT_EQ(sync_engine.counters().records_loaded,
+              pre_engine.counters().records_loaded);
+    EXPECT_EQ(sync_engine.counters().cache_hits,
+              pre_engine.counters().cache_hits);
+    EXPECT_EQ(sync_engine.counters().records_stored,
+              pre_engine.counters().records_stored);
+}
+
+TEST(TransferEngine, FinalizationDispatchAndCounters)
+{
+    Rng rng(19);
+    GaussianModel m = GaussianModel::random(30, {-1, -1, -1}, {1, 1, 1},
+                                            0.1f, rng);
+    std::vector<std::vector<uint32_t>> sets{{0, 1, 2, 3}, {2, 3, 9}};
+    FinalizationSchedule fin = computeFinalization(30, sets, false);
+
+    for (bool async : {false, true}) {
+        TransferEngineConfig ec;
+        ec.prefetch = true;
+        ec.async_finalize = async;
+        TransferEngine engine(30, ec);
+        engine.uploadParams(m);
+        std::vector<uint32_t> finalized;
+        engine.setFinalizeFn([&](const std::vector<uint32_t> &f) {
+            finalized.insert(finalized.end(), f.begin(), f.end());
+            return f.size();
+        });
+        CachePlan cache = planCache(sets, true);
+        engine.beginBatch(sets, std::move(cache), fin);
+        for (size_t i = 0; i < sets.size(); ++i) {
+            engine.acquire(i);
+            engine.release(i);
+        }
+        engine.endBatch();
+        // Every touched Gaussian finalized exactly once.
+        std::sort(finalized.begin(), finalized.end());
+        EXPECT_EQ(finalized,
+                  (std::vector<uint32_t>{0, 1, 2, 3, 9}))
+            << "async=" << async;
+        EXPECT_EQ(engine.counters().finalized, 5u);
+    }
+}
+
+TEST(TransferEngine, StageTimingsAccumulate)
+{
+    Rng rng(20);
+    GaussianModel m = GaussianModel::random(30, {-1, -1, -1}, {1, 1, 1},
+                                            0.1f, rng);
+    auto sets = randomSets(3, 30, 0.5, 21);
+    TransferEngine engine(30, {});
+    runFakeBatch(engine, m, sets);
+    const StageTimings &t = engine.timings();
+    EXPECT_EQ(t.microbatches.size(), sets.size());
+    EXPECT_GT(t[TrainStage::Compute], 0.0);
+    EXPECT_GT(t[TrainStage::Gather], 0.0);
+    EXPECT_GT(t[TrainStage::Scatter], 0.0);
+    EXPECT_GT(t.batch_seconds, 0.0);
+    engine.resetTimings();
+    EXPECT_EQ(engine.timings().total(), 0.0);
+    EXPECT_TRUE(engine.timings().microbatches.empty());
+}
+
+TEST(DeviceBuffer, BoundRowAssertsOnMiss)
+{
+    DeviceBuffer buf(10);
+    buf.bind({2, 5, 9});
+    EXPECT_EQ(buf.boundRow(5), 1u);
+    EXPECT_THROW(buf.boundRow(3), std::logic_error);
 }
 
 TEST(FrustumSetsHelpers, UnionAndSelect)

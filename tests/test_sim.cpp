@@ -420,6 +420,64 @@ TEST(Metrics, OverlapAdamReducesTrailingTime)
 }
 
 
+TEST(Metrics, MeasuredStageTimingsBreakdown)
+{
+    // Hand-built stage record: the measured-path overloads must apply
+    // the same decomposition rules as the simulated path.
+    StageTimings t;
+    t.add(TrainStage::Schedule, 0.5);
+    t.add(TrainStage::Gather, 1.0);
+    t.add(TrainStage::CacheCopy, 0.25);
+    t.add(TrainStage::Scatter, 0.5);
+    t.add(TrainStage::Carry, 0.25);
+    t.add(TrainStage::Compute, 4.0);
+    t.add(TrainStage::Finalize, 1.5);
+    t.trailing_adam_seconds = 0.5;
+    t.batch_seconds = 6.0;
+    t.noteMicrobatch(0.5, 2.0);
+    t.noteMicrobatch(0.0, 2.0);
+
+    RuntimeBreakdown b = computeBreakdown(t);
+    EXPECT_DOUBLE_EQ(b.total, 6.0);
+    EXPECT_DOUBLE_EQ(b.compute, 4.0);
+    EXPECT_DOUBLE_EQ(b.communication, 2.0);
+    EXPECT_DOUBLE_EQ(b.scheduling, 0.5);
+    EXPECT_DOUBLE_EQ(b.trailing_adam, 0.5);
+    EXPECT_DOUBLE_EQ(b.overlapped_adam, 1.0);
+
+    // Idle timeline: 0.5 sched idle + (0.5 idle, 2 busy) + (0, 2 busy)
+    // + 0.5 trailing idle -> 4 busy of 5.5 total.
+    std::vector<double> idle = gpuIdleSamples(t, 1100);
+    double mean = 0;
+    for (double v : idle)
+        mean += v;
+    mean /= idle.size();
+    EXPECT_NEAR(mean, 100.0 * 1.5 / 5.5, 1.0);
+
+    // merge() folds records additively.
+    StageTimings u;
+    u.merge(t);
+    u.merge(t);
+    EXPECT_DOUBLE_EQ(u[TrainStage::Compute], 8.0);
+    EXPECT_EQ(u.microbatches.size(), 4u);
+    EXPECT_DOUBLE_EQ(u.batch_seconds, 12.0);
+
+    // Inline finalization (no dedicated Adam thread) is never
+    // overlapped: all Finalize time counts as non-overlapped and the
+    // idle timeline stalls for its full duration.
+    t.finalize_inline = true;
+    RuntimeBreakdown bi = computeBreakdown(t);
+    EXPECT_DOUBLE_EQ(bi.overlapped_adam, 0.0);
+    EXPECT_DOUBLE_EQ(bi.trailing_adam, 1.5);
+    std::vector<double> idle_inline = gpuIdleSamples(t, 1300);
+    double mean_inline = 0;
+    for (double v : idle_inline)
+        mean_inline += v;
+    mean_inline /= idle_inline.size();
+    // 0.5 sched + 0.5 wait + 1.5 inline adam idle of 6.5 total.
+    EXPECT_NEAR(mean_inline, 100.0 * 2.5 / 6.5, 1.0);
+}
+
 TEST(Sim, ThroughputMonotoneInDeviceParameters)
 {
     // Sanity for the what-if analyses: more PCIe bandwidth, more DRAM
