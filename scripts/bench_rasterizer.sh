@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Build and run the rasterizer micro-benchmark, emitting
+# BENCH_rasterizer.json in the repo root so the perf trajectory of the
+# render hot path is tracked across PRs.
+#
+# Uses a dedicated build-release/ tree so it never flips the cached
+# build type of the default build/ directory that verify.sh uses.
+#
+# Usage: scripts/bench_rasterizer.sh [--smoke]
+#   --smoke  tiny single-rep run (CI "builds and runs" gate, no numbers
+#            worth recording)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j"$JOBS" --target micro_rasterizer
+./build-release/micro_rasterizer "$@" --out BENCH_rasterizer.json

@@ -51,7 +51,8 @@ Clm::renderNovelView(const Camera &camera) const
 {
     const GaussianModel &m = trainer_->model();
     auto subset = frustumCull(m, camera);
-    return renderForward(m, camera, subset, config_.train.render).image;
+    return renderForward(m, camera, subset, config_.train.render, arena_)
+        .image;
 }
 
 const GaussianModel &

@@ -13,6 +13,7 @@
 
 #include "core/config.hpp"
 #include "gaussian/model.hpp"
+#include "render/arena.hpp"
 #include "render/image.hpp"
 #include "scene/camera_path.hpp"
 #include "scene/synthetic.hpp"
@@ -55,6 +56,9 @@ class Clm
     ClmConfig config_;
     std::vector<Camera> cameras_;
     std::unique_ptr<Trainer> trainer_;
+    /** Render scratch for the facade's view renders (mutable: scratch
+     *  only — reuse never changes results). */
+    mutable RenderArena arena_;
 };
 
 } // namespace clm

@@ -1,0 +1,60 @@
+#include "render/arena.hpp"
+
+namespace clm {
+
+void
+TileStage::prepare(size_t n, bool for_backward)
+{
+    hot.resize(n);
+    color.resize(n);
+    if (for_backward)
+        grads.assign(n, ProjectionGrads{});
+}
+
+void
+TileStage::stageFrom(const std::vector<ProjectedGaussian> &projected,
+                     const std::vector<uint32_t> &isect_vals,
+                     TileRange range, const std::vector<float> &alpha_cut,
+                     const std::vector<float> &row_k, bool for_backward)
+{
+    const size_t len = range.size();
+    prepare(len, for_backward);
+    for (size_t j = 0; j < len; ++j) {
+        const uint32_t s = isect_vals[range.begin + j];
+        const ProjectedGaussian &g = projected[s];
+        StagedGaussian &e = hot[j];
+        e.mean_x = g.mean2d.x;
+        e.mean_y = g.mean2d.y;
+        e.conic_a = g.conic_a;
+        e.conic_b = g.conic_b;
+        e.conic_c = g.conic_c;
+        e.power_cut = alpha_cut[s];
+        e.opacity = g.opacity;
+        e.row_k = row_k[s];
+        color[j] = g.color;
+    }
+}
+
+size_t
+TileStage::bytes() const
+{
+    return hot.capacity() * sizeof(StagedGaussian)
+         + color.capacity() * sizeof(Vec3)
+         + grads.capacity() * sizeof(ProjectionGrads);
+}
+
+size_t
+RenderArena::footprintBytes() const
+{
+    size_t bytes = out.activationBytes() + binning.bytes()
+                 + (alpha_cut.capacity() + row_k.capacity())
+                       * sizeof(float);
+    for (const TileStage &stage : stages)
+        bytes += stage.bytes();
+    bytes += grads.capacity() * sizeof(ProjectionGrads);
+    for (const auto &partial : grad_partials)
+        bytes += partial.capacity() * sizeof(ProjectionGrads);
+    return bytes;
+}
+
+} // namespace clm

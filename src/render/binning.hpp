@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Flat key-sorted tile binning for the rasterizer — the CPU analogue of the
+ * gsplat intersection pipeline. Instead of one heap-allocated vector per
+ * touched tile, footprints are expanded into a single flat buffer of
+ * 64-bit `(tile_id << 32 | depth_bits)` keys by a count → exclusive-scan →
+ * fill pass, sorted once with a stable parallel radix sort, and exposed as
+ * contiguous per-tile ranges. The output is the unique stable sort of the
+ * intersections, so it is bitwise-identical whether built serially or in
+ * parallel, with depth ties broken by subset position.
+ *
+ * Also hosts the exact circle-vs-tile-rect overlap test: the classic
+ * square bound bins corner tiles the footprint never reaches. A tile can
+ * be dropped *provably without changing the rendered image* when every
+ * pixel-center in it is farther from the footprint center than the radius
+ * at which `opacity * exp(-0.5 * d^T conic d)` falls below the
+ * rasterizer's alpha_min cut (using d^T conic d >= lambda_min(conic) *
+ * |d|^2, under-estimated with an error budget; see footprintCutRadius2)
+ * — those pixels would be skipped by the per-pixel alpha test anyway.
+ */
+
+#ifndef CLM_RENDER_BINNING_HPP
+#define CLM_RENDER_BINNING_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "render/projection.hpp"
+
+namespace clm {
+
+/** floor(@p v) clamped into [@p lo, @p hi] — the clamp happens in float
+ *  space, so out-of-int-range (or NaN) inputs never hit the undefined
+ *  float-to-int cast. NaN clamps to @p lo. */
+inline int
+clampedFloor(float v, int lo, int hi)
+{
+    float f = std::floor(v);
+    if (!(f > static_cast<float>(lo)))
+        return lo;
+    if (f >= static_cast<float>(hi))
+        return hi;
+    return static_cast<int>(f);
+}
+
+/** ceil(@p v) clamped into [@p lo, @p hi]; NaN clamps to @p lo. */
+inline int
+clampedCeil(float v, int lo, int hi)
+{
+    float c = std::ceil(v);
+    if (!(c > static_cast<float>(lo)))
+        return lo;
+    if (c >= static_cast<float>(hi))
+        return hi;
+    return static_cast<int>(c);
+}
+
+/** Tile decomposition of a render target. */
+struct TileGrid
+{
+    int tiles_x = 0;
+    int tiles_y = 0;
+    int tile_size = 16;    //!< Square tile edge in pixels.
+    int width = 0;         //!< Render target width in pixels.
+    int height = 0;        //!< Render target height in pixels.
+
+    size_t tileCount() const
+    { return static_cast<size_t>(tiles_x) * tiles_y; }
+
+    /** Grid covering a @p width x @p height target. */
+    static TileGrid forImage(int width, int height, int tile_size);
+};
+
+/** Half-open range [begin, end) into the sorted intersection buffer. */
+struct TileRange
+{
+    uint32_t begin = 0;
+    uint32_t end = 0;
+
+    uint32_t size() const { return end - begin; }
+};
+
+/** One footprint's candidate tile rectangle (inclusive tile indices;
+ *  empty when x0 > x1 or y0 > y1) plus its exact-overlap cut radius. */
+struct TileSpan
+{
+    int x0 = 0, x1 = -1;
+    int y0 = 0, y1 = -1;
+    /** Squared pixel distance beyond which the footprint provably cannot
+     *  pass the alpha_min test; +inf disables the exact test. */
+    float cut2 = 0.0f;
+
+    bool empty() const { return x0 > x1 || y0 > y1; }
+};
+
+/** Reusable scratch for buildTileIntersections (lives in RenderArena). */
+struct BinningScratch
+{
+    std::vector<TileSpan> spans;        //!< Per-subset-entry candidate span.
+    std::vector<uint32_t> offsets;      //!< Exclusive scan of tile counts.
+    std::vector<uint64_t> keys;         //!< (tile << 32 | depth) sort keys.
+    std::vector<uint64_t> keys_tmp;     //!< Radix ping-pong buffers.
+    std::vector<uint32_t> vals_tmp;
+    std::vector<uint32_t> hist;         //!< Radix per-chunk histograms.
+
+    /** Bytes currently held (for memory accounting). */
+    size_t bytes() const;
+};
+
+/** Order-preserving bit pattern of a non-negative depth (monotonic:
+ *  a < b  <=>  depthBits(a) < depthBits(b) for all finite a, b >= 0). */
+uint32_t depthBits(float depth);
+
+/**
+ * Squared pixel radius beyond which @p p provably cannot pass the
+ * rasterizer's `alpha >= alpha_min` test (see file comment): dropping
+ * pixels or tiles farther out can never change the rendered image. The
+ * bound is derived from the float conic the pixel test evaluates, with
+ * a conservative error budget; ill-conditioned conics return +infinity
+ * ("no cut") rather than risk a wrong drop. Returns a negative value
+ * for invalid footprints.
+ */
+float footprintCutRadius2(const ProjectedGaussian &p, float alpha_min);
+
+/** Margin (in power units) under which a whole-row power bound is
+ *  trusted to skip a row; generous relative to the float rounding of
+ *  the bound and of the power evaluation near the threshold. */
+constexpr float kRowCutMargin = 1e-2f;
+
+/** Below this many subset entries, parallelizing a per-entry render
+ *  pass (projection, gradient chaining) costs more than it saves.
+ *  Shared by the forward and backward rasterizer passes. */
+constexpr size_t kMinParallelSubset = 256;
+
+/**
+ * Per-subset-entry conservative compositing cuts.
+ *
+ * @param alpha_cut Out: power thresholds — `power < alpha_cut[s]`
+ *        guarantees `opacity * exp(power) < alpha_min`, so the
+ *        rasterizer can skip the (expensive) exp for the vast majority
+ *        of missing pixel/Gaussian pairs; the exact alpha test still
+ *        runs near the boundary, so results stay bitwise identical.
+ * @param row_k Out: vertical conic curvature `c - b^2/a` — the best
+ *        power any pixel with vertical offset dy can reach is
+ *        `-0.5 * row_k[s] * dy^2`, so a whole pixel row is provably
+ *        missed when that bound (plus kRowCutMargin) is below
+ *        alpha_cut[s].
+ *
+ * Deterministic under any parallel split (entries are independent).
+ */
+void computeAlphaCutPowers(const std::vector<ProjectedGaussian> &projected,
+                           float alpha_min, bool parallel,
+                           std::vector<float> &alpha_cut,
+                           std::vector<float> &row_k);
+
+/**
+ * Candidate tile rectangle of @p p on @p grid — the 3-sigma square bound,
+ * clamped to the grid — plus the exact-overlap cut radius (see file
+ * comment). @p exact_bounds off sets cut2 = +inf, reproducing the plain
+ * square binning.
+ */
+TileSpan computeTileSpan(const ProjectedGaussian &p, const TileGrid &grid,
+                         float alpha_min, bool exact_bounds);
+
+/**
+ * Does @p p's footprint reach tile (@p tx, @p ty)? True when the tile's
+ * pixel-center rectangle comes within sqrt(span.cut2) pixels of the
+ * footprint center. Callers iterate tiles inside @p span only.
+ */
+bool tileOverlaps(const ProjectedGaussian &p, const TileSpan &span, int tx,
+                  int ty, const TileGrid &grid);
+
+/**
+ * Stable LSD radix sort of @p keys with @p vals carried along, least
+ * significant byte first. Only the low @p key_bits bits participate
+ * (pass 64 for a full sort; fewer known-significant bits skip passes).
+ * The sorted result is guaranteed to end up in @p keys / @p vals; the
+ * scratch vectors are resized as needed and their contents are garbage
+ * afterwards. The output is the unique stable sort, so it does not depend
+ * on thread count or on @p parallel.
+ *
+ * @param hist_scratch Optional reusable histogram buffer (hot-loop
+ *        callers pass BinningScratch::hist to avoid a per-call
+ *        allocation); nullptr allocates locally.
+ */
+void radixSortPairs(std::vector<uint64_t> &keys,
+                    std::vector<uint32_t> &vals,
+                    std::vector<uint64_t> &keys_scratch,
+                    std::vector<uint32_t> &vals_scratch, int key_bits = 64,
+                    bool parallel = true,
+                    std::vector<uint32_t> *hist_scratch = nullptr);
+
+/**
+ * Expand @p projected into the flat sorted intersection buffer:
+ * count touched tiles per footprint, exclusive-scan into offsets, fill
+ * `(tile << 32 | depth_bits)` keys + subset-position values, radix-sort,
+ * and derive contiguous per-tile ranges.
+ *
+ * @param sorted_vals Out: subset positions sorted by (tile, depth, subset
+ *        position) — the per-tile front-to-back compositing order.
+ * @param tile_ranges Out: per-tile [begin, end) into @p sorted_vals.
+ * @return Total number of tile intersections.
+ */
+size_t buildTileIntersections(
+    const std::vector<ProjectedGaussian> &projected, const TileGrid &grid,
+    float alpha_min, bool exact_bounds, bool parallel,
+    BinningScratch &scratch, std::vector<uint32_t> &sorted_vals,
+    std::vector<TileRange> &tile_ranges);
+
+} // namespace clm
+
+#endif // CLM_RENDER_BINNING_HPP

@@ -9,15 +9,28 @@
 namespace clm {
 
 Image::Image(int width, int height, const Vec3 &fill)
-    : width_(width), height_(height)
 {
-    CLM_ASSERT(width >= 0 && height >= 0, "negative image size");
-    data_.resize(pixels() * 3);
+    reset(width, height, fill);
+}
+
+void
+Image::reset(int width, int height, const Vec3 &fill)
+{
+    resetUnfilled(width, height);
     for (size_t i = 0; i < pixels(); ++i) {
         data_[i * 3 + 0] = fill.x;
         data_[i * 3 + 1] = fill.y;
         data_[i * 3 + 2] = fill.z;
     }
+}
+
+void
+Image::resetUnfilled(int width, int height)
+{
+    CLM_ASSERT(width >= 0 && height >= 0, "negative image size");
+    width_ = width;
+    height_ = height;
+    data_.resize(pixels() * 3);
 }
 
 Vec3

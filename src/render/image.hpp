@@ -24,6 +24,14 @@ class Image
     /** Allocate a @p width x @p height image filled with @p fill. */
     Image(int width, int height, const Vec3 &fill = {0, 0, 0});
 
+    /** Re-shape to @p width x @p height and refill, reusing the existing
+     *  buffer when large enough (arena render paths call this per view). */
+    void reset(int width, int height, const Vec3 &fill = {0, 0, 0});
+
+    /** Re-shape without refilling: existing pixel contents are
+     *  unspecified. For callers that overwrite every pixel anyway. */
+    void resetUnfilled(int width, int height);
+
     int width() const { return width_; }
     int height() const { return height_; }
     size_t pixels() const

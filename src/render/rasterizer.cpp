@@ -2,20 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "render/arena.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace clm {
-
-size_t
-RenderOutput::totalTileIntersections() const
-{
-    size_t n = 0;
-    for (const auto &l : tile_lists)
-        n += l.size();
-    return n;
-}
 
 size_t
 RenderOutput::activationBytes() const
@@ -24,7 +17,8 @@ RenderOutput::activationBytes() const
     bytes += final_t.size() * sizeof(float);
     bytes += n_contrib.size() * sizeof(uint32_t);
     bytes += projected.size() * sizeof(ProjectedGaussian);
-    bytes += totalTileIntersections() * sizeof(uint32_t);
+    bytes += isect_vals.size() * sizeof(uint32_t);
+    bytes += tile_ranges.size() * sizeof(TileRange);
     return bytes;
 }
 
@@ -32,94 +26,220 @@ RenderOutput
 renderForward(const GaussianModel &model, const Camera &camera,
               const std::vector<uint32_t> &subset, const RenderConfig &cfg)
 {
+    RenderArena arena;
+    renderForward(model, camera, subset, cfg, arena);
+    return std::move(arena.out);
+}
+
+const RenderOutput &
+renderForward(const GaussianModel &model, const Camera &camera,
+              const std::vector<uint32_t> &subset, const RenderConfig &cfg,
+              RenderArena &arena)
+{
     CLM_ASSERT(cfg.tile_size > 0, "bad tile size");
     const int w = camera.width();
     const int h = camera.height();
+    const TileGrid grid = TileGrid::forImage(w, h, cfg.tile_size);
 
-    RenderOutput out;
-    out.image = Image(w, h, cfg.background);
-    out.final_t.assign(static_cast<size_t>(w) * h, 1.0f);
-    out.n_contrib.assign(static_cast<size_t>(w) * h, 0);
-    out.tiles_x = (w + cfg.tile_size - 1) / cfg.tile_size;
-    out.tiles_y = (h + cfg.tile_size - 1) / cfg.tile_size;
-    out.tile_lists.assign(
-        static_cast<size_t>(out.tiles_x) * out.tiles_y, {});
+    RenderOutput &out = arena.out;
+    // No prefill: the composite pass writes every pixel of every tile
+    // (empty tiles included), so filling here would be a wasted
+    // full-frame sweep.
+    out.image.resetUnfilled(w, h);
+    out.final_t.resize(static_cast<size_t>(w) * h);
+    out.n_contrib.resize(static_cast<size_t>(w) * h);
+    out.tiles_x = grid.tiles_x;
+    out.tiles_y = grid.tiles_y;
 
-    // 1. Project the subset.
-    out.projected.reserve(subset.size());
-    for (uint32_t gi : subset)
-        out.projected.push_back(
-            projectGaussian(model, gi, camera, cfg.sh_degree));
+    // 1. Project the subset (entries are independent, so the parallel
+    //    split cannot change results).
+    const size_t n = subset.size();
+    out.projected.resize(n);
+    auto project_range = [&](size_t begin, size_t end) {
+        for (size_t s = begin; s < end; ++s)
+            out.projected[s] =
+                projectGaussian(model, subset[s], camera, cfg.sh_degree);
+    };
+    if (cfg.parallel && n >= kMinParallelSubset)
+        ThreadPool::global().parallelFor(n, project_range);
+    else
+        project_range(0, n);
 
-    // 2. Bin footprints to tiles.
-    for (size_t s = 0; s < out.projected.size(); ++s) {
-        const ProjectedGaussian &p = out.projected[s];
-        if (!p.valid || p.radius <= 0.0f)
-            continue;
-        int x0 = static_cast<int>(
-            std::floor((p.mean2d.x - p.radius) / cfg.tile_size));
-        int x1 = static_cast<int>(
-            std::floor((p.mean2d.x + p.radius) / cfg.tile_size));
-        int y0 = static_cast<int>(
-            std::floor((p.mean2d.y - p.radius) / cfg.tile_size));
-        int y1 = static_cast<int>(
-            std::floor((p.mean2d.y + p.radius) / cfg.tile_size));
-        x0 = std::max(x0, 0);
-        y0 = std::max(y0, 0);
-        x1 = std::min(x1, out.tiles_x - 1);
-        y1 = std::min(y1, out.tiles_y - 1);
-        for (int ty = y0; ty <= y1; ++ty)
-            for (int tx = x0; tx <= x1; ++tx)
-                out.tile_lists[static_cast<size_t>(ty) * out.tiles_x + tx]
-                    .push_back(static_cast<uint32_t>(s));
-    }
+    // 2. Flat binning: count -> scan -> fill -> one stable radix sort,
+    //    yielding contiguous per-tile front-to-back ranges.
+    buildTileIntersections(out.projected, grid, cfg.alpha_min,
+                           cfg.exact_tile_bounds, cfg.parallel,
+                           arena.binning, out.isect_vals, out.tile_ranges);
 
-    // 3. Depth-sort each tile's list (front to back).
-    for (auto &list : out.tile_lists) {
-        std::sort(list.begin(), list.end(),
-                  [&](uint32_t a, uint32_t b) {
-                      return out.projected[a].depth
-                           < out.projected[b].depth;
-                  });
-    }
+    // 3. Composite each pixel front-to-back. Tiles touch disjoint
+    //    pixels, so any parallel split produces identical results. Each
+    //    worker chunk packs the tile's hot fields into staging so the
+    //    per-pixel loop streams through one sequential array, a
+    //    conservative per-Gaussian power threshold skips the exp for
+    //    pairs that provably fail the alpha test, and a per-row power
+    //    bound skips whole rows the footprint cannot reach (the exact
+    //    tests still run near the thresholds, so the output is bitwise
+    //    unchanged).
+    computeAlphaCutPowers(out.projected, cfg.alpha_min, cfg.parallel,
+                          arena.alpha_cut, arena.row_k);
+    arena.cuts_alpha_min = cfg.alpha_min;
+    const size_t n_tiles = grid.tileCount();
+    size_t n_chunks = 1;
+    if (cfg.parallel && n_tiles > 1)
+        n_chunks = std::min<size_t>(
+            n_tiles, static_cast<size_t>(ThreadPool::global().threads()) * 2);
+    const size_t tiles_per_chunk = (n_tiles + n_chunks - 1) / n_chunks;
+    if (arena.stages.size() < n_chunks)
+        arena.stages.resize(n_chunks);
 
-    // 4. Composite each pixel front-to-back. Tiles touch disjoint
-    //    pixels, so they parallelize with identical results.
-    auto composite_tile = [&](size_t tile_index) {
-        int ty = static_cast<int>(tile_index) / out.tiles_x;
-        int tx = static_cast<int>(tile_index) % out.tiles_x;
-        {
-            const auto &list = out.tile_lists[tile_index];
-            if (list.empty())
-                return;
-            int px0 = tx * cfg.tile_size;
-            int py0 = ty * cfg.tile_size;
-            int px1 = std::min(px0 + cfg.tile_size, w);
-            int py1 = std::min(py0 + cfg.tile_size, h);
+    const float alpha_min = cfg.alpha_min;
+    const float t_min = cfg.transmittance_min;
+    const Vec3 background = cfg.background;
+
+    auto composite_chunk = [&](size_t c) {
+        TileStage &stage = arena.stages[c];
+        const size_t t0 = c * tiles_per_chunk;
+        const size_t t1 = std::min(t0 + tiles_per_chunk, n_tiles);
+        for (size_t t = t0; t < t1; ++t) {
+            const TileRange range = out.tile_ranges[t];
+            const size_t len = range.size();
+            if (len == 0) {
+                // Nothing binned: write the background directly (the
+                // output buffers are not prefilled).
+                const int ety = static_cast<int>(t) / grid.tiles_x;
+                const int etx = static_cast<int>(t) % grid.tiles_x;
+                const int epx0 = etx * cfg.tile_size;
+                const int epy0 = ety * cfg.tile_size;
+                const int epx1 = std::min(epx0 + cfg.tile_size, w);
+                const int epy1 = std::min(epy0 + cfg.tile_size, h);
+                for (int py = epy0; py < epy1; ++py) {
+                    for (int px = epx0; px < epx1; ++px) {
+                        size_t pi = static_cast<size_t>(py) * w + px;
+                        out.final_t[pi] = 1.0f;
+                        out.n_contrib[pi] = 0;
+                        out.image.setPixel(px, py, background);
+                    }
+                }
+                continue;
+            }
+            stage.stageFrom(out.projected, out.isect_vals, range,
+                            arena.alpha_cut, arena.row_k,
+                            /*for_backward=*/false);
+            const StagedGaussian *hot = stage.hot.data();
+            const Vec3 *colors = stage.color.data();
+
+            const int ty = static_cast<int>(t) / grid.tiles_x;
+            const int tx = static_cast<int>(t) % grid.tiles_x;
+            const int px0 = tx * cfg.tile_size;
+            const int py0 = ty * cfg.tile_size;
+            const int px1 = std::min(px0 + cfg.tile_size, w);
+            const int py1 = std::min(py0 + cfg.tile_size, h);
             for (int py = py0; py < py1; ++py) {
-                for (int px = px0; px < px1; ++px) {
+                const float pcy = py + 0.5f;
+                // Pixels are processed in quads of four: one sweep over
+                // the tile list serves four independent lanes, so the
+                // staged fields are loaded once per quad and the power
+                // evaluation vectorizes. Each lane runs the exact
+                // scalar per-pixel arithmetic (a lane's early
+                // termination just masks it out), so results are
+                // bitwise identical to the one-pixel-at-a-time loop.
+                int px = px0;
+                for (; px + 4 <= px1; px += 4) {
+                    float t_acc[4] = {1.0f, 1.0f, 1.0f, 1.0f};
+                    Vec3 c_acc[4] = {};
+                    uint32_t last[4] = {0, 0, 0, 0};
+                    bool done[4] = {false, false, false, false};
+                    int active = 4;
+                    float pcx[4];
+                    for (int l = 0; l < 4; ++l)
+                        pcx[l] = (px + l) + 0.5f;
+                    for (size_t pos = 0; pos < len && active > 0;
+                         ++pos) {
+                        const StagedGaussian e = hot[pos];
+                        const float dy = e.mean_y - pcy;
+                        // No pixel of this row can reach the alpha cut.
+                        if (-0.5f * e.row_k * dy * dy + kRowCutMargin
+                            < e.power_cut)
+                            continue;
+                        float power[4];
+                        for (int l = 0; l < 4; ++l) {
+                            float dx = e.mean_x - pcx[l];
+                            power[l] = -0.5f * (e.conic_a * dx * dx
+                                                + e.conic_c * dy * dy)
+                                     - e.conic_b * dx * dy;
+                        }
+                        // Whole quad provably below the alpha cut:
+                        // skip the per-lane work. (Explicit per-lane
+                        // comparisons: a NaN power must NOT be skipped,
+                        // matching the scalar loop.)
+                        if (power[0] < e.power_cut
+                            && power[1] < e.power_cut
+                            && power[2] < e.power_cut
+                            && power[3] < e.power_cut)
+                            continue;
+                        for (int l = 0; l < 4; ++l) {
+                            if (done[l])
+                                continue;
+                            if (power[l] > 0.0f)
+                                continue;
+                            if (power[l] < e.power_cut)
+                                continue;    // alpha < alpha_min
+                            float alpha = std::min(
+                                0.99f,
+                                e.opacity * std::exp(power[l]));
+                            if (alpha < alpha_min)
+                                continue;
+                            float t_next = t_acc[l] * (1.0f - alpha);
+                            if (t_next < t_min) {
+                                done[l] = true;    // lane "break"
+                                --active;
+                                continue;
+                            }
+                            c_acc[l] += colors[pos]
+                                        * (alpha * t_acc[l]);
+                            t_acc[l] = t_next;
+                            last[l] = static_cast<uint32_t>(pos) + 1;
+                        }
+                    }
+                    for (int l = 0; l < 4; ++l) {
+                        size_t pi =
+                            static_cast<size_t>(py) * w + px + l;
+                        out.final_t[pi] = t_acc[l];
+                        out.n_contrib[pi] = last[l];
+                        out.image.setPixel(
+                            px + l, py,
+                            c_acc[l] + background * t_acc[l]);
+                    }
+                }
+                for (; px < px1; ++px) {
                     float t_acc = 1.0f;
                     Vec3 c_acc{0, 0, 0};
                     uint32_t last = 0;
-                    Vec2 pix{px + 0.5f, py + 0.5f};
-                    for (size_t pos = 0; pos < list.size(); ++pos) {
-                        const ProjectedGaussian &g =
-                            out.projected[list[pos]];
-                        Vec2 d = g.mean2d - pix;
-                        float power =
-                            -0.5f * (g.conic_a * d.x * d.x
-                                     + g.conic_c * d.y * d.y)
-                            - g.conic_b * d.x * d.y;
+                    const float pcx = px + 0.5f;
+                    for (size_t pos = 0; pos < len; ++pos) {
+                        const StagedGaussian e = hot[pos];
+                        float dx = e.mean_x - pcx;
+                        float dy = e.mean_y - pcy;
+                        // Same row cut as the quad path, so every
+                        // pixel of a row skips the same entries.
+                        if (-0.5f * e.row_k * dy * dy + kRowCutMargin
+                            < e.power_cut)
+                            continue;
+                        float power = -0.5f * (e.conic_a * dx * dx
+                                               + e.conic_c * dy * dy)
+                                    - e.conic_b * dx * dy;
                         if (power > 0.0f)
                             continue;
-                        float alpha =
-                            std::min(0.99f, g.opacity * std::exp(power));
-                        if (alpha < cfg.alpha_min)
+                        if (power < e.power_cut)
+                            continue;    // provably alpha < alpha_min
+                        float alpha = std::min(
+                            0.99f, e.opacity * std::exp(power));
+                        if (alpha < alpha_min)
                             continue;
                         float t_next = t_acc * (1.0f - alpha);
-                        if (t_next < cfg.transmittance_min)
+                        if (t_next < t_min)
                             break;
-                        c_acc += g.color * (alpha * t_acc);
+                        c_acc += colors[pos] * (alpha * t_acc);
                         t_acc = t_next;
                         last = static_cast<uint32_t>(pos) + 1;
                     }
@@ -127,21 +247,19 @@ renderForward(const GaussianModel &model, const Camera &camera,
                     out.final_t[pi] = t_acc;
                     out.n_contrib[pi] = last;
                     out.image.setPixel(px, py,
-                                       c_acc + cfg.background * t_acc);
+                                       c_acc + background * t_acc);
                 }
             }
         }
     };
-    size_t n_tiles = out.tile_lists.size();
-    if (cfg.parallel && n_tiles > 1) {
+    if (n_chunks > 1) {
         ThreadPool::global().parallelFor(
-            n_tiles, [&](size_t begin, size_t end) {
-                for (size_t t = begin; t < end; ++t)
-                    composite_tile(t);
+            n_chunks, [&](size_t begin, size_t end) {
+                for (size_t c = begin; c < end; ++c)
+                    composite_chunk(c);
             });
     } else {
-        for (size_t t = 0; t < n_tiles; ++t)
-            composite_tile(t);
+        composite_chunk(0);
     }
     return out;
 }

@@ -6,8 +6,19 @@
  * the backward pass replays each pixel back-to-front and produces analytic
  * gradients for every learnable parameter.
  *
+ * The binning/sorting core follows the flat key-sort design of real 3DGS
+ * pipelines (see render/binning.hpp): projection runs in parallel over the
+ * subset, intersections are expanded into one flat buffer of
+ * `(tile_id << 32 | depth_bits)` keys by a count → scan → fill pass, a
+ * single stable radix sort replaces the per-tile std::sort, and tiles
+ * composite from contiguous ranges through tile-local SoA staging. All
+ * stages are deterministic: the parallel path is bitwise-identical to the
+ * serial path, with depth ties broken by subset position.
+ *
  * Per the pre-rendering-frustum-culling design (§5.1), the rasterizer takes
  * an explicit in-frustum index set: it never touches Gaussians outside it.
+ * Hot-loop callers (one render per view per training step) should pass a
+ * RenderArena (render/arena.hpp) to reuse activation buffers across calls.
  */
 
 #ifndef CLM_RENDER_RASTERIZER_HPP
@@ -17,11 +28,14 @@
 #include <vector>
 
 #include "gaussian/model.hpp"
+#include "render/binning.hpp"
 #include "render/camera.hpp"
 #include "render/image.hpp"
 #include "render/projection.hpp"
 
 namespace clm {
+
+class RenderArena;
 
 /** Rasterization settings. */
 struct RenderConfig
@@ -31,10 +45,22 @@ struct RenderConfig
     int tile_size = 16;             //!< Square tile edge in pixels.
     float alpha_min = 1.0f / 255.0f;    //!< Contribution threshold.
     float transmittance_min = 1e-4f;    //!< Early-termination threshold.
-    /** Rasterize tiles across the global thread pool. Results are
-     *  bitwise-identical to the serial path (tiles are independent and
-     *  backward reductions run in a fixed order). */
+    /** Rasterize across the global thread pool. Bitwise-identical to the
+     *  serial path: every stage (projection, flat binning, stable radix
+     *  sort, per-tile compositing, fixed-order gradient reduction) is
+     *  deterministic. Forward results are additionally independent of
+     *  the machine's thread count; backward gradients accumulate over a
+     *  fixed tile-chunk partition derived from the pool size, so they
+     *  are identical serial-vs-parallel on any one machine but may
+     *  differ in the last bits between machines with different core
+     *  counts. */
     bool parallel = true;
+    /** Drop candidate tiles the footprint provably cannot contribute to
+     *  (exact circle-vs-tile-rect test, see render/binning.hpp). Never
+     *  changes the rendered image or the gradients — only the number of
+     *  tile intersections binned. Off reproduces the plain square bound
+     *  (kept togglable so benches can report the reduction). */
+    bool exact_tile_bounds = true;
 };
 
 /**
@@ -50,25 +76,33 @@ struct RenderOutput
     std::vector<float> final_t;
 
     /**
-     * Per-pixel 1-based position (in the pixel's tile list) of the last
+     * Per-pixel 1-based position (in the pixel's tile range) of the last
      * composited Gaussian; 0 when nothing contributed.
      */
     std::vector<uint32_t> n_contrib;
 
     /** Projected footprints of the in-frustum subset (invalid ones kept
-     *  in place so tile lists can index by subset position). */
+     *  in place so intersections can index by subset position). */
     std::vector<ProjectedGaussian> projected;
 
-    /** Per-tile, depth-sorted indices into `projected`. */
-    std::vector<std::vector<uint32_t>> tile_lists;
+    /** Flat intersection buffer: subset positions sorted by
+     *  (tile, depth, subset position) — each tile's slice is its
+     *  front-to-back compositing order. */
+    std::vector<uint32_t> isect_vals;
+
+    /** Per-tile [begin, end) range into isect_vals (row-major tiles). */
+    std::vector<TileRange> tile_ranges;
 
     int tiles_x = 0;
     int tiles_y = 0;
 
-    /** Sum over tiles of list lengths (the paper's "num intersections"). */
-    size_t totalTileIntersections() const;
+    /** Flat intersection count (the paper's "num intersections"). */
+    size_t totalTileIntersections() const { return isect_vals.size(); }
 
-    /** Approximate bytes held by this activation state. */
+    /** Bytes held by this activation state. Counts every member buffer
+     *  exactly (the flat intersection/tile-range buffers included);
+     *  unlike the old nested per-tile vectors there is no per-tile heap
+     *  bookkeeping left uncounted. */
     size_t activationBytes() const;
 };
 
@@ -84,6 +118,19 @@ RenderOutput renderForward(const GaussianModel &model, const Camera &camera,
                            const RenderConfig &config = {});
 
 /**
+ * Arena overload for hot loops: renders into @p arena.out, reusing its
+ * buffers across calls instead of reallocating per view. The returned
+ * reference aliases @p arena.out and stays valid until the next render
+ * into the same arena. Results are bitwise-identical to the value-
+ * returning overload.
+ */
+const RenderOutput &renderForward(const GaussianModel &model,
+                                  const Camera &camera,
+                                  const std::vector<uint32_t> &subset,
+                                  const RenderConfig &config,
+                                  RenderArena &arena);
+
+/**
  * Backward pass: given dL/d(image), accumulate parameter gradients into
  * @p out (sized for the full model; only rows in the rendered subset are
  * touched — the sparsity property the offload design relies on).
@@ -91,6 +138,16 @@ RenderOutput renderForward(const GaussianModel &model, const Camera &camera,
 void renderBackward(const GaussianModel &model, const Camera &camera,
                     const RenderConfig &config, const RenderOutput &fwd,
                     const Image &d_image, GaussianGrads &out);
+
+/**
+ * Arena overload: uses @p arena's gradient accumulators and tile staging
+ * as scratch (reused across calls). @p fwd may be @p arena.out. Results
+ * are bitwise-identical to the arena-free overload.
+ */
+void renderBackward(const GaussianModel &model, const Camera &camera,
+                    const RenderConfig &config, const RenderOutput &fwd,
+                    const Image &d_image, GaussianGrads &out,
+                    RenderArena &arena);
 
 } // namespace clm
 

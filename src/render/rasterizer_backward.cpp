@@ -2,16 +2,42 @@
 #include <cmath>
 #include <vector>
 
+#include "render/arena.hpp"
 #include "render/rasterizer.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace clm {
 
+namespace {
+
+void
+accumulate(ProjectionGrads &into, const ProjectionGrads &from)
+{
+    into.d_mean2d += from.d_mean2d;
+    into.d_conic_a += from.d_conic_a;
+    into.d_conic_b += from.d_conic_b;
+    into.d_conic_c += from.d_conic_c;
+    into.d_color += from.d_color;
+    into.d_opacity += from.d_opacity;
+}
+
+} // namespace
+
 void
 renderBackward(const GaussianModel &model, const Camera &camera,
                const RenderConfig &cfg, const RenderOutput &fwd,
                const Image &d_image, GaussianGrads &out)
+{
+    RenderArena scratch;
+    renderBackward(model, camera, cfg, fwd, d_image, out, scratch);
+}
+
+void
+renderBackward(const GaussianModel &model, const Camera &camera,
+               const RenderConfig &cfg, const RenderOutput &fwd,
+               const Image &d_image, GaussianGrads &out,
+               RenderArena &arena)
 {
     CLM_ASSERT(out.size() == model.size(),
                "gradient buffer must cover the full model");
@@ -21,35 +47,73 @@ renderBackward(const GaussianModel &model, const Camera &camera,
 
     const int w = camera.width();
     const int h = camera.height();
+    const size_t n = fwd.projected.size();
+    const size_t n_tiles = fwd.tile_ranges.size();
 
     // Per-subset-entry gradient accumulators for the footprint
-    // quantities. A Gaussian can appear in several tiles, so parallel
-    // execution uses one accumulator array per chunk, reduced in fixed
-    // chunk order afterwards (deterministic results).
-    std::vector<ProjectionGrads> pg(fwd.projected.size());
+    // quantities. A Gaussian can appear in several tiles; tiles are
+    // processed in a FIXED chunk partition (the same whether execution
+    // is serial or parallel) with one accumulator array per chunk,
+    // reduced in chunk order afterwards — so the arithmetic, and hence
+    // every output bit, never depends on thread scheduling.
+    arena.grads.assign(n, ProjectionGrads{});
+    const size_t n_chunks = std::max<size_t>(
+        1, std::min<size_t>(n_tiles, ThreadPool::global().threads()));
+    const size_t tiles_per_chunk =
+        n_tiles == 0 ? 0 : (n_tiles + n_chunks - 1) / n_chunks;
+    if (arena.stages.size() < n_chunks)
+        arena.stages.resize(n_chunks);
+    arena.grad_partials.resize(n_chunks);
+    for (auto &partial : arena.grad_partials)
+        partial.assign(n, ProjectionGrads{});
 
-    auto backward_tile = [&](size_t tile_index,
-                             std::vector<ProjectionGrads> &acc_pg) {
-        int ty = static_cast<int>(tile_index) / fwd.tiles_x;
-        int tx = static_cast<int>(tile_index) % fwd.tiles_x;
-        {
-            const auto &list = fwd.tile_lists[tile_index];
-            if (list.empty())
-                return;
-            int px0 = tx * cfg.tile_size;
-            int py0 = ty * cfg.tile_size;
-            int px1 = std::min(px0 + cfg.tile_size, w);
-            int py1 = std::min(py0 + cfg.tile_size, h);
+    // When replaying the forward activation still held by this arena,
+    // the cut arrays for fwd.projected are already in place.
+    if (&fwd != &arena.out || arena.cuts_alpha_min != cfg.alpha_min
+        || arena.alpha_cut.size() != n) {
+        computeAlphaCutPowers(fwd.projected, cfg.alpha_min, cfg.parallel,
+                              arena.alpha_cut, arena.row_k);
+        arena.cuts_alpha_min = cfg.alpha_min;
+    }
+
+    const float alpha_min = cfg.alpha_min;
+    const Vec3 background = cfg.background;
+
+    auto backward_chunk = [&](size_t c) {
+        TileStage &stage = arena.stages[c];
+        std::vector<ProjectionGrads> &acc = arena.grad_partials[c];
+        const size_t t0 = c * tiles_per_chunk;
+        const size_t t1 = std::min(t0 + tiles_per_chunk, n_tiles);
+        for (size_t t = t0; t < t1; ++t) {
+            const TileRange range = fwd.tile_ranges[t];
+            const size_t len = range.size();
+            if (len == 0)
+                continue;
+            // Stage the tile's hot fields + zeroed local accumulators so
+            // the replay streams sequentially through memory. Shared
+            // with the forward pass so the two stagings cannot desync.
+            stage.stageFrom(fwd.projected, fwd.isect_vals, range,
+                            arena.alpha_cut, arena.row_k,
+                            /*for_backward=*/true);
+            const StagedGaussian *hot = stage.hot.data();
+            const Vec3 *colors = stage.color.data();
+
+            const int ty = static_cast<int>(t) / fwd.tiles_x;
+            const int tx = static_cast<int>(t) % fwd.tiles_x;
+            const int px0 = tx * cfg.tile_size;
+            const int py0 = ty * cfg.tile_size;
+            const int px1 = std::min(px0 + cfg.tile_size, w);
+            const int py1 = std::min(py0 + cfg.tile_size, h);
             for (int py = py0; py < py1; ++py) {
+                const float pcy = py + 0.5f;
                 for (int px = px0; px < px1; ++px) {
                     size_t pi = static_cast<size_t>(py) * w + px;
                     uint32_t n_contrib = fwd.n_contrib[pi];
                     if (n_contrib == 0)
                         continue;
-                    Vec2 pix{px + 0.5f, py + 0.5f};
+                    const float pcx = px + 0.5f;
                     Vec3 dpix = d_image.pixel(px, py);
-                    float bg_dot =
-                        cfg.background.dot(dpix);
+                    float bg_dot = background.dot(dpix);
 
                     // Replay back-to-front over the composited prefix.
                     float t_acc = fwd.final_t[pi];
@@ -57,20 +121,25 @@ renderBackward(const GaussianModel &model, const Camera &camera,
                     Vec3 last_color{0, 0, 0};
                     Vec3 accum_rec{0, 0, 0};
                     for (size_t pos = n_contrib; pos-- > 0;) {
-                        uint32_t s = list[pos];
-                        const ProjectedGaussian &g = fwd.projected[s];
-                        Vec2 d = g.mean2d - pix;
-                        float power =
-                            -0.5f * (g.conic_a * d.x * d.x
-                                     + g.conic_c * d.y * d.y)
-                            - g.conic_b * d.x * d.y;
+                        const StagedGaussian e = hot[pos];
+                        float dx = e.mean_x - pcx;
+                        float dy = e.mean_y - pcy;
+                        // No pixel of this row reaches the alpha cut.
+                        if (-0.5f * e.row_k * dy * dy + kRowCutMargin
+                            < e.power_cut)
+                            continue;
+                        float power = -0.5f * (e.conic_a * dx * dx
+                                               + e.conic_c * dy * dy)
+                                    - e.conic_b * dx * dy;
                         if (power > 0.0f)
                             continue;
+                        if (power < e.power_cut)
+                            continue;    // provably alpha < alpha_min
                         float gval = std::exp(power);
-                        float raw_alpha = g.opacity * gval;
+                        float raw_alpha = e.opacity * gval;
                         bool clamped = raw_alpha > 0.99f;
                         float alpha = clamped ? 0.99f : raw_alpha;
-                        if (alpha < cfg.alpha_min)
+                        if (alpha < alpha_min)
                             continue;
 
                         // Transmittance in front of this Gaussian.
@@ -81,13 +150,16 @@ renderBackward(const GaussianModel &model, const Camera &camera,
                         // c - (color accumulated behind this Gaussian).
                         accum_rec = last_color * last_alpha
                                   + accum_rec * (1.0f - last_alpha);
-                        last_color = g.color;
-                        dl_dalpha += (g.color.x - accum_rec.x) * dpix.x;
-                        dl_dalpha += (g.color.y - accum_rec.y) * dpix.y;
-                        dl_dalpha += (g.color.z - accum_rec.z) * dpix.z;
+                        last_color = colors[pos];
+                        dl_dalpha +=
+                            (colors[pos].x - accum_rec.x) * dpix.x;
+                        dl_dalpha +=
+                            (colors[pos].y - accum_rec.y) * dpix.y;
+                        dl_dalpha +=
+                            (colors[pos].z - accum_rec.z) * dpix.z;
 
-                        ProjectionGrads &acc = acc_pg[s];
-                        acc.d_color += dpix * dchannel_dcolor;
+                        ProjectionGrads &g = stage.grads[pos];
+                        g.d_color += dpix * dchannel_dcolor;
 
                         dl_dalpha *= t_acc;
                         last_alpha = alpha;
@@ -99,67 +171,57 @@ renderBackward(const GaussianModel &model, const Camera &camera,
                         if (clamped)
                             continue;    // min(0.99, .) sub-gradient = 0
 
-                        float dl_dg = g.opacity * dl_dalpha;
-                        acc.d_opacity += gval * dl_dalpha;
+                        float dl_dg = e.opacity * dl_dalpha;
+                        g.d_opacity += gval * dl_dalpha;
 
                         // G = exp(power(d)), d = mean - pix.
                         float gdl = gval * dl_dg;
-                        acc.d_mean2d.x +=
-                            gdl * (-g.conic_a * d.x - g.conic_b * d.y);
-                        acc.d_mean2d.y +=
-                            gdl * (-g.conic_c * d.y - g.conic_b * d.x);
-                        acc.d_conic_a += gdl * (-0.5f * d.x * d.x);
-                        acc.d_conic_b += gdl * (-d.x * d.y);
-                        acc.d_conic_c += gdl * (-0.5f * d.y * d.y);
+                        g.d_mean2d.x += gdl * (-e.conic_a * dx
+                                               - e.conic_b * dy);
+                        g.d_mean2d.y += gdl * (-e.conic_c * dy
+                                               - e.conic_b * dx);
+                        g.d_conic_a += gdl * (-0.5f * dx * dx);
+                        g.d_conic_b += gdl * (-dx * dy);
+                        g.d_conic_c += gdl * (-0.5f * dy * dy);
                     }
                 }
             }
+
+            // Flush the tile-local accumulators into this chunk's
+            // per-subset array (one entry per Gaussian per tile).
+            for (size_t j = 0; j < len; ++j)
+                accumulate(acc[fwd.isect_vals[range.begin + j]],
+                           stage.grads[j]);
         }
     };
 
-    const size_t n_tiles = fwd.tile_lists.size();
-    if (cfg.parallel && n_tiles > 1) {
-        ThreadPool &pool = ThreadPool::global();
-        size_t n_chunks =
-            std::min<size_t>(n_tiles, pool.threads());
-        std::vector<std::vector<ProjectionGrads>> partials(
-            n_chunks, std::vector<ProjectionGrads>(fwd.projected.size()));
-        size_t chunk = (n_tiles + n_chunks - 1) / n_chunks;
-        pool.parallelFor(n_chunks, [&](size_t cb, size_t ce) {
-            for (size_t c = cb; c < ce; ++c) {
-                size_t t0 = c * chunk;
-                size_t t1 = std::min(t0 + chunk, n_tiles);
-                for (size_t t = t0; t < t1; ++t)
-                    backward_tile(t, partials[c]);
-            }
-        });
-        // Deterministic reduction in chunk order.
-        for (const auto &partial : partials) {
-            for (size_t s = 0; s < pg.size(); ++s) {
-                pg[s].d_mean2d += partial[s].d_mean2d;
-                pg[s].d_conic_a += partial[s].d_conic_a;
-                pg[s].d_conic_b += partial[s].d_conic_b;
-                pg[s].d_conic_c += partial[s].d_conic_c;
-                pg[s].d_color += partial[s].d_color;
-                pg[s].d_opacity += partial[s].d_opacity;
-            }
-        }
+    if (cfg.parallel && n_chunks > 1) {
+        ThreadPool::global().parallelFor(
+            n_chunks, [&](size_t begin, size_t end) {
+                for (size_t c = begin; c < end; ++c)
+                    backward_chunk(c);
+            });
     } else {
-        for (size_t t = 0; t < n_tiles; ++t)
-            backward_tile(t, pg);
+        for (size_t c = 0; c < n_chunks; ++c)
+            backward_chunk(c);
     }
+
+    // Deterministic reduction in chunk order.
+    for (const auto &partial : arena.grad_partials)
+        for (size_t s = 0; s < n; ++s)
+            accumulate(arena.grads[s], partial[s]);
 
     // Chain footprint gradients through the projection. Subset entries
     // map to distinct model rows, so this parallelizes safely.
     auto chain = [&](size_t begin, size_t end) {
         for (size_t s = begin; s < end; ++s)
             projectGaussianBackward(model, camera, cfg.sh_degree,
-                                    fwd.projected[s], pg[s], out);
+                                    fwd.projected[s], arena.grads[s], out);
     };
-    if (cfg.parallel && fwd.projected.size() > 256)
-        ThreadPool::global().parallelFor(fwd.projected.size(), chain);
+    if (cfg.parallel && n >= kMinParallelSubset)
+        ThreadPool::global().parallelFor(n, chain);
     else
-        chain(0, fwd.projected.size());
+        chain(0, n);
 }
 
 } // namespace clm

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "render/arena.hpp"
 #include "render/culling.hpp"
 #include "scene/camera_path.hpp"
 #include "scene/synthetic.hpp"
@@ -17,10 +18,11 @@ renderGroundTruth(const GaussianModel &gt_model,
 {
     std::vector<Image> images;
     images.reserve(cameras.size());
+    RenderArena arena;    // reused across the whole sweep
     for (const Camera &cam : cameras) {
         auto subset = frustumCull(gt_model, cam);
-        images.push_back(renderForward(gt_model, cam, subset, render)
-                             .image);
+        images.push_back(
+            renderForward(gt_model, cam, subset, render, arena).image);
     }
     return images;
 }

@@ -44,8 +44,8 @@ Trainer::evaluatePsnr() const
     double acc = 0.0;
     for (size_t v = 0; v < cameras_.size(); ++v) {
         auto subset = frustumCull(m, cameras_[v]);
-        RenderOutput out =
-            renderForward(m, cameras_[v], subset, config_.render);
+        const RenderOutput &out =
+            renderForward(m, cameras_[v], subset, config_.render, arena_);
         acc += out.image.psnr(ground_truth_[v]);
     }
     return acc / cameras_.size();
@@ -99,11 +99,12 @@ Trainer::renderAndBackprop(const GaussianModel &m, int v,
 {
     const Camera &cam = cameras_[v];
     RenderConfig render = activeRenderConfig();
-    RenderOutput out = renderForward(m, cam, subset, render);
+    const RenderOutput &out =
+        renderForward(m, cam, subset, render, arena_);
     Image d_image;
     LossResult loss =
         computeLoss(out.image, ground_truth_[v], &d_image, config_.loss);
-    renderBackward(m, cam, render, out, d_image, grads);
+    renderBackward(m, cam, render, out, d_image, grads, arena_);
     return loss.total;
 }
 

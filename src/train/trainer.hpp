@@ -22,6 +22,7 @@
 #include "gaussian/model.hpp"
 #include "math/rng.hpp"
 #include "offload/planner.hpp"
+#include "render/arena.hpp"
 #include "render/camera.hpp"
 #include "render/loss.hpp"
 #include "render/rasterizer.hpp"
@@ -141,6 +142,11 @@ class Trainer
     Densifier densifier_;
     bool densify_enabled_ = false;
     int batches_done_ = 0;
+
+    /** Render scratch reused across every view/step this trainer runs
+     *  (every trainer renders through renderAndBackprop/evaluatePsnr).
+     *  mutable: purely scratch — reuse never changes results. */
+    mutable RenderArena arena_;
 };
 
 /**

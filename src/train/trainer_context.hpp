@@ -24,7 +24,10 @@
 namespace clm {
 
 /** See file comment. Holds references to the owning trainer's master
- *  model and optimizer; owns every derived offload-side structure. */
+ *  model and optimizer; owns every derived offload-side structure.
+ *  (Render scratch is NOT here: every render of the offload trainers
+ *  goes through Trainer::renderAndBackprop, so the reusable RenderArena
+ *  lives once in the Trainer base.) */
 class TrainerContext
 {
   public:

@@ -11,11 +11,15 @@
 
 #include "math/ellipsoid.hpp"
 #include "math/rng.hpp"
+#include "render/arena.hpp"
 #include "render/camera.hpp"
 #include "render/culling.hpp"
 #include "render/image.hpp"
 #include "render/loss.hpp"
 #include "render/rasterizer.hpp"
+#include "scene/camera_path.hpp"
+#include "scene/scene_spec.hpp"
+#include "scene/synthetic.hpp"
 
 namespace clm {
 namespace {
@@ -249,6 +253,59 @@ TEST(Rasterizer, SubsetMattersOnlyForListedGaussians)
     EXPECT_LT(full.image.mse(with_extra.image), 1e-10);
 }
 
+TEST(Rasterizer, ParallelBitwiseIdenticalToSerial)
+{
+    // Every stage of the pipeline (projection, flat binning, stable
+    // radix sort, per-tile compositing) is deterministic, so the
+    // parallel path must reproduce the serial path bit for bit —
+    // including the activation state the backward pass replays.
+    SceneSpec spec = SceneSpec::bicycle();
+    GaussianModel m = generateGroundTruth(spec, 700);
+    // Odd resolution: exercises partial edge tiles and the non-quad
+    // remainder pixels.
+    auto cams = generateCameraPath(spec, 2, 97, 61);
+    for (const Camera &cam : cams) {
+        auto subset = frustumCull(m, cam);
+        RenderConfig serial;
+        serial.parallel = false;
+        RenderConfig parallel;
+        parallel.parallel = true;
+        RenderOutput a = renderForward(m, cam, subset, serial);
+        RenderOutput b = renderForward(m, cam, subset, parallel);
+        EXPECT_EQ(a.image.data(), b.image.data());    // bitwise
+        EXPECT_EQ(a.final_t, b.final_t);
+        EXPECT_EQ(a.n_contrib, b.n_contrib);
+        EXPECT_EQ(a.isect_vals, b.isect_vals);
+        ASSERT_EQ(a.tile_ranges.size(), b.tile_ranges.size());
+        for (size_t t = 0; t < a.tile_ranges.size(); ++t) {
+            EXPECT_EQ(a.tile_ranges[t].begin, b.tile_ranges[t].begin);
+            EXPECT_EQ(a.tile_ranges[t].end, b.tile_ranges[t].end);
+        }
+    }
+}
+
+TEST(Rasterizer, ArenaReuseMatchesFreshAllocation)
+{
+    // One arena reused across differently-sized views must reproduce
+    // the value-returning overload bit for bit.
+    SceneSpec spec = SceneSpec::bicycle();
+    GaussianModel m = generateGroundTruth(spec, 500);
+    RenderArena arena;
+    RenderConfig cfg;
+    int sizes[][2] = {{96, 64}, {48, 32}, {96, 64}};
+    for (auto &wh : sizes) {
+        Camera cam = generateCameraPath(spec, 2, wh[0], wh[1])[0];
+        auto subset = frustumCull(m, cam);
+        const RenderOutput &reused =
+            renderForward(m, cam, subset, cfg, arena);
+        RenderOutput fresh = renderForward(m, cam, subset, cfg);
+        EXPECT_EQ(fresh.image.data(), reused.image.data());
+        EXPECT_EQ(fresh.final_t, reused.final_t);
+        EXPECT_EQ(fresh.n_contrib, reused.n_contrib);
+        EXPECT_EQ(fresh.isect_vals, reused.isect_vals);
+    }
+}
+
 TEST(Rasterizer, ActivationBytesScaleWithResolution)
 {
     GaussianModel m = singleGaussian({0, 0, 5}, 0.5f, {1, 1, 1}, 0.9f);
@@ -258,6 +315,23 @@ TEST(Rasterizer, ActivationBytesScaleWithResolution)
     RenderOutput big =
         renderForward(m, canonicalCamera(128, 128), {0}, cfg);
     EXPECT_GT(big.activationBytes(), small.activationBytes());
+}
+
+TEST(Rasterizer, ActivationBytesCountEveryBuffer)
+{
+    SceneSpec spec = SceneSpec::bicycle();
+    GaussianModel m = generateGroundTruth(spec, 300);
+    Camera cam = generateCameraPath(spec, 2, 64, 48)[0];
+    auto subset = frustumCull(m, cam);
+    RenderOutput out = renderForward(m, cam, subset, {});
+    ASSERT_GT(out.totalTileIntersections(), 0u);
+    size_t expected = out.image.data().size() * sizeof(float)
+                    + out.final_t.size() * sizeof(float)
+                    + out.n_contrib.size() * sizeof(uint32_t)
+                    + out.projected.size() * sizeof(ProjectedGaussian)
+                    + out.isect_vals.size() * sizeof(uint32_t)
+                    + out.tile_ranges.size() * sizeof(TileRange);
+    EXPECT_EQ(out.activationBytes(), expected);
 }
 
 TEST(Image, MetricsBasics)

@@ -11,9 +11,14 @@
 #include <functional>
 
 #include "math/rng.hpp"
+#include "render/arena.hpp"
 #include "render/camera.hpp"
+#include "render/culling.hpp"
 #include "render/loss.hpp"
 #include "render/rasterizer.hpp"
+#include "scene/camera_path.hpp"
+#include "scene/scene_spec.hpp"
+#include "scene/synthetic.hpp"
 
 namespace clm {
 namespace {
@@ -273,6 +278,53 @@ TEST(RenderBackward, UntouchedRowsStayZero)
         EXPECT_FLOAT_EQ(g.d_sh[i * kShDim], 0.0f);
     }
     EXPECT_NE(g.d_opacity[1], 0.0f);
+}
+
+TEST(RenderBackward, ParallelBitwiseIdenticalToSerial)
+{
+    // The backward pass accumulates per-chunk partial gradients over a
+    // FIXED tile-chunk partition (independent of execution mode) and
+    // reduces them in chunk order, so parallel and serial runs perform
+    // identical floating-point arithmetic: gradients must match bit
+    // for bit, not just within tolerance.
+    SceneSpec spec = SceneSpec::bicycle();
+    GaussianModel m = generateGroundTruth(spec, 600);
+    auto cams = generateCameraPath(spec, 2, 97, 61);
+    for (const Camera &cam : cams) {
+        auto subset = frustumCull(m, cam);
+        Image d_image(97, 61, {0.3f, -0.2f, 0.1f});
+        auto run = [&](bool parallel, bool with_arena) {
+            RenderConfig cfg;
+            cfg.parallel = parallel;
+            GaussianGrads g;
+            g.resize(m.size());
+            if (with_arena) {
+                RenderArena arena;
+                const RenderOutput &out =
+                    renderForward(m, cam, subset, cfg, arena);
+                renderBackward(m, cam, cfg, out, d_image, g, arena);
+            } else {
+                RenderOutput out = renderForward(m, cam, subset, cfg);
+                renderBackward(m, cam, cfg, out, d_image, g);
+            }
+            return g;
+        };
+        GaussianGrads a = run(false, false);
+        GaussianGrads b = run(true, false);
+        GaussianGrads c = run(true, true);
+        for (size_t i = 0; i < m.size(); ++i) {
+            EXPECT_EQ(a.d_position[i].x, b.d_position[i].x) << i;
+            EXPECT_EQ(a.d_position[i].y, b.d_position[i].y) << i;
+            EXPECT_EQ(a.d_position[i].z, b.d_position[i].z) << i;
+            EXPECT_EQ(a.d_opacity[i], b.d_opacity[i]) << i;
+            EXPECT_EQ(a.d_log_scale[i].x, b.d_log_scale[i].x) << i;
+            EXPECT_EQ(a.d_rotation[i].w, b.d_rotation[i].w) << i;
+            EXPECT_EQ(a.d_sh[i * kShDim], b.d_sh[i * kShDim]) << i;
+            // The arena overloads are pure scratch reuse.
+            EXPECT_EQ(a.d_position[i].x, c.d_position[i].x) << i;
+            EXPECT_EQ(a.d_opacity[i], c.d_opacity[i]) << i;
+        }
+    }
 }
 
 TEST(RenderBackward, GradientDescentReducesRealLoss)
