@@ -14,10 +14,14 @@
 #ifndef CLM_BENCH_COMMON_HPP
 #define CLM_BENCH_COMMON_HPP
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "math/rng.hpp"
+#include "math/simd.hpp"
+#include "util/thread_pool.hpp"
 #include "offload/frustum_sets.hpp"
 #include "offload/planner.hpp"
 #include "scene/camera_path.hpp"
@@ -142,6 +146,41 @@ inline std::string
 fmtMillions(double n, int digits = 1)
 {
     return Table::fmt(n / 1e6, digits);
+}
+
+/**
+ * Machine/build context block for BENCH_*.json files, so recorded perf
+ * points are comparable across runs: worker-thread count (and whether
+ * CLM_THREADS pinned it), compiler, SIMD backend and whether the build
+ * disabled SIMD (-DCLM_DISABLE_SIMD=ON). Emitted as a `"context": {...},`
+ * line inside the top-level JSON object.
+ */
+inline void
+writeJsonContext(std::ostream &f)
+{
+    const char *env_threads = std::getenv("CLM_THREADS");
+    f << "  \"context\": {\"threads\": "
+      << ThreadPool::global().threads() << ", \"clm_threads_env\": ";
+    if (env_threads)
+        f << "\"" << env_threads << "\"";
+    else
+        f << "null";
+    f << ", \"compiler\": \""
+#if defined(__clang__)
+      << "clang " << __clang_major__ << "." << __clang_minor__
+#elif defined(__GNUC__)
+      << "gcc " << __GNUC__ << "." << __GNUC_MINOR__
+#else
+      << "unknown"
+#endif
+      << "\", \"simd\": \"" << simdIsaName() << "\", \"simd_disabled\": "
+      << (kSimdDisabled ? "true" : "false") << ", \"build\": \""
+#ifdef NDEBUG
+      << "release"
+#else
+      << "debug"
+#endif
+      << "\"},\n";
 }
 
 } // namespace clm::bench

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "render/arena.hpp"
 #include "render/culling.hpp"
 #include "render/rasterizer.hpp"
@@ -108,7 +109,9 @@ writeJson(const std::string &path, const std::vector<BenchResult> &results,
 {
     std::ofstream f(path);
     f << "{\n  \"bench\": \"rasterizer\",\n  \"smoke\": "
-      << (smoke ? "true" : "false") << ",\n  \"cases\": [\n";
+      << (smoke ? "true" : "false") << ",\n";
+    bench::writeJsonContext(f);
+    f << "  \"cases\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
         const BenchResult &r = results[i];
         f << "    {\"name\": \"" << r.cfg.name << "\""

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * End-to-end train-step micro-benchmark: one full optimization step
+ * (frustum cull -> project -> bin -> composite -> loss forward -> loss
+ * backward -> rasterizer backward -> subset Adam) on the default
+ * synthetic scene, with a per-stage wall-clock breakdown — so perf PRs
+ * see the whole step's trajectory, not just the rasterizer's.
+ *
+ * Also times the retained brute-force loss reference
+ * (computeLossReference) once per case and reports the SAT-loss
+ * speedup over it.
+ *
+ * Prints a table and emits machine-readable BENCH_train_step.json
+ * (scripts/bench_train_step.sh) including the machine/build context
+ * block, so recorded points are comparable across runs.
+ *
+ * Usage: micro_train_step [--smoke] [--no-ref] [--out FILE.json]
+ *   --smoke   one tiny config, single rep (CI "builds and runs" gate)
+ *   --no-ref  skip the brute-force loss baseline timing
+ *   --out     JSON output path (default BENCH_train_step.json in $PWD)
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "gaussian/adam.hpp"
+#include "render/arena.hpp"
+#include "render/culling.hpp"
+#include "render/loss.hpp"
+#include "render/rasterizer.hpp"
+#include "scene/camera_path.hpp"
+#include "scene/scene_spec.hpp"
+#include "scene/synthetic.hpp"
+#include "train/quality_harness.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace clm;
+
+namespace {
+
+struct BenchCase
+{
+    std::string name;
+    size_t n_gaussians;
+    int width, height;
+};
+
+struct BenchResult
+{
+    BenchCase cfg;
+    size_t subset = 0;
+    int reps = 0;
+    double loss = 0;    //!< Loss of the last step (sanity).
+    // Mean milliseconds per step, by stage.
+    double cull_ms = 0;
+    double project_ms = 0;
+    double bin_ms = 0;
+    double composite_ms = 0;
+    double raster_bwd_ms = 0;
+    double loss_fwd_ms = 0;
+    double loss_bwd_ms = 0;
+    double adam_ms = 0;
+    double step_ms = 0;    //!< Whole measured step (incl. grad zeroing).
+    // Brute-force loss baseline (one call; 0 when skipped).
+    double loss_ref_fwd_ms = 0;
+    double loss_ref_bwd_ms = 0;
+
+    double lossSpeedup() const
+    {
+        double sat = loss_fwd_ms + loss_bwd_ms;
+        double ref = loss_ref_fwd_ms + loss_ref_bwd_ms;
+        return sat > 0 && ref > 0 ? ref / sat : 0.0;
+    }
+};
+
+/** Run one config; reps adapt to hit ~min_seconds of stepping. */
+BenchResult
+runCase(const BenchCase &cfg, double min_seconds, int max_reps,
+        bool with_ref)
+{
+    SceneSpec spec = SceneSpec::bicycle();
+    GaussianModel gt_model = generateGroundTruth(spec, cfg.n_gaussians);
+    Camera cam = generateCameraPath(spec, 2, cfg.width, cfg.height)[0];
+
+    RenderConfig render;
+    render.sh_degree = 3;
+    LossConfig loss_cfg;
+
+    // Ground truth rendered from the reference model; the trainee is a
+    // perturbed copy, exactly like the quality harness trains.
+    Image gt =
+        renderForward(gt_model, cam, frustumCull(gt_model, cam), render)
+            .image;
+    GaussianModel model = makeTrainee(gt_model, cfg.n_gaussians, 7);
+
+    CpuAdam adam;
+    adam.reset(model.size());
+    GaussianGrads grads;
+    grads.resize(model.size());
+    RenderArena arena;
+    LossScratch scratch;
+    Image d_image;
+
+    BenchResult r;
+    r.cfg = cfg;
+
+    // Warm-up step (thread pool spin-up, arena/scratch growth).
+    {
+        auto subset = frustumCull(model, cam);
+        const RenderOutput &out =
+            renderForward(model, cam, subset, render, arena);
+        computeLoss(out.image, gt, &d_image, loss_cfg, scratch);
+        grads.zero();
+        renderBackward(model, cam, render, out, d_image, grads, arena);
+        r.subset = subset.size();
+    }
+
+    double step_s = 0;
+    int reps = 0;
+    while (reps == 0 || (reps < max_reps && step_s < min_seconds)) {
+        Timer step_t;
+        Timer t;
+        auto subset = frustumCull(model, cam);
+        r.cull_ms += t.millis();
+        const RenderOutput &out =
+            renderForward(model, cam, subset, render, arena);
+        r.project_ms += arena.stage_times.project_s * 1e3;
+        r.bin_ms += arena.stage_times.bin_s * 1e3;
+        r.composite_ms += arena.stage_times.composite_s * 1e3;
+        LossStageTimes lt;
+        LossResult lr =
+            computeLoss(out.image, gt, &d_image, loss_cfg, scratch, &lt);
+        r.loss_fwd_ms += lt.forward_s * 1e3;
+        r.loss_bwd_ms += lt.backward_s * 1e3;
+        grads.zero();
+        t.reset();
+        renderBackward(model, cam, render, out, d_image, grads, arena);
+        r.raster_bwd_ms += t.millis();
+        t.reset();
+        adam.updateSubset(model, grads, subset);
+        r.adam_ms += t.millis();
+        r.step_ms += step_t.millis();
+        step_s = r.step_ms / 1e3;
+        r.loss = lr.total;
+        r.subset = subset.size();
+        ++reps;
+    }
+    r.reps = reps;
+    for (double *m : {&r.cull_ms, &r.project_ms, &r.bin_ms,
+                      &r.composite_ms, &r.raster_bwd_ms, &r.loss_fwd_ms,
+                      &r.loss_bwd_ms, &r.adam_ms, &r.step_ms})
+        *m /= reps;
+
+    if (with_ref) {
+        // One brute-force loss call on the final rendered image — the
+        // pre-SAT baseline the SAT loss is compared against.
+        auto subset = frustumCull(model, cam);
+        const RenderOutput &out =
+            renderForward(model, cam, subset, render, arena);
+        LossStageTimes rt;
+        Image d_ref;
+        computeLossReference(out.image, gt, &d_ref, loss_cfg, &rt);
+        r.loss_ref_fwd_ms = rt.forward_s * 1e3;
+        r.loss_ref_bwd_ms = rt.backward_s * 1e3;
+    }
+    return r;
+}
+
+void
+writeJson(const std::string &path, const std::vector<BenchResult> &results,
+          bool smoke)
+{
+    std::ofstream f(path);
+    f << "{\n  \"bench\": \"train_step\",\n  \"smoke\": "
+      << (smoke ? "true" : "false") << ",\n";
+    bench::writeJsonContext(f);
+    f << "  \"cases\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const BenchResult &r = results[i];
+        f << "    {\"name\": \"" << r.cfg.name << "\""
+          << ", \"gaussians\": " << r.cfg.n_gaussians
+          << ", \"subset\": " << r.subset
+          << ", \"width\": " << r.cfg.width
+          << ", \"height\": " << r.cfg.height
+          << ", \"reps\": " << r.reps
+          << ", \"cull_ms\": " << r.cull_ms
+          << ", \"project_ms\": " << r.project_ms
+          << ", \"bin_ms\": " << r.bin_ms
+          << ", \"composite_ms\": " << r.composite_ms
+          << ", \"raster_bwd_ms\": " << r.raster_bwd_ms
+          << ", \"loss_fwd_ms\": " << r.loss_fwd_ms
+          << ", \"loss_bwd_ms\": " << r.loss_bwd_ms
+          << ", \"adam_ms\": " << r.adam_ms
+          << ", \"step_ms\": " << r.step_ms
+          << ", \"loss_ref_fwd_ms\": " << r.loss_ref_fwd_ms
+          << ", \"loss_ref_bwd_ms\": " << r.loss_ref_bwd_ms
+          << ", \"loss_speedup\": " << r.lossSpeedup() << "}"
+          << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    bool with_ref = true;
+    std::string out_path = "BENCH_train_step.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--smoke")
+            smoke = true;
+        else if (arg == "--no-ref")
+            with_ref = false;
+        else if (arg == "--out" && i + 1 < argc)
+            out_path = argv[++i];
+        else {
+            std::cerr << "usage: micro_train_step [--smoke] [--no-ref]"
+                         " [--out FILE]\n";
+            return 2;
+        }
+    }
+
+    std::vector<BenchCase> cases;
+    double min_seconds;
+    int max_reps;
+    if (smoke) {
+        cases = {{"smoke", 2000, 160, 90}};
+        min_seconds = 0.0;    // single rep: builds-and-runs gate only
+        max_reps = 1;
+    } else {
+        // Same scene/resolution ladder as micro_rasterizer, so the
+        // composite/backward stages are directly comparable with
+        // BENCH_rasterizer.json points.
+        cases = {{"small", 4000, 320, 180},
+                 {"medium", 16000, 640, 360},
+                 {"large", 64000, 960, 540}};
+        min_seconds = 1.0;
+        max_reps = 20;
+    }
+
+    std::cout << "=== micro_train_step: full training-step breakdown ===\n"
+              << "(simd: " << simdIsaName()
+              << ", threads: " << ThreadPool::global().threads() << ")\n\n";
+    Table table({"Case", "Subset", "WxH", "Cull", "Proj", "Bin", "Comp",
+                 "RastBwd", "LossFwd", "LossBwd", "Adam", "Step ms",
+                 "RefLoss", "LossX"});
+    std::vector<BenchResult> results;
+    for (const BenchCase &c : cases) {
+        BenchResult r = runCase(c, min_seconds, max_reps, with_ref);
+        table.addRow({r.cfg.name, std::to_string(r.subset),
+                      std::to_string(c.width) + "x"
+                          + std::to_string(c.height),
+                      Table::fmt(r.cull_ms, 2), Table::fmt(r.project_ms, 2),
+                      Table::fmt(r.bin_ms, 2),
+                      Table::fmt(r.composite_ms, 2),
+                      Table::fmt(r.raster_bwd_ms, 2),
+                      Table::fmt(r.loss_fwd_ms, 2),
+                      Table::fmt(r.loss_bwd_ms, 2),
+                      Table::fmt(r.adam_ms, 2), Table::fmt(r.step_ms, 2),
+                      Table::fmt(r.loss_ref_fwd_ms + r.loss_ref_bwd_ms, 1),
+                      Table::fmt(r.lossSpeedup(), 1)});
+        results.push_back(r);
+    }
+    table.print(std::cout);
+
+    writeJson(out_path, results, smoke);
+    std::cout << "\nwrote " << out_path << "\n";
+    return 0;
+}

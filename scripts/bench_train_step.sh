@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Build and run the end-to-end train-step micro-benchmark, emitting
+# BENCH_train_step.json in the repo root: a per-stage breakdown
+# (cull/project/bin/composite/loss fwd+bwd/rasterizer bwd/adam) so the
+# perf trajectory of the *whole* training step is tracked across PRs,
+# plus the SAT-loss speedup over the retained brute-force reference.
+#
+# The JSON includes a machine/build context block (thread count,
+# compiler, SIMD backend, CLM_DISABLE_SIMD); pin the worker count with
+# CLM_THREADS=N for comparable runs.
+#
+# Uses a dedicated build-release/ tree so it never flips the cached
+# build type of the default build/ directory that verify.sh uses.
+#
+# Usage: scripts/bench_train_step.sh [--smoke] [--no-ref]
+#   --smoke   tiny single-rep run (CI "builds and runs" gate)
+#   --no-ref  skip the brute-force loss baseline timing
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j"$JOBS" --target micro_train_step
+./build-release/micro_train_step "$@" --out BENCH_train_step.json

@@ -1,0 +1,19 @@
+#include "math/simd.hpp"
+
+namespace clm {
+
+const char *
+simdIsaName()
+{
+#if defined(CLM_SIMD_ISA_AVX2)
+    return "avx2";
+#elif defined(CLM_SIMD_ISA_SSE2)
+    return "sse2";
+#elif defined(CLM_SIMD_ISA_NEON)
+    return "neon";
+#else
+    return "scalar";
+#endif
+}
+
+} // namespace clm

@@ -1,5 +1,7 @@
 #include "render/arena.hpp"
 
+#include <limits>
+
 namespace clm {
 
 void
@@ -15,7 +17,8 @@ void
 TileStage::stageFrom(const std::vector<ProjectedGaussian> &projected,
                      const std::vector<uint32_t> &isect_vals,
                      TileRange range, const std::vector<float> &alpha_cut,
-                     const std::vector<float> &row_k, bool for_backward)
+                     const std::vector<float> &row_k, bool for_backward,
+                     bool stage_soa)
 {
     const size_t len = range.size();
     prepare(len, for_backward);
@@ -33,14 +36,50 @@ TileStage::stageFrom(const std::vector<ProjectedGaussian> &projected,
         e.row_k = row_k[s];
         color[j] = g.color;
     }
+    if (!stage_soa)
+        return;
+    const size_t padded = (len + 7) & ~size_t(7);
+    soa_mean_x.resize(padded);
+    soa_mean_y.resize(padded);
+    soa_conic_a.resize(padded);
+    soa_conic_b.resize(padded);
+    soa_conic_c.resize(padded);
+    soa_power_cut.resize(padded);
+    soa_row_k.resize(padded);
+    gvals.resize(padded);
+    for (size_t j = 0; j < len; ++j) {
+        const StagedGaussian &e = hot[j];
+        soa_mean_x[j] = e.mean_x;
+        soa_mean_y[j] = e.mean_y;
+        soa_conic_a[j] = e.conic_a;
+        soa_conic_b[j] = e.conic_b;
+        soa_conic_c[j] = e.conic_c;
+        soa_power_cut[j] = e.power_cut;
+        soa_row_k[j] = e.row_k;
+    }
+    for (size_t j = len; j < padded; ++j) {
+        soa_mean_x[j] = 0.0f;
+        soa_mean_y[j] = 0.0f;
+        soa_conic_a[j] = 0.0f;
+        soa_conic_b[j] = 0.0f;
+        soa_conic_c[j] = 0.0f;
+        // +inf cut: padding lanes always fail `power >= power_cut`.
+        soa_power_cut[j] = std::numeric_limits<float>::infinity();
+        soa_row_k[j] = 0.0f;
+    }
 }
 
 size_t
 TileStage::bytes() const
 {
+    size_t soa = (soa_mean_x.capacity() + soa_mean_y.capacity()
+                  + soa_conic_a.capacity() + soa_conic_b.capacity()
+                  + soa_conic_c.capacity() + soa_power_cut.capacity()
+                  + soa_row_k.capacity() + gvals.capacity())
+               * sizeof(float);
     return hot.capacity() * sizeof(StagedGaussian)
          + color.capacity() * sizeof(Vec3)
-         + grads.capacity() * sizeof(ProjectionGrads);
+         + grads.capacity() * sizeof(ProjectionGrads) + soa;
 }
 
 size_t

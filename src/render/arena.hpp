@@ -54,20 +54,47 @@ struct TileStage
     /** Per-staged-entry gradient accumulators (backward only). */
     std::vector<ProjectionGrads> grads;
 
+    /** @name SIMD batch staging (backward replay)
+     * SoA mirrors of the `hot` test fields, filled when stageFrom() is
+     * asked to @p stage_soa: the backward pass evaluates power + exp for
+     * 8 staged Gaussians at a time from these arrays. Padded to a
+     * multiple of 8 with entries whose power_cut is +inf, so padding
+     * lanes can never pass the alpha-cut test. */
+    /// @{
+    std::vector<float> soa_mean_x, soa_mean_y;
+    std::vector<float> soa_conic_a, soa_conic_b, soa_conic_c;
+    std::vector<float> soa_power_cut, soa_row_k;
+    /** Per-entry masked exp(power) scratch of the current pixel: 0 for
+     *  entries the compositor provably skips. */
+    std::vector<float> gvals;
+    /// @}
+
     /** Size for @p n Gaussians; @p for_backward also zero-inits grads. */
     void prepare(size_t n, bool for_backward);
 
     /** Pack one tile's Gaussians (the @p range slice of @p isect_vals)
      *  from @p projected plus the per-subset cut arrays into this
      *  stage — the single staging step shared by the forward composite
-     *  and the backward replay, so the two passes can never desync. */
+     *  and the backward replay, so the two passes can never desync.
+     *  @p stage_soa additionally fills the SoA mirrors (backward SIMD
+     *  batching). */
     void stageFrom(const std::vector<ProjectedGaussian> &projected,
                    const std::vector<uint32_t> &isect_vals,
                    TileRange range, const std::vector<float> &alpha_cut,
-                   const std::vector<float> &row_k, bool for_backward);
+                   const std::vector<float> &row_k, bool for_backward,
+                   bool stage_soa = false);
 
     /** Bytes currently held (for memory accounting). */
     size_t bytes() const;
+};
+
+/** Wall-clock stage breakdown of the last renderForward() into an
+ *  arena (bench/micro_train_step reads it; see ISSUE's BENCH JSON). */
+struct RenderStageTimes
+{
+    double project_s = 0;      //!< Subset projection.
+    double bin_s = 0;          //!< Flat binning + sort + alpha cuts.
+    double composite_s = 0;    //!< Per-tile compositing.
 };
 
 /** See file comment. */
@@ -98,6 +125,9 @@ class RenderArena
      *  so results never depend on thread scheduling. */
     std::vector<std::vector<ProjectionGrads>> grad_partials;
     /// @}
+
+    /** Stage breakdown of the last renderForward() into this arena. */
+    RenderStageTimes stage_times;
 
     /** Approximate bytes held by activation state + scratch. */
     size_t footprintBytes() const;

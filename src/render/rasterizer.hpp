@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "gaussian/model.hpp"
+#include "math/simd.hpp"
 #include "render/binning.hpp"
 #include "render/camera.hpp"
 #include "render/image.hpp"
@@ -36,6 +37,14 @@
 namespace clm {
 
 class RenderArena;
+
+/** SIMD tile-length gate shared by the forward compositor and the
+ *  backward replay (they MUST agree, or a tile could composite with
+ *  exp8 but replay with std::exp): the SIMD paths track the 1-based
+ *  "last contributor" position in a float lane, which is exact only up
+ *  to 2^24, so longer-staged tiles (never seen in practice) fall back
+ *  to the scalar loop in both passes. */
+constexpr size_t kSimdMaxStagedEntries = size_t(1) << 24;
 
 /** Rasterization settings. */
 struct RenderConfig
@@ -61,6 +70,19 @@ struct RenderConfig
      *  tile intersections binned. Off reproduces the plain square bound
      *  (kept togglable so benches can report the reduction). */
     bool exact_tile_bounds = true;
+    /** Composite through the 8-lane SIMD kernels (math/simd.hpp):
+     *  8-pixel groups with batched power/alpha evaluation and the
+     *  polynomial exp8() in the forward pass, and a batched exp
+     *  precompute feeding the backward replay. Still fully
+     *  deterministic — run-to-run, parallel ≡ serial, and even across
+     *  ISA backends (every backend runs the same IEEE op sequence) —
+     *  but NOT bit-identical to the scalar reference path: exp8 is
+     *  within kExp8MaxUlp of std::exp, which moves quality-harness
+     *  PSNR by well under 0.05 dB (asserted in tests). Off runs the
+     *  pre-SIMD scalar loops unchanged. Defaults to off in
+     *  -DCLM_DISABLE_SIMD=ON builds, which therefore reproduce the
+     *  scalar reference bit for bit. */
+    bool use_simd = !kSimdDisabled;
 };
 
 /**

@@ -2,6 +2,7 @@
 #include <cmath>
 #include <vector>
 
+#include "math/simd.hpp"
 #include "render/arena.hpp"
 #include "render/rasterizer.hpp"
 #include "util/logging.hpp"
@@ -20,6 +21,58 @@ accumulate(ProjectionGrads &into, const ProjectionGrads &from)
     into.d_conic_c += from.d_conic_c;
     into.d_color += from.d_color;
     into.d_opacity += from.d_opacity;
+}
+
+/**
+ * Batched power/alpha evaluation for one pixel's replay: evaluate the
+ * power test and exp8 for 8 staged Gaussians at a time from the SoA
+ * staging, writing a masked exp value into stage.gvals — 0 for entries
+ * the scalar path provably skips (row cut, power > 0, power below the
+ * alpha-cut threshold). The back-to-front replay then runs unchanged,
+ * reading gvals instead of calling std::exp per surviving entry; masked
+ * entries fall out at its `alpha < alpha_min` test while leaving every
+ * accumulator bit-unchanged. Pure fixed-order arithmetic, so the
+ * backward pass stays deterministic (parallel == serial bitwise).
+ */
+void
+batchPixelGvals(TileStage &stage, uint32_t n_contrib, float pcx, float pcy)
+{
+    const float *mx = stage.soa_mean_x.data();
+    const float *my = stage.soa_mean_y.data();
+    const float *ca = stage.soa_conic_a.data();
+    const float *cb = stage.soa_conic_b.data();
+    const float *cc = stage.soa_conic_c.data();
+    const float *cut = stage.soa_power_cut.data();
+    const float *rk = stage.soa_row_k.data();
+    float *gv = stage.gvals.data();
+
+    const F8 zero = F8::zero();
+    const F8 neg_half = F8::broadcast(-0.5f);
+    const F8 margin = F8::broadcast(kRowCutMargin);
+    const F8 v_pcx = F8::broadcast(pcx);
+    const F8 v_pcy = F8::broadcast(pcy);
+
+    for (uint32_t pos = 0; pos < n_contrib; pos += 8) {
+        const F8 dx = F8::load(mx + pos) - v_pcx;
+        const F8 dy = F8::load(my + pos) - v_pcy;
+        const F8 v_cut = F8::load(cut + pos);
+        // Row bound: the best power any pixel of this row can reach.
+        const F8 rowbound =
+            neg_half * F8::load(rk + pos) * dy * dy + margin;
+        F8 skip = F8::lt(rowbound, v_cut);
+        // Operand association matches compositeTileSimd (and the scalar
+        // path) exactly: (a*dx)*dx, (c*dy)*dy, (b*dx)*dy — so the
+        // replay reproduces the forward's power bits and skips
+        // precisely the entries the forward skipped.
+        const F8 power =
+            neg_half
+                * (F8::load(ca + pos) * dx * dx
+                   + F8::load(cc + pos) * dy * dy)
+            - F8::load(cb + pos) * dx * dy;
+        skip = F8::bitOr(skip, F8::gt(power, zero));
+        skip = F8::bitOr(skip, F8::lt(power, v_cut));
+        F8::bitAndNot(skip, exp8(power)).store(gv + pos);
+    }
 }
 
 } // namespace
@@ -92,9 +145,12 @@ renderBackward(const GaussianModel &model, const Camera &camera,
             // Stage the tile's hot fields + zeroed local accumulators so
             // the replay streams sequentially through memory. Shared
             // with the forward pass so the two stagings cannot desync.
+            const bool simd_batch =
+                cfg.use_simd && len < kSimdMaxStagedEntries;
             stage.stageFrom(fwd.projected, fwd.isect_vals, range,
                             arena.alpha_cut, arena.row_k,
-                            /*for_backward=*/true);
+                            /*for_backward=*/true,
+                            /*stage_soa=*/simd_batch);
             const StagedGaussian *hot = stage.hot.data();
             const Vec3 *colors = stage.color.data();
 
@@ -115,6 +171,12 @@ renderBackward(const GaussianModel &model, const Camera &camera,
                     Vec3 dpix = d_image.pixel(px, py);
                     float bg_dot = background.dot(dpix);
 
+                    // SIMD: evaluate the power tests + exp for the whole
+                    // composited prefix in 8-wide batches up front; the
+                    // replay below then just reads the masked values.
+                    if (simd_batch)
+                        batchPixelGvals(stage, n_contrib, pcx, pcy);
+
                     // Replay back-to-front over the composited prefix.
                     float t_acc = fwd.final_t[pi];
                     float last_alpha = 0.0f;
@@ -124,18 +186,30 @@ renderBackward(const GaussianModel &model, const Camera &camera,
                         const StagedGaussian e = hot[pos];
                         float dx = e.mean_x - pcx;
                         float dy = e.mean_y - pcy;
-                        // No pixel of this row reaches the alpha cut.
-                        if (-0.5f * e.row_k * dy * dy + kRowCutMargin
-                            < e.power_cut)
-                            continue;
-                        float power = -0.5f * (e.conic_a * dx * dx
-                                               + e.conic_c * dy * dy)
-                                    - e.conic_b * dx * dy;
-                        if (power > 0.0f)
-                            continue;
-                        if (power < e.power_cut)
-                            continue;    // provably alpha < alpha_min
-                        float gval = std::exp(power);
+                        float gval;
+                        if (simd_batch) {
+                            // Masked-out entries carry gval == 0 (exp8
+                            // itself can never return 0: its clamped
+                            // minimum is exp(-87.34), a normal float).
+                            gval = stage.gvals[pos];
+                            if (gval == 0.0f)
+                                continue;
+                        } else {
+                            // No pixel of this row reaches the cut.
+                            if (-0.5f * e.row_k * dy * dy
+                                    + kRowCutMargin
+                                < e.power_cut)
+                                continue;
+                            float power =
+                                -0.5f * (e.conic_a * dx * dx
+                                         + e.conic_c * dy * dy)
+                                - e.conic_b * dx * dy;
+                            if (power > 0.0f)
+                                continue;
+                            if (power < e.power_cut)
+                                continue;    // alpha < alpha_min
+                            gval = std::exp(power);
+                        }
                         float raw_alpha = e.opacity * gval;
                         bool clamped = raw_alpha > 0.99f;
                         float alpha = clamped ? 0.99f : raw_alpha;

@@ -102,8 +102,8 @@ Trainer::renderAndBackprop(const GaussianModel &m, int v,
     const RenderOutput &out =
         renderForward(m, cam, subset, render, arena_);
     Image d_image;
-    LossResult loss =
-        computeLoss(out.image, ground_truth_[v], &d_image, config_.loss);
+    LossResult loss = computeLoss(out.image, ground_truth_[v], &d_image,
+                                  config_.loss, loss_scratch_);
     renderBackward(m, cam, render, out, d_image, grads, arena_);
     return loss.total;
 }

@@ -147,6 +147,10 @@ class Trainer
      *  (every trainer renders through renderAndBackprop/evaluatePsnr).
      *  mutable: purely scratch — reuse never changes results. */
     mutable RenderArena arena_;
+
+    /** SAT-loss scratch reused across renderAndBackprop calls (same
+     *  scratch-only contract as arena_). */
+    LossScratch loss_scratch_;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/logging.hpp"
 
@@ -9,7 +10,18 @@ namespace clm {
 ThreadPool::ThreadPool(unsigned threads)
 {
     if (threads == 0) {
-        threads = std::max(1u, std::thread::hardware_concurrency());
+        // CLM_THREADS pins the default worker count (benchmarks and CI
+        // use it for comparable runs); clamped into [1, 1024] —
+        // unparseable values count as 1, absurd counts cap at 1024
+        // rather than spawn unbounded threads. Unset falls back to
+        // hardware concurrency.
+        if (const char *env = std::getenv("CLM_THREADS")) {
+            long v = std::strtol(env, nullptr, 10);
+            threads = static_cast<unsigned>(
+                std::min<long>(std::max<long>(v, 1), 1024));
+        } else {
+            threads = std::max(1u, std::thread::hardware_concurrency());
+        }
     }
     workers_.reserve(threads);
     for (unsigned t = 0; t < threads; ++t)

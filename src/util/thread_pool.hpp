@@ -22,7 +22,10 @@ namespace clm {
 class ThreadPool
 {
   public:
-    /** Spawn @p threads workers (0 = hardware concurrency). */
+    /** Spawn @p threads workers. 0 selects the default: the CLM_THREADS
+     *  environment variable when set (clamped into [1, 1024]), else
+     *  hardware concurrency — so benchmarks/CI can pin the pool size of
+     *  global() without code changes. */
     explicit ThreadPool(unsigned threads = 0);
 
     ~ThreadPool();

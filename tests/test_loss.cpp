@@ -1,0 +1,181 @@
+/**
+ * @file
+ * SAT-loss tests: the summed-area-table SSIM forward/backward against
+ * the retained brute-force reference (random images, window-clipped
+ * borders included), a finite-difference gradient check of the full
+ * SSIM+L1 backward at the production window size, parallel ≡ serial
+ * bitwise determinism, and scratch-reuse bit-exactness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "render/image.hpp"
+#include "render/loss.hpp"
+
+namespace clm {
+namespace {
+
+Image
+randomImage(int w, int h, uint64_t seed)
+{
+    Rng rng(seed);
+    Image img(w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            img.setPixel(x, y, {rng.uniform(0.0f, 1.0f),
+                                rng.uniform(0.0f, 1.0f),
+                                rng.uniform(0.0f, 1.0f)});
+    return img;
+}
+
+void
+expectLossMatchesReference(int w, int h, int window, uint64_t seed)
+{
+    Image x = randomImage(w, h, seed);
+    Image y = randomImage(w, h, seed + 1);
+    LossConfig cfg;
+    cfg.ssim_window = window;
+
+    Image d_sat, d_ref;
+    LossResult sat = computeLoss(x, y, &d_sat, cfg);
+    LossResult ref = computeLossReference(x, y, &d_ref, cfg);
+
+    // Same L1 reduction, identical bits.
+    EXPECT_EQ(sat.l1, ref.l1);
+    // The SAT arithmetic regroups the window sums; values agree to
+    // double-rounding levels.
+    EXPECT_NEAR(sat.dssim, ref.dssim, 1e-9);
+    EXPECT_NEAR(sat.total, ref.total, 1e-9);
+
+    ASSERT_EQ(d_sat.data().size(), d_ref.data().size());
+    for (size_t i = 0; i < d_ref.data().size(); ++i) {
+        double r = d_ref.data()[i];
+        ASSERT_NEAR(d_sat.data()[i], r, 1e-8 + 1e-5 * std::abs(r))
+            << "grad index " << i << " (" << w << "x" << h << " win "
+            << window << ")";
+    }
+}
+
+TEST(SatLoss, MatchesBruteForceOnRandomImages)
+{
+    expectLossMatchesReference(16, 16, 5, 100);
+    expectLossMatchesReference(33, 21, 11, 101);    // odd, non-square
+    expectLossMatchesReference(64, 24, 7, 102);
+}
+
+TEST(SatLoss, MatchesBruteForceWhenWindowClipsEverywhere)
+{
+    // 8x8 image with an 11-tap window: every center's window is clipped
+    // by at least one border, so the clamped-count (1/N) paths are the
+    // only paths exercised.
+    expectLossMatchesReference(8, 8, 11, 103);
+    // Extreme: window wider than both image dimensions.
+    expectLossMatchesReference(5, 3, 11, 104);
+}
+
+TEST(SatLoss, MeanSsimMatchesReference)
+{
+    Image a = randomImage(24, 18, 105);
+    Image b = randomImage(24, 18, 106);
+    LossConfig cfg;
+    double sat = meanSsim(a, b, cfg);
+    double ref = 1.0 - computeLossReference(a, b, nullptr, cfg).dssim;
+    EXPECT_NEAR(sat, ref, 1e-9);
+    EXPECT_NEAR(meanSsim(a, a, cfg), 1.0, 1e-6);
+}
+
+TEST(SatLoss, GradientMatchesFiniteDifferenceAtProductionWindow)
+{
+    // FD check of the full (1-lam)*L1 + lam*D-SSIM backward with the
+    // production 11-tap window on an image small enough that every
+    // window is border-clipped.
+    Rng rng(9);
+    const int w = 16, h = 12;
+    Image x = randomImage(w, h, 107);
+    Image y = randomImage(w, h, 108);
+    LossConfig cfg;    // ssim_window = 11
+    Image d;
+    computeLoss(x, y, &d, cfg);
+
+    const float eps = 1e-3f;
+    Rng pick(10);
+    for (int it = 0; it < 30; ++it) {
+        size_t idx = static_cast<size_t>(
+            pick.uniformInt(0, static_cast<int64_t>(x.data().size()) - 1));
+        float saved = x.data()[idx];
+        x.data()[idx] = saved + eps;
+        double lp = computeLoss(x, y, nullptr, cfg).total;
+        x.data()[idx] = saved - eps;
+        double lm = computeLoss(x, y, nullptr, cfg).total;
+        x.data()[idx] = saved;
+        double fd = (lp - lm) / (2.0 * eps);
+        EXPECT_NEAR(d.data()[idx], fd, 2e-2 * std::max(1e-4, std::abs(fd)))
+            << "pixel value index " << idx;
+    }
+}
+
+TEST(SatLoss, ParallelBitwiseIdenticalToSerial)
+{
+    // Chunk partitions are derived from the pool size, never from the
+    // parallel flag, and partial sums reduce in chunk order — so the
+    // parallel loss (forward values AND the gradient image) must equal
+    // the serial loss bit for bit.
+    Image x = randomImage(64, 48, 109);
+    Image y = randomImage(64, 48, 110);
+    LossConfig serial;
+    serial.parallel = false;
+    LossConfig parallel;
+    parallel.parallel = true;
+
+    Image d_serial, d_parallel;
+    LossResult a = computeLoss(x, y, &d_serial, serial);
+    LossResult b = computeLoss(x, y, &d_parallel, parallel);
+    EXPECT_EQ(a.total, b.total);
+    EXPECT_EQ(a.l1, b.l1);
+    EXPECT_EQ(a.dssim, b.dssim);
+    EXPECT_EQ(d_serial.data(), d_parallel.data());    // bitwise
+}
+
+TEST(SatLoss, ScratchReuseBitwiseIdentical)
+{
+    // One scratch reused across differently-sized calls reproduces the
+    // scratch-free overload bit for bit.
+    LossScratch scratch;
+    LossConfig cfg;
+    int sizes[][2] = {{48, 32}, {16, 12}, {48, 32}};
+    uint64_t seed = 111;
+    for (auto &wh : sizes) {
+        Image x = randomImage(wh[0], wh[1], seed++);
+        Image y = randomImage(wh[0], wh[1], seed++);
+        Image d_fresh, d_reused;
+        LossResult fresh = computeLoss(x, y, &d_fresh, cfg);
+        LossResult reused =
+            computeLoss(x, y, &d_reused, cfg, scratch, nullptr);
+        EXPECT_EQ(fresh.total, reused.total);
+        EXPECT_EQ(fresh.dssim, reused.dssim);
+        EXPECT_EQ(d_fresh.data(), d_reused.data());
+    }
+}
+
+TEST(SatLoss, StageTimesReported)
+{
+    Image x = randomImage(32, 24, 120);
+    Image y = randomImage(32, 24, 121);
+    LossScratch scratch;
+    LossStageTimes times;
+    Image d;
+    computeLoss(x, y, &d, {}, scratch, &times);
+    EXPECT_GT(times.forward_s, 0.0);
+    EXPECT_GT(times.backward_s, 0.0);
+    // Forward-only calls must not report a backward phase.
+    LossStageTimes fwd_only;
+    computeLoss(x, y, nullptr, {}, scratch, &fwd_only);
+    EXPECT_GT(fwd_only.forward_s, 0.0);
+    EXPECT_EQ(fwd_only.backward_s, 0.0);
+}
+
+} // namespace
+} // namespace clm

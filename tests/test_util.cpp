@@ -10,9 +10,12 @@
 #include <sstream>
 #include <thread>
 
+#include <cstdlib>
+
 #include "render/image.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace clm {
@@ -116,6 +119,41 @@ TEST(Image, PpmRoundTripHeader)
     EXPECT_NEAR(b, 128, 1);
     std::fclose(f);
     std::remove(path.c_str());
+}
+
+TEST(ThreadPool, ClmThreadsEnvPinsDefaultWorkerCount)
+{
+    // CLM_THREADS pins the default (threads == 0) pool size, clamped to
+    // >= 1; unparseable values clamp to 1, unset falls back to hardware
+    // concurrency. Local pools read the env at construction, exactly
+    // like the lazily-constructed global() pool does.
+    ASSERT_EQ(setenv("CLM_THREADS", "3", 1), 0);
+    {
+        ThreadPool pool;
+        EXPECT_EQ(pool.threads(), 3u);
+    }
+    ASSERT_EQ(setenv("CLM_THREADS", "0", 1), 0);
+    {
+        ThreadPool pool;
+        EXPECT_EQ(pool.threads(), 1u);    // clamped to >= 1
+    }
+    ASSERT_EQ(setenv("CLM_THREADS", "-4", 1), 0);
+    {
+        ThreadPool pool;
+        EXPECT_EQ(pool.threads(), 1u);
+    }
+    ASSERT_EQ(unsetenv("CLM_THREADS"), 0);
+    {
+        ThreadPool pool;
+        EXPECT_GE(pool.threads(), 1u);
+    }
+    // An explicit count always wins over the environment.
+    ASSERT_EQ(setenv("CLM_THREADS", "5", 1), 0);
+    {
+        ThreadPool pool(2);
+        EXPECT_EQ(pool.threads(), 2u);
+    }
+    ASSERT_EQ(unsetenv("CLM_THREADS"), 0);
 }
 
 } // namespace
