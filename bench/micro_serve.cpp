@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Serving micro-benchmark: requests/sec and p50/p99 latency of the
+ * RenderService over city-scale synthetic models, swept across
+ * coalescing batch sizes 1/2/4/8. max_batch=1 is view-at-a-time
+ * serving (plain frustumCull + renderForward per request); larger
+ * batches render through the fused multi-view pipeline, whose shared
+ * per-Gaussian work (cull setup, covariance/opacity precompute, one
+ * key-sorted buffer) is what batching amortizes. The workload is the
+ * paper's serving setting: a large host-resident model with small
+ * per-view sparsity, so per-request culling is a dominant cost.
+ *
+ * Before timing, each case verifies the fused batch path bitwise
+ * against sequential renders (the images must be identical — batching
+ * is a scheduling choice, never a quality choice).
+ *
+ * Load model: N closed-loop synthetic clients walk the scene's camera
+ * path from staggered offsets, each keeping one request in flight, so
+ * the queue stays deep enough for the service to coalesce full batches.
+ *
+ * Prints a table and emits BENCH_serve.json (scripts/bench_serve.sh)
+ * with the machine/build context block.
+ *
+ * Usage: micro_serve [--smoke] [--out FILE.json]
+ */
+
+#include <atomic>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "render/batch.hpp"
+#include "render/culling.hpp"
+#include "render/rasterizer.hpp"
+#include "serve/render_service.hpp"
+#include "serve/snapshot.hpp"
+
+using namespace clm;
+
+namespace {
+
+struct ServeCase
+{
+    std::string name;
+    std::string scene;
+    size_t n_gaussians;
+    int width, height;
+    int sh_degree;
+    int clients;
+    int requests;    //!< Per sweep point.
+};
+
+struct SweepPoint
+{
+    int max_batch = 1;
+    double elapsed_s = 0;
+    double rps = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    double mean_batch = 0;
+};
+
+struct CaseResult
+{
+    ServeCase cfg;
+    size_t mean_subset = 0;
+    int views = 0;
+    double direct_ms_per_view = 0;    //!< No-service reference loop.
+    bool bitwise_identical = false;
+    std::vector<SweepPoint> sweep;
+
+    double
+    batch4Speedup() const
+    {
+        double rps1 = 0, rps4 = 0;
+        for (const SweepPoint &p : sweep) {
+            if (p.max_batch == 1)
+                rps1 = p.rps;
+            if (p.max_batch == 4)
+                rps4 = p.rps;
+        }
+        return rps1 > 0 ? rps4 / rps1 : 0.0;
+    }
+};
+
+/** Fused batch vs sequential renders: must be bitwise identical. */
+bool
+verifyBitIdentity(const GaussianModel &model,
+                  const std::vector<Camera> &cams,
+                  const RenderConfig &render)
+{
+    BatchCullScratch cull;
+    std::vector<std::vector<uint32_t>> subsets;
+    frustumCullBatch(model, cams, cull, subsets);
+    BatchRenderArena arena;
+    renderForwardBatch(model, cams, subsets, render, arena);
+    RenderArena seq_arena;
+    for (size_t v = 0; v < cams.size(); ++v) {
+        auto subset = frustumCull(model, cams[v]);
+        if (subset != subsets[v])
+            return false;
+        const RenderOutput &seq =
+            renderForward(model, cams[v], subset, render, seq_arena);
+        const RenderOutput &bat = arena.views[v].out;
+        if (seq.image.data() != bat.image.data()
+            || seq.final_t != bat.final_t
+            || seq.n_contrib != bat.n_contrib)
+            return false;
+    }
+    return true;
+}
+
+/** Drive one sweep point with closed-loop clients. */
+SweepPoint
+runSweepPoint(const SnapshotSlot &slot, const RenderConfig &render,
+              const std::vector<Camera> &path, int max_batch,
+              int n_clients, int n_requests)
+{
+    ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.max_batch = max_batch;
+    cfg.render = render;
+    RenderService service(slot, cfg);
+
+    std::atomic<int> budget{n_requests};
+    Timer wall;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < n_clients; ++c) {
+        clients.emplace_back([&, c] {
+            // Staggered start along the shared route.
+            size_t pos = static_cast<size_t>(c) * path.size()
+                       / static_cast<size_t>(n_clients);
+            while (budget.fetch_sub(1) > 0) {
+                service.submit(path[pos % path.size()]).get();
+                ++pos;
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    const double elapsed = wall.seconds();
+    // Join the worker before reading stats: the last batch's futures
+    // resolve before its counters are recorded, so a pre-stop read
+    // could miss up to one batch of requests/latencies.
+    service.stop();
+    ServeStats stats = service.stats();
+
+    SweepPoint p;
+    p.max_batch = max_batch;
+    p.elapsed_s = elapsed;
+    p.rps = elapsed > 0 ? stats.requests / elapsed : 0.0;
+    p.p50_ms = stats.p50_ms;
+    p.p99_ms = stats.p99_ms;
+    p.mean_batch = stats.mean_batch;
+    return p;
+}
+
+CaseResult
+runCase(const ServeCase &c)
+{
+    SceneSpec spec = SceneSpec::byName(c.scene);
+    GaussianModel model = generateSceneGaussians(spec, c.n_gaussians);
+    const int n_views = 48;
+    std::vector<Camera> path =
+        generateCameraPath(spec, n_views, c.width, c.height);
+
+    RenderConfig render;
+    render.sh_degree = c.sh_degree;
+
+    CaseResult r;
+    r.cfg = c;
+    r.views = n_views;
+
+    // Reference: the direct per-view loop, no service in the way.
+    RenderArena arena;
+    size_t subset_sum = 0;
+    {
+        for (int v = 0; v < 4; ++v) {    // warm-up
+            auto s = frustumCull(model, path[v]);
+            renderForward(model, path[v], s, render, arena);
+        }
+        Timer t;
+        const int reps = 8;
+        for (int v = 0; v < reps; ++v) {
+            auto s = frustumCull(model, path[v]);
+            subset_sum += s.size();
+            renderForward(model, path[v], s, render, arena);
+        }
+        r.direct_ms_per_view = t.millis() / reps;
+        r.mean_subset = subset_sum / reps;
+    }
+
+    std::vector<Camera> probe(path.begin(), path.begin() + 4);
+    r.bitwise_identical = verifyBitIdentity(model, probe, render);
+
+    SnapshotSlot slot;
+    slot.publish(model, 0);
+    for (int b : {1, 2, 4, 8})
+        r.sweep.push_back(runSweepPoint(slot, render, path, b,
+                                        c.clients, c.requests));
+    return r;
+}
+
+void
+writeJson(const std::string &path, const std::vector<CaseResult> &results,
+          bool smoke)
+{
+    std::ofstream f(path);
+    f << "{\n  \"bench\": \"serve\",\n  \"smoke\": "
+      << (smoke ? "true" : "false") << ",\n";
+    bench::writeJsonContext(f);
+    f << "  \"cases\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const CaseResult &r = results[i];
+        f << "    {\"name\": \"" << r.cfg.name << "\""
+          << ", \"scene\": \"" << r.cfg.scene << "\""
+          << ", \"gaussians\": " << r.cfg.n_gaussians
+          << ", \"width\": " << r.cfg.width
+          << ", \"height\": " << r.cfg.height
+          << ", \"sh_degree\": " << r.cfg.sh_degree
+          << ", \"views\": " << r.views
+          << ", \"mean_subset\": " << r.mean_subset
+          << ", \"clients\": " << r.cfg.clients
+          << ", \"requests\": " << r.cfg.requests
+          << ", \"direct_ms_per_view\": " << r.direct_ms_per_view
+          << ", \"bitwise_identical\": "
+          << (r.bitwise_identical ? "true" : "false")
+          << ",\n     \"sweep\": [\n";
+        for (size_t s = 0; s < r.sweep.size(); ++s) {
+            const SweepPoint &p = r.sweep[s];
+            f << "       {\"max_batch\": " << p.max_batch
+              << ", \"rps\": " << p.rps
+              << ", \"p50_ms\": " << p.p50_ms
+              << ", \"p99_ms\": " << p.p99_ms
+              << ", \"mean_batch\": " << p.mean_batch
+              << ", \"elapsed_s\": " << p.elapsed_s << "}"
+              << (s + 1 < r.sweep.size() ? "," : "") << "\n";
+        }
+        f << "     ],\n     \"batch4_speedup\": " << r.batch4Speedup()
+          << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_serve.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--smoke")
+            smoke = true;
+        else if (arg == "--out" && i + 1 < argc)
+            out_path = argv[++i];
+        else {
+            std::cerr << "usage: micro_serve [--smoke] [--out FILE]\n";
+            return 2;
+        }
+    }
+
+    // City-scale serving ladder: big models, small per-view sparsity,
+    // preview-sized frames — the regime where the per-request cull is a
+    // dominant cost and batching pays (see file comment).
+    std::vector<ServeCase> cases;
+    if (smoke) {
+        cases = {{"smoke", "BigCity", 20000, 96, 54, 1, 4, 24}};
+    } else {
+        cases = {{"small", "BigCity", 100000, 160, 90, 2, 16, 192},
+                 {"medium", "BigCity", 300000, 192, 108, 2, 16, 160},
+                 {"large", "BigCity", 600000, 256, 144, 2, 16, 96}};
+    }
+
+    std::cout << "=== micro_serve: concurrent serving throughput ===\n"
+              << "(simd: " << simdIsaName()
+              << ", threads: " << ThreadPool::global().threads()
+              << ", 1 serve worker)\n\n";
+    Table table({"Case", "Gaussians", "WxH", "Subset", "Batch", "Req/s",
+                 "p50 ms", "p99 ms", "MeanB", "vs b1"});
+    std::vector<CaseResult> results;
+    bool all_identical = true;
+    for (const ServeCase &c : cases) {
+        CaseResult r = runCase(c);
+        all_identical = all_identical && r.bitwise_identical;
+        double rps1 = 0;
+        for (const SweepPoint &p : r.sweep) {
+            if (p.max_batch == 1)
+                rps1 = p.rps;
+            table.addRow(
+                {r.cfg.name, std::to_string(r.cfg.n_gaussians),
+                 std::to_string(c.width) + "x" + std::to_string(c.height),
+                 std::to_string(r.mean_subset),
+                 std::to_string(p.max_batch), Table::fmt(p.rps, 1),
+                 Table::fmt(p.p50_ms, 1), Table::fmt(p.p99_ms, 1),
+                 Table::fmt(p.mean_batch, 2),
+                 Table::fmt(rps1 > 0 ? p.rps / rps1 : 0.0, 2)});
+        }
+        std::cout << "[" << r.cfg.name << "] direct "
+                  << Table::fmt(r.direct_ms_per_view, 2)
+                  << " ms/view, batched images "
+                  << (r.bitwise_identical ? "bit-identical"
+                                          : "MISMATCH")
+                  << " vs sequential\n";
+        results.push_back(r);
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+
+    writeJson(out_path, results, smoke);
+    std::cout << "\nwrote " << out_path << "\n";
+    if (!all_identical) {
+        std::cerr << "FAIL: batched images differ from sequential\n";
+        return 1;
+    }
+    return 0;
+}

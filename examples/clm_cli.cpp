@@ -8,15 +8,29 @@
  *   clm_cli [--scene NAME] [--system clm|baseline|enhanced|naive]
  *           [--model-size N] [--steps N] [--async-adam] [--densify]
  *           [--save model.bin] [--ply points.ply] [--render out.ppm]
+ *
+ *   clm_cli serve [--scene NAME] [--system ...] [--steps N]
+ *                 [--clients N] [--requests N] [--max-batch N]
+ *
+ * The serve subcommand trains briefly, then keeps training in the
+ * background while N synthetic clients walk the scene's camera path and
+ * request views from a RenderService — the live-model serving loop:
+ * training republishes a model snapshot every batch, clients render
+ * from whatever snapshot is current, and requests are coalesced into
+ * fused multi-view batches.
  */
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/clm.hpp"
 #include "gaussian/io.hpp"
+#include "serve/render_service.hpp"
 #include "util/logging.hpp"
 #include "train/clm_trainer.hpp"
 
@@ -48,9 +62,86 @@ usage(const char *argv0)
         "          [--model-size N] [--steps N] [--async-adam]\n"
         "          [--densify] [--save FILE] [--ply FILE] "
         "[--render FILE]\n"
+        "       %s serve [--scene NAME] [--system ...] [--steps N]\n"
+        "          [--clients N] [--requests N] [--max-batch N]\n"
         "scenes: Bicycle Rubble Alameda Ithaca BigCity\n",
-        argv0);
+        argv0, argv0);
     std::exit(2);
+}
+
+/**
+ * The serve mode: brief warm-up training, then concurrent
+ * train-and-serve — a background thread keeps running batches (each one
+ * republishes the model snapshot) while client threads walk the
+ * training camera path against the RenderService.
+ */
+int
+runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
+         int max_batch)
+{
+    std::printf("[serve] warm-up: %d training steps...\n", warmup_steps);
+    session.train(warmup_steps);
+    std::printf("[serve] PSNR after warm-up: %.2f dB\n",
+                session.evaluatePsnr());
+
+    ServeConfig serve_config;
+    serve_config.workers = 1;
+    serve_config.max_batch = max_batch;
+    serve_config.render = session.config().train.render;
+    RenderService service(session.snapshots(), serve_config);
+
+    // Training continues while clients are served; every batch
+    // republishes the snapshot the service renders from.
+    std::atomic<bool> stop_training{false};
+    std::thread training([&] {
+        while (!stop_training.load())
+            session.train(1);
+    });
+
+    std::printf(
+        "[serve] %d clients, %d total requests, max_batch=%d, training "
+        "in the background...\n",
+        n_clients, n_requests, max_batch);
+    std::atomic<int> budget{n_requests};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < n_clients; ++c) {
+        clients.emplace_back([&, c] {
+            size_t pos = static_cast<size_t>(c) * session.viewCount()
+                       / static_cast<size_t>(n_clients);
+            while (budget.fetch_sub(1) > 0) {
+                RenderResponse resp =
+                    service
+                        .submit(session.camera(pos % session.viewCount()))
+                        .get();
+                ++pos;
+                (void)resp;
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    stop_training = true;
+    training.join();
+    service.stop();
+
+    ServeStats stats = service.stats();
+    std::printf(
+        "[serve] %llu requests in %llu batches (mean batch %.2f)\n",
+        static_cast<unsigned long long>(stats.requests),
+        static_cast<unsigned long long>(stats.batches), stats.mean_batch);
+    std::printf("[serve] throughput %.1f req/s, latency p50 %.1f ms, "
+                "p99 %.1f ms\n",
+                stats.requests_per_s, stats.p50_ms, stats.p99_ms);
+    std::printf(
+        "[serve] snapshots served: versions %llu..%llu (training "
+        "advanced the model %llu times mid-serve)\n",
+        static_cast<unsigned long long>(stats.min_snapshot_version),
+        static_cast<unsigned long long>(stats.max_snapshot_version),
+        static_cast<unsigned long long>(stats.max_snapshot_version
+                                        - stats.min_snapshot_version));
+    std::printf("[serve] PSNR after serving: %.2f dB\n",
+                session.evaluatePsnr());
+    return 0;
 }
 
 } // namespace
@@ -67,8 +158,18 @@ main(int argc, char **argv)
     int steps = 10;
     bool async_adam = false;
     bool densify = false;
+    bool serve_mode = false;
+    int clients = 4;
+    int requests = 64;
+    int max_batch = 4;
 
-    for (int i = 1; i < argc; ++i) {
+    int argi = 1;
+    if (argi < argc && !std::strcmp(argv[argi], "serve")) {
+        serve_mode = true;
+        steps = 4;    // serve default: brief warm-up
+        ++argi;
+    }
+    for (int i = argi; i < argc; ++i) {
         auto need_value = [&](const char *flag) -> std::string {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s requires a value\n", flag);
@@ -95,6 +196,12 @@ main(int argc, char **argv)
             ply_path = need_value("--ply");
         else if (!std::strcmp(argv[i], "--render"))
             render_path = need_value("--render");
+        else if (serve_mode && !std::strcmp(argv[i], "--clients"))
+            clients = std::atoi(need_value("--clients").c_str());
+        else if (serve_mode && !std::strcmp(argv[i], "--requests"))
+            requests = std::atoi(need_value("--requests").c_str());
+        else if (serve_mode && !std::strcmp(argv[i], "--max-batch"))
+            max_batch = std::atoi(need_value("--max-batch").c_str());
         else
             usage(argv[0]);
     }
@@ -116,6 +223,9 @@ main(int argc, char **argv)
     std::printf("[clm] scene=%s system=%s model=%zu views=%zu steps=%d\n",
                 scene_name.c_str(), systemName(config.system),
                 session.model().size(), session.viewCount(), steps);
+
+    if (serve_mode)
+        return runServe(session, steps, clients, requests, max_batch);
 
     double psnr0 = session.evaluatePsnr();
     int done = 0;

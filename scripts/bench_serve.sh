@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build and run the serving micro-benchmark, emitting BENCH_serve.json
+# in the repo root: requests/sec and p50/p99 latency of the
+# RenderService over city-scale models, swept across coalescing batch
+# sizes 1/2/4/8 (max_batch=1 is view-at-a-time serving; the fused
+# multi-view pipeline serves the larger batches and its frames are
+# verified bit-identical to sequential renders before timing).
+#
+# The JSON includes the machine/build context block (thread count,
+# compiler, SIMD backend, CLM_DISABLE_SIMD). Worker threads default to
+# CLM_THREADS=1 so recorded points are single-core-comparable across
+# runs (the batching speedup is an algorithmic-sharing win, not a
+# parallelism win); export CLM_THREADS to override.
+#
+# Uses the shared build-release/ tree so it never flips the cached
+# build type of the default build/ directory that verify.sh uses.
+#
+# Usage: scripts/bench_serve.sh [--smoke]
+#   --smoke   tiny single-case run (CI "builds and runs" gate)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+export CLM_THREADS="${CLM_THREADS:-1}"
+
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j"$JOBS" --target micro_serve
+./build-release/micro_serve "$@" --out BENCH_serve.json

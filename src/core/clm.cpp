@@ -1,6 +1,7 @@
 #include "core/clm.hpp"
 
 #include "render/culling.hpp"
+#include "serve/snapshot.hpp"
 #include "util/logging.hpp"
 
 namespace clm {
@@ -25,7 +26,14 @@ Clm::Clm(ClmConfig config) : config_(std::move(config))
         makeTrainee(gt, config_.model_size, scene.seed);
     trainer_ = makeTrainer(config_.system, std::move(trainee), cameras_,
                            std::move(gt_images), config_.train);
+
+    // Serving hand-off: publish the initial model and keep republishing
+    // at every step boundary (see Trainer::setSnapshotSink).
+    snapshots_ = std::make_unique<SnapshotSlot>();
+    trainer_->setSnapshotSink(snapshots_.get());
 }
+
+Clm::~Clm() = default;
 
 std::vector<BatchStats>
 Clm::train(int steps)

@@ -21,12 +21,16 @@
 
 namespace clm {
 
+class SnapshotSlot;
+
 /** One training session over a synthetic scene. */
 class Clm
 {
   public:
     /** Build a session: scene, cameras, ground truth and trainer. */
     explicit Clm(ClmConfig config);
+
+    ~Clm();
 
     /** Run @p steps training batches; returns per-batch stats. */
     std::vector<BatchStats> train(int steps);
@@ -52,9 +56,18 @@ class Clm
     size_t viewCount() const { return cameras_.size(); }
     const Camera &camera(size_t i) const { return cameras_[i]; }
 
+    /** Live model snapshots for serving (serve/snapshot.hpp): the
+     *  pre-training state is published at construction and the trainer
+     *  republishes after every train() batch and densification, so a
+     *  RenderService can serve this session concurrently with training
+     *  without ever observing torn parameters. */
+    SnapshotSlot &snapshots() { return *snapshots_; }
+    const SnapshotSlot &snapshots() const { return *snapshots_; }
+
   private:
     ClmConfig config_;
     std::vector<Camera> cameras_;
+    std::unique_ptr<SnapshotSlot> snapshots_;
     std::unique_ptr<Trainer> trainer_;
     /** Render scratch for the facade's view renders (mutable: scratch
      *  only — reuse never changes results). */

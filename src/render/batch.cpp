@@ -1,0 +1,469 @@
+#include "render/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "math/ellipsoid.hpp"
+#include "math/simd.hpp"
+#include "render/binning.hpp"
+#include "render/compositor.hpp"
+#include "render/projection.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace clm {
+
+namespace {
+
+/** Below this many items a parallel per-entry pass costs more than it
+ *  saves (mirrors the binning-stage threshold). */
+constexpr size_t kMinParallel = 512;
+
+/** Run @p body over [0, n), through the pool when worthwhile. */
+template <typename Body>
+void
+forRange(size_t n, bool parallel, const Body &body)
+{
+    if (parallel && n >= kMinParallel)
+        ThreadPool::global().parallelFor(n, body);
+    else
+        body(0, n);
+}
+
+/**
+ * The packed plane sweep of one view: 8 Gaussians per op against the 6
+ * frustum planes, no early exit but no branches either. Lanes that are
+ * not *clearly* outside (per the kCullPrefilterEps margin) fall through
+ * to the exact scalar predicate — the same Ellipsoid/Frustum member
+ * functions frustumCull() runs, on the same values, so membership can
+ * never differ from the per-view cull.
+ */
+void
+cullViewPacked(const GaussianModel &model, const BatchCullScratch &st,
+               const Camera &cam, std::vector<uint32_t> &sel)
+{
+    sel.clear();
+    const Frustum &fr = cam.frustum();
+    F8 nx[6], ny[6], nz[6], nd[6], margin[6];
+    for (int j = 0; j < 6; ++j) {
+        const Plane &pl = fr.plane(j);
+        nx[j] = F8::broadcast(pl.n.x);
+        ny[j] = F8::broadcast(pl.n.y);
+        nz[j] = F8::broadcast(pl.n.z);
+        nd[j] = F8::broadcast(pl.d);
+        margin[j] = F8::broadcast(kCullPrefilterEps * std::fabs(pl.d));
+    }
+    const size_t n = model.size();
+    const size_t padded = st.cx.size();
+    alignas(32) float rej_lanes[8];
+    for (size_t b = 0; b < padded; b += 8) {
+        const F8 px = F8::load(&st.cx[b]);
+        const F8 py = F8::load(&st.cy[b]);
+        const F8 pz = F8::load(&st.cz[b]);
+        const F8 thr = F8::load(&st.neg_thresh[b]);
+        F8 rejected = F8::zero();
+        for (int j = 0; j < 6; ++j) {
+            F8 dist = nx[j] * px + ny[j] * py + nz[j] * pz + nd[j];
+            rejected =
+                F8::bitOr(rejected, F8::lt(dist, thr - margin[j]));
+        }
+        if (F8::all(rejected))
+            continue;    // every lane clearly outside this view
+        rejected.store(rej_lanes);
+        for (int l = 0; l < 8 && b + l < n; ++l) {
+            if (rej_lanes[l] != 0.0f)
+                continue;
+            const size_t i = b + l;
+            // Exact predicate — identical to frustumCull().
+            Ellipsoid e = Ellipsoid::fromGaussian(
+                model.position(i), model.worldScale(i),
+                model.rotation(i));
+            if (!fr.intersectsSphere(e.center, e.boundingRadius()))
+                continue;
+            if (e.intersectsFrustum(fr))
+                sel.push_back(static_cast<uint32_t>(i));
+        }
+    }
+}
+
+} // namespace
+
+size_t
+BatchCullScratch::bytes() const
+{
+    return (cx.capacity() + cy.capacity() + cz.capacity()
+            + neg_thresh.capacity())
+         * sizeof(float);
+}
+
+void
+frustumCullBatch(const GaussianModel &model,
+                 const std::vector<Camera> &cameras,
+                 BatchCullScratch &scratch,
+                 std::vector<std::vector<uint32_t>> &subsets,
+                 bool parallel)
+{
+    const size_t B = cameras.size();
+    CLM_ASSERT(B >= 1, "empty camera batch");
+    subsets.resize(B);
+
+    // Pass 1 — shared per-Gaussian setup, paid once for the whole
+    // batch: world scale (3 exp), bounding radius, packed thresholds.
+    const size_t n = model.size();
+    const size_t padded = (n + 7) & ~size_t(7);
+    scratch.cx.resize(padded);
+    scratch.cy.resize(padded);
+    scratch.cz.resize(padded);
+    scratch.neg_thresh.resize(padded);
+    forRange(n, parallel, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+            const Vec3 scale = model.worldScale(i);
+            float r = kCullSigma * scale.x;
+            if (kCullSigma * scale.y > r)
+                r = kCullSigma * scale.y;
+            if (kCullSigma * scale.z > r)
+                r = kCullSigma * scale.z;
+            const Vec3 &p = model.position(i);
+            float m = std::fabs(p.x);
+            if (std::fabs(p.y) > m)
+                m = std::fabs(p.y);
+            if (std::fabs(p.z) > m)
+                m = std::fabs(p.z);
+            scratch.cx[i] = p.x;
+            scratch.cy[i] = p.y;
+            scratch.cz[i] = p.z;
+            // NaN radii/centers poison the threshold, so their lanes
+            // are never pre-rejected and the exact test decides.
+            scratch.neg_thresh[i] = -r - kCullPrefilterEps * (3.0f * m);
+        }
+    });
+    for (size_t i = n; i < padded; ++i) {
+        scratch.cx[i] = scratch.cy[i] = scratch.cz[i] = 0.0f;
+        // Padding lanes always read "clearly outside" so they can never
+        // force the scalar path.
+        scratch.neg_thresh[i] = std::numeric_limits<float>::infinity();
+    }
+
+    // Pass 2 — each view sweeps the shared stage. Views are
+    // independent, so the parallel split cannot change results.
+    if (parallel && B > 1) {
+        ThreadPool::global().parallelFor(
+            B, [&](size_t begin, size_t end) {
+                for (size_t v = begin; v < end; ++v)
+                    cullViewPacked(model, scratch, cameras[v],
+                                   subsets[v]);
+            });
+    } else {
+        for (size_t v = 0; v < B; ++v)
+            cullViewPacked(model, scratch, cameras[v], subsets[v]);
+    }
+}
+
+size_t
+BatchRenderArena::footprintBytes() const
+{
+    size_t bytes = cull.bytes();
+    for (const RenderArena &a : views)
+        bytes += a.footprintBytes();
+    bytes += union_indices.capacity() * sizeof(uint32_t);
+    for (const auto &s : slots)
+        bytes += s.capacity() * sizeof(uint32_t);
+    bytes += sigma.capacity() * sizeof(Mat3);
+    bytes += (opacity.capacity() + power_cut.capacity()) * sizeof(float);
+    bytes += binning.bytes();
+    bytes += fused_vals.capacity() * sizeof(uint32_t);
+    return bytes;
+}
+
+void
+renderForwardBatch(const GaussianModel &model,
+                   const std::vector<Camera> &cameras,
+                   const std::vector<std::vector<uint32_t>> &subsets,
+                   const RenderConfig &cfg, BatchRenderArena &ba)
+{
+    const size_t B = cameras.size();
+    CLM_ASSERT(B >= 1, "empty render batch");
+    CLM_ASSERT(subsets.size() == B, "one subset per camera required");
+    CLM_ASSERT(cfg.tile_size > 0, "bad tile size");
+    if (ba.views.size() < B)
+        ba.views.resize(B);
+
+    Timer stage_timer;
+
+    // --- 1. Union of the batch's subsets (ascending k-way merge) plus
+    // each entry's union slot, so the view-independent per-Gaussian
+    // work below is computed once per distinct Gaussian, not once per
+    // (view, Gaussian) pair.
+    ba.union_indices.clear();
+    ba.slots.resize(B);
+    std::vector<size_t> cur(B, 0);
+    size_t total = 0;
+    for (size_t v = 0; v < B; ++v) {
+        ba.slots[v].resize(subsets[v].size());
+        total += subsets[v].size();
+    }
+    for (;;) {
+        uint32_t next = std::numeric_limits<uint32_t>::max();
+        bool any = false;
+        for (size_t v = 0; v < B; ++v) {
+            if (cur[v] < subsets[v].size()) {
+                any = true;
+                next = std::min(next, subsets[v][cur[v]]);
+            }
+        }
+        if (!any)
+            break;
+        const uint32_t slot =
+            static_cast<uint32_t>(ba.union_indices.size());
+        ba.union_indices.push_back(next);
+        for (size_t v = 0; v < B; ++v) {
+            if (cur[v] < subsets[v].size()
+                && subsets[v][cur[v]] == next) {
+                ba.slots[v][cur[v]] = slot;
+                ++cur[v];
+                CLM_ASSERT(cur[v] >= subsets[v].size()
+                               || subsets[v][cur[v]] > next,
+                           "batch subsets must be ascending and unique");
+            }
+        }
+    }
+
+    // --- 2. Per-union-entry precompute: the view-independent share of
+    // projection and of the compositing cuts. covariance() and
+    // worldOpacity() are pure functions of the model row, so reusing
+    // them across views is bitwise neutral.
+    const size_t n_union = ba.union_indices.size();
+    ba.sigma.resize(n_union);
+    ba.opacity.resize(n_union);
+    ba.power_cut.resize(n_union);
+    forRange(n_union, cfg.parallel, [&](size_t begin, size_t end) {
+        for (size_t u = begin; u < end; ++u) {
+            const size_t i = ba.union_indices[u];
+            ba.sigma[u] = model.covariance(i);
+            const float op = model.worldOpacity(i);
+            ba.opacity[u] = op;
+            ba.power_cut[u] =
+                op > 0.0f ? alphaCutPower(op, cfg.alpha_min) : 0.0f;
+        }
+    });
+    ba.stage_times.precompute_s = stage_timer.seconds();
+    stage_timer.reset();
+
+    // --- 3. Projection: one flat pass over every (view, entry) pair,
+    // reading the precomputed covariance/opacity through the slot map.
+    std::vector<TileGrid> grids(B);
+    std::vector<size_t> prefix(B + 1, 0);
+    for (size_t v = 0; v < B; ++v) {
+        const Camera &cam = cameras[v];
+        grids[v] =
+            TileGrid::forImage(cam.width(), cam.height(), cfg.tile_size);
+        prefix[v + 1] = prefix[v] + subsets[v].size();
+        RenderOutput &out = ba.views[v].out;
+        out.image.resetUnfilled(cam.width(), cam.height());
+        out.final_t.resize(cam.pixels());
+        out.n_contrib.resize(cam.pixels());
+        out.tiles_x = grids[v].tiles_x;
+        out.tiles_y = grids[v].tiles_y;
+        out.projected.resize(subsets[v].size());
+    }
+    // View of flat pair index f; clamps to the last view so an empty
+    // range probe (begin == total, e.g. every subset empty) stays in
+    // bounds — the probing loop body then never runs.
+    auto viewOf = [&](size_t f) {
+        size_t v = 0;
+        while (v + 1 < B && prefix[v + 1] <= f)
+            ++v;
+        return v;
+    };
+    forRange(total, cfg.parallel, [&](size_t begin, size_t end) {
+        size_t v = viewOf(begin);
+        for (size_t f = begin; f < end; ++f) {
+            while (v + 1 < B && prefix[v + 1] <= f)
+                ++v;
+            const size_t s = f - prefix[v];
+            ba.views[v].out.projected[s] = projectGaussianPre(
+                model, subsets[v][s], cameras[v], cfg.sh_degree,
+                ba.sigma[ba.slots[v][s]],
+                ba.opacity[ba.slots[v][s]]);
+        }
+    });
+    // Compositing cuts: gather the shared alpha-cut threshold, compute
+    // the view-dependent row curvature — both through the same
+    // expressions as computeAlphaCutPowers(), bit for bit.
+    for (size_t v = 0; v < B; ++v) {
+        RenderArena &av = ba.views[v];
+        const size_t n_v = subsets[v].size();
+        av.alpha_cut.resize(n_v);
+        av.row_k.resize(n_v);
+        for (size_t s = 0; s < n_v; ++s) {
+            const ProjectedGaussian &p = av.out.projected[s];
+            av.alpha_cut[s] =
+                p.opacity > 0.0f ? ba.power_cut[ba.slots[v][s]] : 0.0f;
+            av.row_k[s] = rowCurvature(p);
+        }
+        av.cuts_alpha_min = cfg.alpha_min;
+    }
+    ba.stage_times.project_s = stage_timer.seconds();
+    stage_timer.reset();
+
+    // --- 4. Fused binning: every view's intersections go into ONE flat
+    // key buffer — keys are (view-offset tile id << 32 | depth bits),
+    // values are view-LOCAL subset positions — sorted by one stable
+    // radix sort. View ids occupy the most significant key bits, so
+    // view v's slice of the sorted buffer is exactly the stable sort of
+    // its own keys: identical to what buildTileIntersections would have
+    // produced for that view alone.
+    std::vector<size_t> tile_base(B + 1, 0);
+    for (size_t v = 0; v < B; ++v)
+        tile_base[v + 1] = tile_base[v] + grids[v].tileCount();
+    const size_t total_tiles = tile_base[B];
+    CLM_ASSERT(total_tiles <= std::numeric_limits<uint32_t>::max(),
+               "batch tile count overflows the 32-bit key field");
+
+    BinningScratch &bs = ba.binning;
+    bs.spans.resize(total);
+    bs.offsets.assign(total + 1, 0);
+    forRange(total, cfg.parallel, [&](size_t begin, size_t end) {
+        size_t v = viewOf(begin);
+        for (size_t f = begin; f < end; ++f) {
+            while (v + 1 < B && prefix[v + 1] <= f)
+                ++v;
+            const size_t s = f - prefix[v];
+            const ProjectedGaussian &p = ba.views[v].out.projected[s];
+            TileSpan span = computeTileSpan(p, grids[v], cfg.alpha_min,
+                                            cfg.exact_tile_bounds);
+            bs.spans[f] = span;
+            uint32_t touched = 0;
+            for (int ty = span.y0; ty <= span.y1; ++ty)
+                for (int tx = span.x0; tx <= span.x1; ++tx)
+                    if (tileOverlaps(p, span, tx, ty, grids[v]))
+                        ++touched;
+            bs.offsets[f + 1] = touched;
+        }
+    });
+    for (size_t f = 0; f < total; ++f)
+        bs.offsets[f + 1] += bs.offsets[f];
+    const size_t total_isect = bs.offsets[total];
+    CLM_ASSERT(total_isect <= std::numeric_limits<uint32_t>::max(),
+               "batch intersection count overflows 32-bit ranges");
+
+    bs.keys.resize(total_isect);
+    ba.fused_vals.resize(total_isect);
+    forRange(total, cfg.parallel, [&](size_t begin, size_t end) {
+        size_t v = viewOf(begin);
+        for (size_t f = begin; f < end; ++f) {
+            while (v + 1 < B && prefix[v + 1] <= f)
+                ++v;
+            const TileSpan &span = bs.spans[f];
+            if (span.empty())
+                continue;
+            const size_t s = f - prefix[v];
+            const ProjectedGaussian &p = ba.views[v].out.projected[s];
+            const uint64_t depth = depthBits(p.depth);
+            size_t o = bs.offsets[f];
+            for (int ty = span.y0; ty <= span.y1; ++ty)
+                for (int tx = span.x0; tx <= span.x1; ++tx) {
+                    if (!tileOverlaps(p, span, tx, ty, grids[v]))
+                        continue;
+                    const uint64_t tile =
+                        tile_base[v]
+                        + static_cast<uint64_t>(ty) * grids[v].tiles_x
+                        + tx;
+                    bs.keys[o] = (tile << 32) | depth;
+                    ba.fused_vals[o] = static_cast<uint32_t>(s);
+                    ++o;
+                }
+        }
+    });
+
+    const int key_bits =
+        32
+        + bitWidth(total_tiles > 0
+                       ? static_cast<uint32_t>(total_tiles - 1)
+                       : 0u);
+    radixSortPairs(bs.keys, ba.fused_vals, bs.keys_tmp, bs.vals_tmp,
+                   key_bits, cfg.parallel, &bs.hist);
+
+    // Carve per-view tile ranges out of the one sorted buffer; each
+    // view's slice is copied into its own RenderOutput so the per-view
+    // activation state matches sequential renderForward exactly.
+    size_t e = 0;
+    for (size_t v = 0; v < B; ++v) {
+        RenderOutput &out = ba.views[v].out;
+        const size_t n_tiles = grids[v].tileCount();
+        out.tile_ranges.resize(n_tiles);
+        const size_t slice_begin = e;
+        for (size_t t = 0; t < n_tiles; ++t) {
+            TileRange r;
+            r.begin = static_cast<uint32_t>(e - slice_begin);
+            const uint64_t vtile = tile_base[v] + t;
+            while (e < total_isect && (bs.keys[e] >> 32) == vtile)
+                ++e;
+            r.end = static_cast<uint32_t>(e - slice_begin);
+            out.tile_ranges[t] = r;
+        }
+        out.isect_vals.assign(ba.fused_vals.begin() + slice_begin,
+                              ba.fused_vals.begin() + e);
+    }
+    CLM_ASSERT(e == total_isect,
+               "unclaimed intersections past the batch tile grid");
+    ba.stage_times.bin_s = stage_timer.seconds();
+    stage_timer.reset();
+
+    // --- 5. Composite. All views' tiles form one task list, so a
+    // thread pool parallelizes across views as well as tiles
+    // (cross-view parallelism); tiles touch disjoint pixels and the
+    // kernels are the same as renderForward's, so results do not
+    // depend on the split.
+    struct ChunkTask
+    {
+        uint32_t view;
+        uint32_t stage;    //!< Index into that view's arena stages.
+        uint32_t t0, t1;
+    };
+    size_t chunk_target = total_tiles;
+    if (cfg.parallel && total_tiles > 1) {
+        const size_t want =
+            static_cast<size_t>(ThreadPool::global().threads()) * 2;
+        chunk_target =
+            std::max<size_t>(1, (total_tiles + want - 1) / want);
+    }
+    std::vector<ChunkTask> tasks;
+    for (size_t v = 0; v < B; ++v) {
+        const size_t n_tiles = grids[v].tileCount();
+        const size_t n_chunks =
+            n_tiles == 0 ? 0
+                         : (n_tiles + chunk_target - 1) / chunk_target;
+        if (ba.views[v].stages.size() < n_chunks)
+            ba.views[v].stages.resize(n_chunks);
+        for (size_t c = 0; c < n_chunks; ++c) {
+            const size_t t0 = c * chunk_target;
+            const size_t t1 = std::min(t0 + chunk_target, n_tiles);
+            tasks.push_back({static_cast<uint32_t>(v),
+                             static_cast<uint32_t>(c),
+                             static_cast<uint32_t>(t0),
+                             static_cast<uint32_t>(t1)});
+        }
+    }
+    auto run_task = [&](const ChunkTask &task) {
+        RenderArena &av = ba.views[task.view];
+        detail::compositeTileRange(cfg, grids[task.view], av.alpha_cut,
+                                   av.row_k, av.stages[task.stage],
+                                   task.t0, task.t1, av.out);
+    };
+    if (cfg.parallel && tasks.size() > 1) {
+        ThreadPool::global().parallelFor(
+            tasks.size(), [&](size_t begin, size_t end) {
+                for (size_t t = begin; t < end; ++t)
+                    run_task(tasks[t]);
+            });
+    } else {
+        for (const ChunkTask &task : tasks)
+            run_task(task);
+    }
+    ba.stage_times.composite_s = stage_timer.seconds();
+}
+
+} // namespace clm

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fused multi-view batch rendering — the serving-side pipeline pass the
+ * ROADMAP calls multi-view batching. A batch of B views is culled,
+ * projected and binned through ONE pass each instead of view-at-a-time:
+ *
+ *  - frustumCullBatch(): one sweep over the model builds a shared SoA
+ *    cull stage (world-space bounding spheres — the per-Gaussian setup
+ *    every view would otherwise redo, including the 3 exp() of the
+ *    world scale), then each view runs an 8-wide packed plane prefilter
+ *    over it; only near-boundary survivors run the exact per-view
+ *    ellipsoid test. Membership is bitwise identical to frustumCull()
+ *    per view: the prefilter only rejects Gaussians that provably fail
+ *    the exact sphere test, under an explicit error margin
+ *    (kCullPrefilterEps) that covers the float-evaluation differences
+ *    between the packed and scalar plane distances.
+ *
+ *  - renderForwardBatch(): the union of the batch's subsets is formed
+ *    once, the view-independent per-Gaussian work (3D covariance, world
+ *    opacity, alpha-cut power threshold) is precomputed once per union
+ *    entry and reused by every view's projection, and all views'
+ *    tile intersections are expanded into ONE flat key buffer — keys
+ *    carry (view-offset tile id, depth) — sorted by a single stable
+ *    radix sort, with per-view tile ranges carved out of the one sorted
+ *    buffer. Compositing runs the same per-tile kernels as
+ *    renderForward over each view's carved ranges, so every view's
+ *    RenderOutput (image, final_t, n_contrib, intersections, ranges) is
+ *    bitwise identical to a sequential renderForward call with the same
+ *    subset — asserted by tests/test_serve.cpp in both the SIMD and
+ *    -DCLM_DISABLE_SIMD=ON flavors.
+ *
+ * The fused pass is what makes batched serving (serve/render_service)
+ * faster than view-at-a-time serving on one core: the shared
+ * per-Gaussian work is paid once per batch instead of once per view.
+ * With a thread pool it additionally exposes cross-view parallelism
+ * (all views' tiles form one task list).
+ */
+
+#ifndef CLM_RENDER_BATCH_HPP
+#define CLM_RENDER_BATCH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "gaussian/model.hpp"
+#include "math/mat.hpp"
+#include "render/arena.hpp"
+#include "render/camera.hpp"
+#include "render/rasterizer.hpp"
+
+namespace clm {
+
+/**
+ * Relative error budget of the packed cull prefilter: a view may
+ * pre-reject a Gaussian only when its packed plane distance clears the
+ * sphere test by more than kCullPrefilterEps times the distance's term
+ * magnitudes (|n_k p_k| <= |p|_inf per component, plus |d|). The true
+ * float-evaluation difference between the packed and scalar distances
+ * is a few ulp (~1e-7 relative, FMA contraction included), so 1e-4
+ * over-covers it by ~1000x; anything closer to the boundary falls
+ * through to the exact scalar test. Same error-budget idiom as the
+ * binning cuts (render/binning.hpp).
+ */
+constexpr float kCullPrefilterEps = 1e-4f;
+
+/** Reusable scratch of frustumCullBatch: the shared SoA cull stage
+ *  (padded to a multiple of 8 for the packed sweep). */
+struct BatchCullScratch
+{
+    std::vector<float> cx, cy, cz;    //!< Bounding-sphere centers.
+    /** Packed reject threshold: -radius - eps * 3|p|_inf (padding lanes
+     *  hold +inf, so they always read as "clearly outside"). */
+    std::vector<float> neg_thresh;
+
+    /** Bytes currently held (for memory accounting). */
+    size_t bytes() const;
+};
+
+/**
+ * Cull @p model against every camera of the batch in one fused pass.
+ * @p subsets[v] receives exactly frustumCull(model, cameras[v]) — same
+ * membership, same (ascending) order, in every build flavor.
+ * Deterministic under any parallel split.
+ */
+void frustumCullBatch(const GaussianModel &model,
+                      const std::vector<Camera> &cameras,
+                      BatchCullScratch &scratch,
+                      std::vector<std::vector<uint32_t>> &subsets,
+                      bool parallel = true);
+
+/** Wall-clock stage breakdown of the last renderForwardBatch(). */
+struct BatchStageTimes
+{
+    double precompute_s = 0;    //!< Union merge + per-entry precompute.
+    double project_s = 0;       //!< All views' projections.
+    double bin_s = 0;           //!< Fused binning + one sort + carve.
+    double composite_s = 0;     //!< All views' tile compositing.
+};
+
+/**
+ * Scratch + outputs of the fused batch pipeline. Holds one RenderArena
+ * per view (view v's output lands in views[v].out, exactly as if
+ * renderForward had rendered into that arena) plus the fused-pass
+ * scratch. Not thread-safe: one BatchRenderArena per concurrently
+ * serving worker.
+ */
+class BatchRenderArena
+{
+  public:
+    /** Per-view arenas; resized on demand by renderForwardBatch. */
+    std::vector<RenderArena> views;
+
+    /** @name Fused-pass scratch (contents are garbage between calls) */
+    /// @{
+    BatchCullScratch cull;
+    std::vector<uint32_t> union_indices;    //!< Ascending union of subsets.
+    /** Per view: union slot of each subset entry. */
+    std::vector<std::vector<uint32_t>> slots;
+    std::vector<Mat3> sigma;          //!< Per-union-entry 3D covariance.
+    std::vector<float> opacity;       //!< Per-union-entry world opacity.
+    std::vector<float> power_cut;     //!< Per-union-entry alpha cut.
+    BinningScratch binning;           //!< Fused key/offset scratch.
+    std::vector<uint32_t> fused_vals; //!< One sorted buffer, all views.
+    /// @}
+
+    /** Stage breakdown of the last renderForwardBatch() call. */
+    BatchStageTimes stage_times;
+
+    /** Approximate bytes held (all per-view arenas + fused scratch). */
+    size_t footprintBytes() const;
+};
+
+/**
+ * Render every view of the batch through the fused pipeline (see file
+ * comment). @p subsets[v] lists view v's in-frustum Gaussians and must
+ * be ascending and duplicate-free (the frustumCull contract). Results
+ * land in @p arena.views[v].out and are bitwise identical to
+ * renderForward(model, cameras[v], subsets[v], config).
+ */
+void renderForwardBatch(const GaussianModel &model,
+                        const std::vector<Camera> &cameras,
+                        const std::vector<std::vector<uint32_t>> &subsets,
+                        const RenderConfig &config,
+                        BatchRenderArena &arena);
+
+} // namespace clm
+
+#endif // CLM_RENDER_BATCH_HPP

@@ -18,22 +18,6 @@ constexpr size_t kMinParallel = 512;
 /** Minimum items per radix chunk (keeps histogram overhead amortized). */
 constexpr size_t kMinRadixChunk = 4096;
 
-/**
- * Relative error budget charged against every conic-derived bound
- * (det = a*c - b^2, c - b^2/a, eigenvalues): the true rounding error of
- * these expressions is a few ulp (~1e-7) of the *un-cancelled* term
- * magnitudes, so deducting 1e-4 of those magnitudes over-covers it by
- * ~1000x — including the additional float-evaluation error of the
- * per-pixel power itself, which scales with the same magnitudes. For
- * ill-conditioned (needle) conics the deduction drives the bound to
- * its safe fallback (no cut) instead of risking a wrong drop.
- */
-constexpr float kConicEps = 1e-4f;
-
-/** Absolute margin (in log-alpha space, where one float ulp is ~1e-6)
- *  on the per-Gaussian alpha-cut power threshold. */
-constexpr float kPowerCutMargin = 1e-4f;
-
 size_t
 chunkCount(size_t n, size_t min_chunk, bool parallel)
 {
@@ -60,17 +44,6 @@ forEachChunk(size_t n_chunks, const Body &body)
                                               ++c)
                                              body(c);
                                      });
-}
-
-int
-bitWidth(uint32_t v)
-{
-    int bits = 0;
-    while (v != 0) {
-        ++bits;
-        v >>= 1;
-    }
-    return bits;
 }
 
 } // namespace
@@ -153,28 +126,12 @@ computeAlphaCutPowers(const std::vector<ProjectedGaussian> &projected,
     auto body = [&](size_t begin, size_t end) {
         for (size_t s = begin; s < end; ++s) {
             const ProjectedGaussian &p = projected[s];
-            // alpha = opacity * exp(power) < alpha_min is mathematically
-            // power < ln(alpha_min / opacity); the absolute margin
-            // absorbs the rounding of log/exp/multiply, so skipping
-            // below the threshold can never drop a pair the exact test
-            // would have accepted. opacity is a sigmoid output (> 0).
-            alpha_cut[s] =
-                p.opacity > 0.0f
-                    ? std::log(alpha_min / p.opacity) - kPowerCutMargin
-                    : 0.0f;
-            // max over dx of power(dx, dy) is -0.5 * (c - b^2/a) * dy^2
-            // (complete the square; a > 0 whenever the conic is valid).
-            // Deduct the cancellation-error budget of c - b^2/a so the
-            // bound only ever over-estimates the best reachable power;
-            // needle conics clamp to 0 = "never skip a row".
-            if (p.conic_a > 0.0f) {
-                float cross = p.conic_b * p.conic_b / p.conic_a;
-                float k = p.conic_c - cross
-                        - kConicEps * (std::fabs(p.conic_c) + cross);
-                row_k[s] = std::max(k, 0.0f);
-            } else {
-                row_k[s] = 0.0f;
-            }
+            // opacity is a sigmoid output (> 0) for valid footprints;
+            // invalid ones carry 0 and never reach the compositor.
+            alpha_cut[s] = p.opacity > 0.0f
+                               ? alphaCutPower(p.opacity, alpha_min)
+                               : 0.0f;
+            row_k[s] = rowCurvature(p);
         }
     };
     if (parallel && n >= kMinParallel)

@@ -22,6 +22,7 @@
 #ifndef CLM_RENDER_BINNING_HPP
 #define CLM_RENDER_BINNING_HPP
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -29,6 +30,21 @@
 #include "render/projection.hpp"
 
 namespace clm {
+
+/** Width in bits of @p v (index of the highest set bit, plus one; 0
+ *  for 0) — sizes the tile field of the radixSortPairs key so sort
+ *  passes over known-zero bits are skipped. Shared by the single-view
+ *  and batched binning paths, which must stay in sync on key layout. */
+inline int
+bitWidth(uint32_t v)
+{
+    int bits = 0;
+    while (v != 0) {
+        ++bits;
+        v >>= 1;
+    }
+    return bits;
+}
 
 /** floor(@p v) clamped into [@p lo, @p hi] — the clamp happens in float
  *  space, so out-of-int-range (or NaN) inputs never hit the undefined
@@ -127,6 +143,59 @@ float footprintCutRadius2(const ProjectedGaussian &p, float alpha_min);
  *  trusted to skip a row; generous relative to the float rounding of
  *  the bound and of the power evaluation near the threshold. */
 constexpr float kRowCutMargin = 1e-2f;
+
+/**
+ * Relative error budget charged against every conic-derived bound
+ * (det = a*c - b^2, c - b^2/a, eigenvalues): the true rounding error of
+ * these expressions is a few ulp (~1e-7) of the *un-cancelled* term
+ * magnitudes, so deducting 1e-4 of those magnitudes over-covers it by
+ * ~1000x — including the additional float-evaluation error of the
+ * per-pixel power itself, which scales with the same magnitudes. For
+ * ill-conditioned (needle) conics the deduction drives the bound to
+ * its safe fallback (no cut) instead of risking a wrong drop.
+ */
+constexpr float kConicEps = 1e-4f;
+
+/** Absolute margin (in log-alpha space, where one float ulp is ~1e-6)
+ *  on the per-Gaussian alpha-cut power threshold. */
+constexpr float kPowerCutMargin = 1e-4f;
+
+/**
+ * Per-Gaussian alpha-cut power threshold: `power < alphaCutPower(...)`
+ * guarantees `opacity * exp(power) < alpha_min`. One expression shared
+ * by computeAlphaCutPowers() and the batched pipeline's per-union-entry
+ * precompute, so both produce the same bits from the same opacity.
+ * @p opacity must be > 0 (a sigmoid output).
+ */
+inline float
+alphaCutPower(float opacity, float alpha_min)
+{
+    // alpha = opacity * exp(power) < alpha_min is mathematically
+    // power < ln(alpha_min / opacity); the absolute margin absorbs the
+    // rounding of log/exp/multiply, so skipping below the threshold can
+    // never drop a pair the exact test would have accepted.
+    return std::log(alpha_min / opacity) - kPowerCutMargin;
+}
+
+/**
+ * Vertical conic curvature `c - b^2/a` with its cancellation-error
+ * budget deducted: the best power any pixel with vertical offset dy can
+ * reach is `-0.5 * rowCurvature(p) * dy^2`, so a whole pixel row is
+ * provably missed when that bound (plus kRowCutMargin) is below the
+ * alpha-cut threshold. Needle conics clamp to 0 = "never skip a row".
+ */
+inline float
+rowCurvature(const ProjectedGaussian &p)
+{
+    // max over dx of power(dx, dy) is -0.5 * (c - b^2/a) * dy^2
+    // (complete the square; a > 0 whenever the conic is valid).
+    if (!(p.conic_a > 0.0f))
+        return 0.0f;
+    float cross = p.conic_b * p.conic_b / p.conic_a;
+    float k = p.conic_c - cross
+            - kConicEps * (std::fabs(p.conic_c) + cross);
+    return std::max(k, 0.0f);
+}
 
 /** Below this many subset entries, parallelizing a per-entry render
  *  pass (projection, gradient chaining) costs more than it saves.

@@ -41,9 +41,18 @@ buildCovT(const Camera &cam, float u, float v, float z)
 
 } // namespace
 
+namespace {
+
+/**
+ * Shared projection body. When @p sigma_pre / @p opacity_pre are null the
+ * covariance and world opacity are computed here, at the same program
+ * points as before the batched path existed; both are pure functions of
+ * the model row, so the precomputed variant is bitwise identical.
+ */
 ProjectedGaussian
-projectGaussian(const GaussianModel &model, size_t i, const Camera &camera,
-                int sh_degree)
+projectGaussianImpl(const GaussianModel &model, size_t i,
+                    const Camera &camera, int sh_degree,
+                    const Mat3 *sigma_pre, const float *opacity_pre)
 {
     ProjectedGaussian p;
     p.index = static_cast<uint32_t>(i);
@@ -77,7 +86,7 @@ projectGaussian(const GaussianModel &model, size_t i, const Camera &camera,
     p.depth = t.z;
 
     // 2D covariance: cov = T Sigma T^T + blur I.
-    Mat3 sigma = model.covariance(i);
+    Mat3 sigma = sigma_pre != nullptr ? *sigma_pre : model.covariance(i);
     CovT ct = buildCovT(camera, u, v, t.z);
     auto quad = [&](const float *a, const float *b) {
         float acc = 0.0f;
@@ -123,9 +132,29 @@ projectGaussian(const GaussianModel &model, size_t i, const Camera &camera,
         p.color_valid = {raw.x > 0.0f, raw.y > 0.0f, raw.z > 0.0f};
     }
 
-    p.opacity = model.worldOpacity(i);
+    p.opacity =
+        opacity_pre != nullptr ? *opacity_pre : model.worldOpacity(i);
     p.valid = true;
     return p;
+}
+
+} // namespace
+
+ProjectedGaussian
+projectGaussian(const GaussianModel &model, size_t i, const Camera &camera,
+                int sh_degree)
+{
+    return projectGaussianImpl(model, i, camera, sh_degree, nullptr,
+                               nullptr);
+}
+
+ProjectedGaussian
+projectGaussianPre(const GaussianModel &model, size_t i,
+                   const Camera &camera, int sh_degree, const Mat3 &sigma,
+                   float opacity)
+{
+    return projectGaussianImpl(model, i, camera, sh_degree, &sigma,
+                               &opacity);
 }
 
 void

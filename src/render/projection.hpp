@@ -65,6 +65,18 @@ ProjectedGaussian projectGaussian(const GaussianModel &model, size_t i,
                                   const Camera &camera, int sh_degree = 3);
 
 /**
+ * projectGaussian() with the view-independent per-Gaussian work hoisted
+ * out: @p sigma must equal model.covariance(i) and @p opacity must equal
+ * model.worldOpacity(i) — both are pure functions of the model row, so
+ * passing precomputed values yields bitwise-identical footprints. The
+ * batched multi-view pipeline (render/batch.hpp) computes them once per
+ * union entry and reuses them across every view of the batch.
+ */
+ProjectedGaussian projectGaussianPre(const GaussianModel &model, size_t i,
+                                     const Camera &camera, int sh_degree,
+                                     const Mat3 &sigma, float opacity);
+
+/**
  * Backward of projectGaussian(): chain @p grads (w.r.t. the footprint)
  * through the projection into parameter gradients, accumulated into @p out
  * at row proj.index.

@@ -1,255 +1,15 @@
 #include "render/rasterizer.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <utility>
 
-#include "math/simd.hpp"
 #include "render/arena.hpp"
+#include "render/compositor.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace clm {
-
-namespace {
-
-/**
- * Reference per-tile compositor (the pre-SIMD scalar path, bit-exact
- * with PR 2): quads of four pixels sharing one sweep over the staged
- * tile list, plus a scalar remainder loop. Retained as the reference
- * semantics behind RenderConfig::use_simd == false and for
- * -DCLM_DISABLE_SIMD=ON builds.
- */
-void
-compositeTileScalar(const TileStage &stage, size_t len, int px0, int px1,
-                    int py0, int py1, int w, float alpha_min, float t_min,
-                    const Vec3 &background, RenderOutput &out)
-{
-    const StagedGaussian *hot = stage.hot.data();
-    const Vec3 *colors = stage.color.data();
-    for (int py = py0; py < py1; ++py) {
-        const float pcy = py + 0.5f;
-        // Pixels are processed in quads of four: one sweep over
-        // the tile list serves four independent lanes, so the
-        // staged fields are loaded once per quad and the power
-        // evaluation vectorizes. Each lane runs the exact
-        // scalar per-pixel arithmetic (a lane's early
-        // termination just masks it out), so results are
-        // bitwise identical to the one-pixel-at-a-time loop.
-        int px = px0;
-        for (; px + 4 <= px1; px += 4) {
-            float t_acc[4] = {1.0f, 1.0f, 1.0f, 1.0f};
-            Vec3 c_acc[4] = {};
-            uint32_t last[4] = {0, 0, 0, 0};
-            bool done[4] = {false, false, false, false};
-            int active = 4;
-            float pcx[4];
-            for (int l = 0; l < 4; ++l)
-                pcx[l] = (px + l) + 0.5f;
-            for (size_t pos = 0; pos < len && active > 0; ++pos) {
-                const StagedGaussian e = hot[pos];
-                const float dy = e.mean_y - pcy;
-                // No pixel of this row can reach the alpha cut.
-                if (-0.5f * e.row_k * dy * dy + kRowCutMargin
-                    < e.power_cut)
-                    continue;
-                float power[4];
-                for (int l = 0; l < 4; ++l) {
-                    float dx = e.mean_x - pcx[l];
-                    power[l] = -0.5f * (e.conic_a * dx * dx
-                                        + e.conic_c * dy * dy)
-                             - e.conic_b * dx * dy;
-                }
-                // Whole quad provably below the alpha cut:
-                // skip the per-lane work. (Explicit per-lane
-                // comparisons: a NaN power must NOT be skipped,
-                // matching the scalar loop.)
-                if (power[0] < e.power_cut && power[1] < e.power_cut
-                    && power[2] < e.power_cut
-                    && power[3] < e.power_cut)
-                    continue;
-                for (int l = 0; l < 4; ++l) {
-                    if (done[l])
-                        continue;
-                    if (power[l] > 0.0f)
-                        continue;
-                    if (power[l] < e.power_cut)
-                        continue;    // alpha < alpha_min
-                    float alpha = std::min(
-                        0.99f, e.opacity * std::exp(power[l]));
-                    if (alpha < alpha_min)
-                        continue;
-                    float t_next = t_acc[l] * (1.0f - alpha);
-                    if (t_next < t_min) {
-                        done[l] = true;    // lane "break"
-                        --active;
-                        continue;
-                    }
-                    c_acc[l] += colors[pos] * (alpha * t_acc[l]);
-                    t_acc[l] = t_next;
-                    last[l] = static_cast<uint32_t>(pos) + 1;
-                }
-            }
-            for (int l = 0; l < 4; ++l) {
-                size_t pi = static_cast<size_t>(py) * w + px + l;
-                out.final_t[pi] = t_acc[l];
-                out.n_contrib[pi] = last[l];
-                out.image.setPixel(px + l, py,
-                                   c_acc[l] + background * t_acc[l]);
-            }
-        }
-        for (; px < px1; ++px) {
-            float t_acc = 1.0f;
-            Vec3 c_acc{0, 0, 0};
-            uint32_t last = 0;
-            const float pcx = px + 0.5f;
-            for (size_t pos = 0; pos < len; ++pos) {
-                const StagedGaussian e = hot[pos];
-                float dx = e.mean_x - pcx;
-                float dy = e.mean_y - pcy;
-                // Same row cut as the quad path, so every
-                // pixel of a row skips the same entries.
-                if (-0.5f * e.row_k * dy * dy + kRowCutMargin
-                    < e.power_cut)
-                    continue;
-                float power = -0.5f * (e.conic_a * dx * dx
-                                       + e.conic_c * dy * dy)
-                            - e.conic_b * dx * dy;
-                if (power > 0.0f)
-                    continue;
-                if (power < e.power_cut)
-                    continue;    // provably alpha < alpha_min
-                float alpha =
-                    std::min(0.99f, e.opacity * std::exp(power));
-                if (alpha < alpha_min)
-                    continue;
-                float t_next = t_acc * (1.0f - alpha);
-                if (t_next < t_min)
-                    break;
-                c_acc += colors[pos] * (alpha * t_acc);
-                t_acc = t_next;
-                last = static_cast<uint32_t>(pos) + 1;
-            }
-            size_t pi = static_cast<size_t>(py) * w + px;
-            out.final_t[pi] = t_acc;
-            out.n_contrib[pi] = last;
-            out.image.setPixel(px, py, c_acc + background * t_acc);
-        }
-    }
-}
-
-/**
- * SIMD per-tile compositor: 8-pixel groups, one F8 lane per pixel, the
- * whole alpha-test/compositing recurrence evaluated as masked batch
- * arithmetic with exp8() replacing the scalar std::exp. Lane
- * termination (transmittance floor, tile edge) is a mask; every lane
- * runs the same fixed op sequence, so results are run-to-run
- * deterministic and independent of threading (tiles touch disjoint
- * pixels). Differs from compositeTileScalar only through exp8's
- * <= kExp8MaxUlp rounding.
- */
-void
-compositeTileSimd(const TileStage &stage, size_t len, int px0, int px1,
-                  int py0, int py1, int w, float alpha_min, float t_min,
-                  const Vec3 &background, RenderOutput &out)
-{
-    const StagedGaussian *hot = stage.hot.data();
-    const Vec3 *colors = stage.color.data();
-
-    const F8 zero = F8::zero();
-    const F8 one = F8::broadcast(1.0f);
-    const F8 neg_half = F8::broadcast(-0.5f);
-    const F8 v_alpha_min = F8::broadcast(alpha_min);
-    const F8 v_t_min = F8::broadcast(t_min);
-    const F8 v_clamp = F8::broadcast(0.99f);
-    alignas(32) const float iota_a[8] = {0, 1, 2, 3, 4, 5, 6, 7};
-    const F8 iota = F8::load(iota_a);
-
-    for (int py = py0; py < py1; ++py) {
-        const float pcy = py + 0.5f;
-        for (int px = px0; px < px1; px += 8) {
-            const int lanes = std::min(8, px1 - px);
-            const F8 pcx =
-                F8::broadcast(px + 0.5f) + iota;
-            F8 t_acc = one;
-            F8 cr = zero, cg = zero, cb = zero;
-            F8 last = zero;
-            // Lanes past the tile edge start terminated: they flow
-            // through the same arithmetic but are masked out of every
-            // update and never stored back.
-            F8 active =
-                F8::lt(iota, F8::broadcast(static_cast<float>(lanes)));
-            for (size_t pos = 0; pos < len; ++pos) {
-                const StagedGaussian e = hot[pos];
-                const float dy = e.mean_y - pcy;
-                // No pixel of this row can reach the alpha cut.
-                if (-0.5f * e.row_k * dy * dy + kRowCutMargin
-                    < e.power_cut)
-                    continue;
-                const F8 dx = F8::broadcast(e.mean_x) - pcx;
-                // Same operand association as the scalar path
-                // ((a*dx)*dx, (c*dy)*dy, (b*dx)*dy), so for equal
-                // inputs the power bits are identical and the ONLY
-                // deviation from compositeTileScalar is exp8's
-                // rounding.
-                const F8 power =
-                    neg_half
-                        * (F8::broadcast(e.conic_a) * dx * dx
-                           + F8::broadcast(e.conic_c * dy * dy))
-                    - F8::broadcast(e.conic_b) * dx
-                          * F8::broadcast(dy);
-                const F8 cut = F8::broadcast(e.power_cut);
-                // Candidate lanes: alive, power in [cut, 0]. Built from
-                // the same two comparisons the scalar path branches on
-                // (NaN power is a candidate there too).
-                F8 ok = F8::bitAndNot(
-                    F8::bitOr(F8::gt(power, zero), F8::lt(power, cut)),
-                    active);
-                if (!F8::any(ok))
-                    continue;
-                F8 alpha = F8::min(
-                    v_clamp, F8::broadcast(e.opacity) * exp8(power));
-                ok = F8::bitAndNot(F8::lt(alpha, v_alpha_min), ok);
-                if (!F8::any(ok))
-                    continue;
-                const F8 t_next = t_acc * (one - alpha);
-                // Lanes whose transmittance would drop below the floor
-                // terminate WITHOUT compositing this entry — the exact
-                // scalar "break" semantics.
-                const F8 terminate = F8::lt(t_next, v_t_min);
-                const F8 contrib = F8::bitAndNot(terminate, ok);
-                const F8 wgt = F8::bitAnd(contrib, alpha * t_acc);
-                cr = cr + F8::broadcast(colors[pos].x) * wgt;
-                cg = cg + F8::broadcast(colors[pos].y) * wgt;
-                cb = cb + F8::broadcast(colors[pos].z) * wgt;
-                t_acc = F8::select(contrib, t_next, t_acc);
-                last = F8::select(
-                    contrib, F8::broadcast(static_cast<float>(pos + 1)),
-                    last);
-                active = F8::bitAndNot(F8::bitAnd(ok, terminate), active);
-                if (!F8::any(active))
-                    break;
-            }
-            alignas(32) float ta[8], la[8], ra[8], ga[8], ba[8];
-            t_acc.store(ta);
-            last.store(la);
-            cr.store(ra);
-            cg.store(ga);
-            cb.store(ba);
-            for (int l = 0; l < lanes; ++l) {
-                const size_t pi = static_cast<size_t>(py) * w + px + l;
-                out.final_t[pi] = ta[l];
-                out.n_contrib[pi] = static_cast<uint32_t>(la[l]);
-                out.image.setPixel(px + l, py,
-                                   Vec3{ra[l], ga[l], ba[l]}
-                                       + background * ta[l]);
-            }
-        }
-    }
-}
-
-} // namespace
 
 size_t
 RenderOutput::activationBytes() const
@@ -323,16 +83,10 @@ renderForward(const GaussianModel &model, const Camera &camera,
     arena.stage_times.bin_s = stage_timer.seconds();
     stage_timer.reset();
 
-    // 3. Composite each pixel front-to-back. Tiles touch disjoint
-    //    pixels, so any parallel split produces identical results. Each
-    //    worker chunk packs the tile's hot fields into staging so the
-    //    per-pixel loop streams through one sequential array, a
-    //    conservative per-Gaussian power threshold skips the exp for
-    //    pairs that provably fail the alpha test, and a per-row power
-    //    bound skips whole rows the footprint cannot reach (the exact
-    //    tests still run near the thresholds, so the output is bitwise
-    //    unchanged). cfg.use_simd selects the 8-lane batch compositor;
-    //    otherwise the scalar reference quad loop runs.
+    // 3. Composite each pixel front-to-back through the shared per-tile
+    //    kernels (render/compositor.hpp). Tiles touch disjoint pixels,
+    //    so any parallel split produces identical results; each worker
+    //    chunk uses its own staging scratch.
     const size_t n_tiles = grid.tileCount();
     size_t n_chunks = 1;
     if (cfg.parallel && n_tiles > 1)
@@ -342,46 +96,12 @@ renderForward(const GaussianModel &model, const Camera &camera,
     if (arena.stages.size() < n_chunks)
         arena.stages.resize(n_chunks);
 
-    const float alpha_min = cfg.alpha_min;
-    const float t_min = cfg.transmittance_min;
-    const Vec3 background = cfg.background;
-
     auto composite_chunk = [&](size_t c) {
-        TileStage &stage = arena.stages[c];
         const size_t t0 = c * tiles_per_chunk;
         const size_t t1 = std::min(t0 + tiles_per_chunk, n_tiles);
-        for (size_t t = t0; t < t1; ++t) {
-            const TileRange range = out.tile_ranges[t];
-            const size_t len = range.size();
-            const int ty = static_cast<int>(t) / grid.tiles_x;
-            const int tx = static_cast<int>(t) % grid.tiles_x;
-            const int px0 = tx * cfg.tile_size;
-            const int py0 = ty * cfg.tile_size;
-            const int px1 = std::min(px0 + cfg.tile_size, w);
-            const int py1 = std::min(py0 + cfg.tile_size, h);
-            if (len == 0) {
-                // Nothing binned: write the background directly (the
-                // output buffers are not prefilled).
-                for (int py = py0; py < py1; ++py) {
-                    for (int px = px0; px < px1; ++px) {
-                        size_t pi = static_cast<size_t>(py) * w + px;
-                        out.final_t[pi] = 1.0f;
-                        out.n_contrib[pi] = 0;
-                        out.image.setPixel(px, py, background);
-                    }
-                }
-                continue;
-            }
-            stage.stageFrom(out.projected, out.isect_vals, range,
-                            arena.alpha_cut, arena.row_k,
-                            /*for_backward=*/false);
-            if (cfg.use_simd && len < kSimdMaxStagedEntries)
-                compositeTileSimd(stage, len, px0, px1, py0, py1, w,
-                                  alpha_min, t_min, background, out);
-            else
-                compositeTileScalar(stage, len, px0, px1, py0, py1, w,
-                                    alpha_min, t_min, background, out);
-        }
+        detail::compositeTileRange(cfg, grid, arena.alpha_cut,
+                                   arena.row_k, arena.stages[c], t0, t1,
+                                   out);
     };
     if (n_chunks > 1) {
         ThreadPool::global().parallelFor(

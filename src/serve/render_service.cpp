@@ -1,0 +1,185 @@
+#include "serve/render_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "math/stats.hpp"
+#include "render/culling.hpp"
+#include "util/logging.hpp"
+
+namespace clm {
+
+RenderService::RenderService(const SnapshotSlot &snapshots,
+                             ServeConfig config)
+    : config_(config), snapshots_(snapshots),
+      queue_(config.queue_capacity)
+{
+    CLM_ASSERT(config_.workers >= 1, "need at least one serve worker");
+    CLM_ASSERT(config_.max_batch >= 1, "max_batch must be >= 1");
+    workers_.reserve(config_.workers);
+    for (int w = 0; w < config_.workers; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+RenderService::~RenderService() { stop(); }
+
+std::future<RenderResponse>
+RenderService::submit(const Camera &camera)
+{
+    uint64_t id;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        id = next_id_++;
+    }
+    PendingRequest req{camera, id, clock_.seconds(), {}};
+    std::future<RenderResponse> fut = req.reply.get_future();
+    // If the queue was already closed the request is dropped and the
+    // future fails with broken_promise — submitting after stop() is a
+    // caller error, but never a hang.
+    queue_.push(std::move(req));
+    return fut;
+}
+
+void
+RenderService::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(stop_mutex_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+    }
+    queue_.close();    // workers drain what is queued, then exit
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+}
+
+void
+RenderService::workerLoop()
+{
+    std::vector<PendingRequest> batch;
+    BatchRenderArena arena;
+    std::vector<Camera> cams;
+    std::vector<std::vector<uint32_t>> subsets;
+    std::vector<double> latencies;
+
+    while (queue_.popBatch(batch, config_.max_batch)) {
+        std::shared_ptr<const ModelSnapshot> snap = snapshots_.acquire();
+        CLM_ASSERT(snap != nullptr,
+                   "RenderService: render requested before the first "
+                   "snapshot publish");
+        const size_t n = batch.size();
+        latencies.resize(n);
+
+        auto respond = [&](size_t v, Image image, double batch_t0,
+                           double render_s) {
+            RenderResponse resp;
+            resp.image = std::move(image);
+            resp.request_id = batch[v].id;
+            resp.snapshot_version = snap->version;
+            resp.snapshot_hash = snap->param_hash;
+            resp.train_step = snap->train_step;
+            resp.batch_size = static_cast<int>(n);
+            resp.queue_s = batch_t0 - batch[v].enqueue_s;
+            resp.render_s = render_s;
+            latencies[v] = clock_.seconds() - batch[v].enqueue_s;
+            batch[v].reply.set_value(std::move(resp));
+        };
+
+        if (config_.fused_batch && n > 1) {
+            // Fused multi-view pass: one shared cull/precompute/sort
+            // for the whole coalesced batch.
+            const double t0 = clock_.seconds();
+            cams.clear();
+            for (const PendingRequest &r : batch)
+                cams.push_back(r.camera);
+            frustumCullBatch(snap->model, cams, arena.cull, subsets,
+                             config_.render.parallel);
+            renderForwardBatch(snap->model, cams, subsets,
+                               config_.render, arena);
+            const double render_s = clock_.seconds() - t0;
+            for (size_t v = 0; v < n; ++v)
+                respond(v, arena.views[v].out.image, t0, render_s);
+        } else {
+            // View-at-a-time: the plain single-view path per request.
+            if (arena.views.empty())
+                arena.views.resize(1);
+            for (size_t v = 0; v < n; ++v) {
+                const double t0 = clock_.seconds();
+                auto subset = frustumCull(snap->model, batch[v].camera);
+                const RenderOutput &out =
+                    renderForward(snap->model, batch[v].camera, subset,
+                                  config_.render, arena.views[0]);
+                const double render_s = clock_.seconds() - t0;
+                respond(v, out.image, t0, render_s);
+            }
+        }
+        recordBatch(n, latencies.data(), snap->version);
+    }
+}
+
+void
+RenderService::recordBatch(size_t batch_size, const double *latencies_s,
+                           uint64_t snapshot_version)
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    done_requests_ += batch_size;
+    done_batches_ += 1;
+    for (size_t v = 0; v < batch_size; ++v) {
+        // Algorithm-R uniform reservoir: every latency ever observed
+        // has equal probability of being in the sample.
+        const double l = latencies_s[v];
+        max_latency_s_ = std::max(max_latency_s_, l);
+        ++latency_count_;
+        if (latencies_s_.size() < kLatencyReservoir) {
+            latencies_s_.push_back(l);
+        } else {
+            const uint64_t j = static_cast<uint64_t>(
+                reservoir_rng_.uniformInt(
+                    0, static_cast<int64_t>(latency_count_) - 1));
+            if (j < kLatencyReservoir)
+                latencies_s_[j] = l;
+        }
+    }
+    if (min_version_ == 0 || snapshot_version < min_version_)
+        min_version_ = snapshot_version;
+    if (snapshot_version > max_version_)
+        max_version_ = snapshot_version;
+}
+
+ServeStats
+RenderService::stats() const
+{
+    ServeStats s;
+    std::vector<double> lat;
+    double max_latency_s;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        s.requests = done_requests_;
+        s.batches = done_batches_;
+        s.min_snapshot_version = min_version_;
+        s.max_snapshot_version = max_version_;
+        lat = latencies_s_;
+        max_latency_s = max_latency_s_;
+    }
+    s.elapsed_s = clock_.seconds();
+    if (s.batches > 0)
+        s.mean_batch =
+            static_cast<double>(s.requests) / static_cast<double>(s.batches);
+    if (s.elapsed_s > 0)
+        s.requests_per_s = static_cast<double>(s.requests) / s.elapsed_s;
+    if (!lat.empty()) {
+        double sum = 0;
+        for (double l : lat)
+            sum += l;
+        s.mean_ms = sum / lat.size() * 1e3;
+        s.max_ms = max_latency_s * 1e3;    // exact, not sampled
+        EmpiricalCdf cdf(std::move(lat));
+        s.p50_ms = cdf.percentile(50.0) * 1e3;
+        s.p99_ms = cdf.percentile(99.0) * 1e3;
+    }
+    return s;
+}
+
+} // namespace clm

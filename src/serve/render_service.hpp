@@ -1,0 +1,168 @@
+/**
+ * @file
+ * RenderService — the concurrent serving subsystem. Clients submit
+ * ViewRequests (a posed camera) and get back a rendered frame of the
+ * *live* training model. Requests land on a thread-safe queue; worker
+ * threads drain it in batches of up to max_batch and render each batch
+ * through the fused multi-view pipeline (render/batch.hpp): one shared
+ * cull/precompute/binning pass, per-view tile ranges carved out of one
+ * key-sorted buffer. Each worker owns a BatchRenderArena, so steady-
+ * state serving allocates almost nothing.
+ *
+ * Serving runs concurrently with training: workers render from the
+ * SnapshotSlot's current ModelSnapshot (serve/snapshot.hpp), which the
+ * trainer republishes at step boundaries — clients never observe torn
+ * parameters, and every response carries the snapshot version/hash it
+ * was rendered from so served frames are traceable to exactly one
+ * published state.
+ *
+ * Throughput and latency are reported through ServeStats (request/batch
+ * counters plus p50/p99 latency percentiles, in the spirit of the
+ * sim/metrics counters); bench/micro_serve.cpp records them in
+ * BENCH_serve.json.
+ */
+
+#ifndef CLM_SERVE_RENDER_SERVICE_HPP
+#define CLM_SERVE_RENDER_SERVICE_HPP
+
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "render/batch.hpp"
+#include "render/camera.hpp"
+#include "render/image.hpp"
+#include "render/rasterizer.hpp"
+#include "serve/snapshot.hpp"
+#include "util/mpmc_queue.hpp"
+#include "util/timer.hpp"
+
+namespace clm {
+
+/** Serving configuration. */
+struct ServeConfig
+{
+    int workers = 1;             //!< Render worker threads.
+    /** Coalescing cap: a worker drains up to this many queued requests
+     *  per wakeup and renders them as one fused batch. 1 reproduces
+     *  view-at-a-time serving exactly (plain frustumCull +
+     *  renderForward per request). */
+    int max_batch = 4;
+    size_t queue_capacity = 1024;
+    RenderConfig render;
+    /** Render coalesced batches through the fused pipeline. Off renders
+     *  each request of a batch view-at-a-time (the bench baseline);
+     *  frames are bitwise identical either way. */
+    bool fused_batch = true;
+};
+
+/** One served frame plus its provenance and accounting. */
+struct RenderResponse
+{
+    Image image;
+    uint64_t request_id = 0;
+    uint64_t snapshot_version = 0;   //!< ModelSnapshot::version rendered.
+    uint64_t snapshot_hash = 0;      //!< ModelSnapshot::param_hash.
+    int train_step = 0;              //!< Trainer step of that snapshot.
+    int batch_size = 0;              //!< Size of the coalesced batch.
+    double queue_s = 0;              //!< Time spent waiting in the queue.
+    double render_s = 0;             //!< Wall time of the batch render.
+};
+
+/** Aggregate serving counters (see stats()). */
+struct ServeStats
+{
+    uint64_t requests = 0;           //!< Responses completed.
+    uint64_t batches = 0;            //!< Coalesced batches rendered.
+    double mean_batch = 0;           //!< requests / batches.
+    double elapsed_s = 0;            //!< Since service start.
+    double requests_per_s = 0;       //!< requests / elapsed.
+    /** Latency percentiles/mean/max come from a bounded uniform
+     *  reservoir sample of the per-request latencies (the counters are
+     *  exact), so a long-running service never accumulates unbounded
+     *  per-request state. */
+    double p50_ms = 0;               //!< Median request latency.
+    double p99_ms = 0;               //!< Tail request latency.
+    double mean_ms = 0;
+    double max_ms = 0;
+    uint64_t min_snapshot_version = 0;   //!< Oldest snapshot served.
+    uint64_t max_snapshot_version = 0;   //!< Newest snapshot served.
+};
+
+/** See file comment. */
+class RenderService
+{
+  public:
+    /**
+     * Start @p config.workers worker threads serving from @p snapshots.
+     * @p snapshots must outlive the service and must have at least one
+     * published snapshot before the first request is rendered.
+     */
+    RenderService(const SnapshotSlot &snapshots, ServeConfig config);
+
+    /** Stops and joins the workers (pending requests are drained). */
+    ~RenderService();
+
+    RenderService(const RenderService &) = delete;
+    RenderService &operator=(const RenderService &) = delete;
+
+    /**
+     * Enqueue a view request; blocks while the queue is at capacity.
+     * The future resolves when a worker has rendered the frame (or
+     * fails with broken_promise if the service stops first... it does
+     * not: stop() drains the queue before joining).
+     */
+    std::future<RenderResponse> submit(const Camera &camera);
+
+    /** Close the queue, drain pending requests, join the workers.
+     *  Idempotent; also run by the destructor. */
+    void stop();
+
+    /** Aggregate counters since construction (callable any time). */
+    ServeStats stats() const;
+
+    const ServeConfig &config() const { return config_; }
+
+  private:
+    struct PendingRequest
+    {
+        Camera camera;
+        uint64_t id = 0;
+        double enqueue_s = 0;
+        std::promise<RenderResponse> reply;
+    };
+
+    void workerLoop();
+    void recordBatch(size_t batch_size, const double *latencies_s,
+                     uint64_t snapshot_version);
+
+    ServeConfig config_;
+    const SnapshotSlot &snapshots_;
+    MpmcQueue<PendingRequest> queue_;
+    std::vector<std::thread> workers_;
+    Timer clock_;    //!< Service-lifetime clock (latency timestamps).
+    bool stopped_ = false;
+    std::mutex stop_mutex_;
+
+    /** Reservoir size for latency percentiles: plenty for stable
+     *  p50/p99 while bounding the service's per-request state. */
+    static constexpr size_t kLatencyReservoir = 4096;
+
+    mutable std::mutex stats_mutex_;
+    uint64_t next_id_ = 1;
+    uint64_t done_requests_ = 0;
+    uint64_t done_batches_ = 0;
+    uint64_t min_version_ = 0;
+    uint64_t max_version_ = 0;
+    uint64_t latency_count_ = 0;     //!< Latencies ever observed.
+    Rng reservoir_rng_{0x5e12e};
+    std::vector<double> latencies_s_;    //!< Uniform reservoir sample.
+    double max_latency_s_ = 0;
+};
+
+} // namespace clm
+
+#endif // CLM_SERVE_RENDER_SERVICE_HPP

@@ -1,0 +1,86 @@
+#include "serve/snapshot.hpp"
+
+#include <utility>
+
+namespace clm {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void
+fnvMix(uint64_t &h, const void *data, size_t bytes)
+{
+    const unsigned char *c = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+        h ^= c[i];
+        h *= kFnvPrime;
+    }
+}
+
+} // namespace
+
+uint64_t
+hashModelParams(const GaussianModel &model)
+{
+    uint64_t h = kFnvOffset;
+    const size_t n = model.size();
+    fnvMix(h, &n, sizeof(n));
+    for (size_t i = 0; i < n; ++i) {
+        fnvMix(h, &model.position(i), sizeof(Vec3));
+        fnvMix(h, &model.logScale(i), sizeof(Vec3));
+        fnvMix(h, &model.rotation(i), sizeof(Quat));
+        fnvMix(h, model.sh(i), kShDim * sizeof(float));
+        const float op = model.rawOpacity(i);
+        fnvMix(h, &op, sizeof(op));
+    }
+    return h;
+}
+
+void
+SnapshotSlot::publish(const GaussianModel &model, int train_step)
+{
+    // Reclaim the retired buffer when no reader still holds it; only
+    // current_ is ever handed out, so a spare_ with use_count() == 1
+    // (observed under the lock) can never be re-acquired concurrently.
+    std::shared_ptr<ModelSnapshot> buf;
+    uint64_t version;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (spare_ && spare_.use_count() == 1) {
+            buf = std::const_pointer_cast<ModelSnapshot>(spare_);
+            spare_.reset();
+        }
+        version = next_version_++;
+    }
+    if (!buf)
+        buf = std::make_shared<ModelSnapshot>();
+
+    // The full-model copy and hash run outside the lock: readers keep
+    // serving the previous snapshot untouched in the meantime.
+    buf->model = model;
+    buf->version = version;
+    buf->train_step = train_step;
+    buf->param_hash = hashModelParams(buf->model);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    spare_ = std::move(current_);
+    current_ = std::move(buf);
+}
+
+std::shared_ptr<const ModelSnapshot>
+SnapshotSlot::acquire() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_;
+}
+
+uint64_t
+SnapshotSlot::version() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_ ? current_->version : 0;
+}
+
+} // namespace clm

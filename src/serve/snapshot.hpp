@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Train-time model snapshots: the hand-off point between the training
+ * loop (which mutates the host-resident model every batch) and the
+ * serving subsystem (which renders client views concurrently). The
+ * trainer publishes an immutable copy of the model at step boundaries;
+ * readers acquire the current snapshot by shared_ptr and can keep
+ * rendering from it for as long as they like — they never observe torn
+ * parameters, because a snapshot is copied while no training step is in
+ * flight and is immutable afterwards.
+ *
+ * Publication is double-buffered: the slot keeps the previously retired
+ * snapshot and reuses its buffers for the next publish when no reader
+ * still holds it, so steady-state publishing allocates nothing.
+ */
+
+#ifndef CLM_SERVE_SNAPSHOT_HPP
+#define CLM_SERVE_SNAPSHOT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "gaussian/model.hpp"
+
+namespace clm {
+
+/** One immutable published model state. */
+struct ModelSnapshot
+{
+    GaussianModel model;
+    uint64_t version = 0;      //!< Publication sequence number (from 1).
+    int train_step = 0;        //!< Trainer batches completed at publish.
+    /** FNV-1a hash over every raw parameter, so served frames can be
+     *  traced back to exactly one published state (the
+     *  snapshot-swap-under-load test keys on it). */
+    uint64_t param_hash = 0;
+};
+
+/** FNV-1a over the raw parameter arrays of @p model. */
+uint64_t hashModelParams(const GaussianModel &model);
+
+/**
+ * Single-publisher / multi-reader snapshot slot (see file comment).
+ * publish() is meant to be called from one thread at a time (the
+ * training loop); acquire() is safe from any number of threads.
+ */
+class SnapshotSlot
+{
+  public:
+    /** Copy @p model into a (reused when possible) buffer, stamp it
+     *  with the next version and @p train_step, and make it current.
+     *  The copy runs outside the slot lock, so readers are never
+     *  blocked for longer than a pointer swap. */
+    void publish(const GaussianModel &model, int train_step);
+
+    /** The current snapshot; nullptr before the first publish(). */
+    std::shared_ptr<const ModelSnapshot> acquire() const;
+
+    /** Version of the current snapshot (0 before the first publish). */
+    uint64_t version() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::shared_ptr<const ModelSnapshot> current_;
+    /** Retired snapshot kept for buffer reuse (double buffering). */
+    std::shared_ptr<const ModelSnapshot> spare_;
+    uint64_t next_version_ = 1;
+};
+
+} // namespace clm
+
+#endif // CLM_SERVE_SNAPSHOT_HPP

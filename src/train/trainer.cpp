@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "render/culling.hpp"
+#include "serve/snapshot.hpp"
 #include "train/clm_trainer.hpp"
 #include "train/naive_offload_trainer.hpp"
 #include "util/logging.hpp"
@@ -33,8 +34,30 @@ Trainer::trainSteps(int steps)
             ids.push_back(static_cast<int>(
                 rng_.uniformInt(0, cameras_.size() - 1)));
         stats.push_back(trainBatch(ids));
+        // Step boundary: no batch is in flight, so the model is a
+        // consistent state — safe to hand to concurrent readers.
+        publishSnapshot();
     }
     return stats;
+}
+
+void
+Trainer::setSnapshotSink(SnapshotSlot *slot)
+{
+    snapshot_sink_ = slot;
+    publishSnapshot();    // readers get the pre-training state at once
+}
+
+void
+Trainer::publishSnapshot()
+{
+    // Unconditional: a reader attaching at ANY later point must find
+    // the latest step's state, so every boundary republishes. The cost
+    // (one model copy + hash) is small next to a training batch at the
+    // session model sizes trainers run; skipping republishes while the
+    // slot is idle would hand late-attaching readers a stale model.
+    if (snapshot_sink_ != nullptr)
+        snapshot_sink_->publish(model(), batches_done_);
 }
 
 double
@@ -72,6 +95,9 @@ Trainer::densifyNow()
     CLM_ASSERT(densify_enabled_, "enableDensification() first");
     DensifyStats stats = densifier_.densify(model_, adam_, rng_);
     onModelResized();
+    // Densification restructures the model; republish so serving reads
+    // the new topology instead of a retired snapshot for too long.
+    publishSnapshot();
     return stats;
 }
 

@@ -29,6 +29,8 @@
 
 namespace clm {
 
+class SnapshotSlot;
+
 /** Shared trainer settings. */
 struct TrainConfig
 {
@@ -114,6 +116,21 @@ class Trainer
     /** Number of completed training batches. */
     int batchesDone() const { return batches_done_; }
 
+    /** @name Train-time model snapshots (serving hand-off)
+     * With a sink installed, the trainer publishes an immutable copy of
+     * the model into it at every step boundary — once immediately, then
+     * after every trainSteps() batch and after densifyNow() — so a
+     * RenderService can serve the live model concurrently without ever
+     * observing torn parameters. @p slot must outlive the trainer
+     * (nullptr detaches).
+     */
+    /// @{
+    void setSnapshotSink(SnapshotSlot *slot);
+
+    /** Publish the current model now (no-op without a sink). */
+    void publishSnapshot();
+    /// @}
+
   protected:
     /** Called by trainers at the start of every batch. */
     void noteBatchStart() { ++batches_done_; }
@@ -142,6 +159,7 @@ class Trainer
     Densifier densifier_;
     bool densify_enabled_ = false;
     int batches_done_ = 0;
+    SnapshotSlot *snapshot_sink_ = nullptr;    //!< Non-owning.
 
     /** Render scratch reused across every view/step this trainer runs
      *  (every trainer renders through renderAndBackprop/evaluatePsnr).

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Bounded blocking multi-producer/multi-consumer queue — the request
+ * funnel of the serving subsystem (serve/render_service.hpp). Supports
+ * batch pops so a consumer can drain up to N items in one wakeup, which
+ * is what lets the render service coalesce queued view requests into
+ * multi-view batches without any artificial batching delay.
+ */
+
+#ifndef CLM_UTIL_MPMC_QUEUE_HPP
+#define CLM_UTIL_MPMC_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace clm {
+
+/** See file comment. T must be movable. */
+template <typename T>
+class MpmcQueue
+{
+  public:
+    /** @p capacity bounds the queue; push() blocks while full. */
+    explicit MpmcQueue(size_t capacity = 1024) : capacity_(capacity) {}
+
+    /**
+     * Enqueue one item; blocks while the queue is at capacity.
+     * @return false when the queue was closed (the item is dropped).
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_full_.wait(lock, [&] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Pop up to @p max_items into @p out (cleared first): blocks until
+     * at least one item is available, then drains whatever is queued up
+     * to the cap — the natural batch-coalescing pop.
+     * @return false when the queue is closed and fully drained.
+     */
+    bool
+    popBatch(std::vector<T> &out, size_t max_items)
+    {
+        out.clear();
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false;    // closed and drained
+        while (!items_.empty() && out.size() < max_items) {
+            out.push_back(std::move(items_.front()));
+            items_.pop_front();
+        }
+        lock.unlock();
+        not_full_.notify_all();
+        return true;
+    }
+
+    /** Close: pushes fail from now on; pops drain the remainder. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace clm
+
+#endif // CLM_UTIL_MPMC_QUEUE_HPP

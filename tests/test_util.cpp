@@ -1,11 +1,15 @@
 /**
  * @file
  * Tests for the util layer: logging error paths, the table printer, the
- * timer, and image file output.
+ * timer, image file output, and the blocking MPMC queue behind the
+ * render service.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <thread>
@@ -14,6 +18,7 @@
 
 #include "render/image.hpp"
 #include "util/logging.hpp"
+#include "util/mpmc_queue.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -154,6 +159,82 @@ TEST(ThreadPool, ClmThreadsEnvPinsDefaultWorkerCount)
         EXPECT_EQ(pool.threads(), 2u);
     }
     ASSERT_EQ(unsetenv("CLM_THREADS"), 0);
+}
+
+TEST(MpmcQueue, PopBatchDrainsInFifoOrderUpToCap)
+{
+    MpmcQueue<int> q(16);
+    for (int i = 0; i < 7; ++i)
+        EXPECT_TRUE(q.push(i));
+    EXPECT_EQ(q.size(), 7u);
+
+    std::vector<int> batch;
+    EXPECT_TRUE(q.popBatch(batch, 4));
+    EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_TRUE(q.popBatch(batch, 4));
+    EXPECT_EQ(batch, (std::vector<int>{4, 5, 6}));
+}
+
+TEST(MpmcQueue, CloseDrainsRemainderThenFails)
+{
+    MpmcQueue<int> q(8);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    q.close();
+    EXPECT_FALSE(q.push(3));    // dropped
+
+    std::vector<int> batch;
+    EXPECT_TRUE(q.popBatch(batch, 8));
+    EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+    EXPECT_FALSE(q.popBatch(batch, 8));    // closed and empty
+    EXPECT_TRUE(batch.empty());
+}
+
+TEST(MpmcQueue, BoundedPushBlocksUntilConsumed)
+{
+    MpmcQueue<int> q(2);
+    EXPECT_TRUE(q.push(0));
+    EXPECT_TRUE(q.push(1));
+    std::atomic<bool> third_pushed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(q.push(2));    // blocks until a pop makes room
+        third_pushed = true;
+    });
+    // The producer must be parked on the full queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(third_pushed.load());
+    std::vector<int> batch;
+    EXPECT_TRUE(q.popBatch(batch, 1));
+    producer.join();
+    EXPECT_TRUE(third_pushed.load());
+    EXPECT_TRUE(q.popBatch(batch, 4));
+    EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+}
+
+TEST(MpmcQueue, ManyProducersOneConsumer)
+{
+    MpmcQueue<int> q(32);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 50;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p)
+        producers.emplace_back([&q, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                EXPECT_TRUE(q.push(p * kPerProducer + i));
+        });
+    std::vector<int> got;
+    std::vector<int> batch;
+    while (got.size() < kProducers * kPerProducer) {
+        ASSERT_TRUE(q.popBatch(batch, 8));
+        EXPECT_GE(batch.size(), 1u);
+        EXPECT_LE(batch.size(), 8u);
+        got.insert(got.end(), batch.begin(), batch.end());
+    }
+    for (auto &t : producers)
+        t.join();
+    std::sort(got.begin(), got.end());
+    for (int i = 0; i < kProducers * kPerProducer; ++i)
+        EXPECT_EQ(got[i], i);
 }
 
 } // namespace
