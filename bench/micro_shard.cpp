@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Sharded-serving micro-benchmark: requests/sec and p50/p99 latency of
+ * the RenderService in sharded mode over city-scale synthetic models,
+ * swept across shard counts 1/2/4/8. Each request's frustum is routed
+ * against the shard AABBs and only the selected shards render, so the
+ * interesting outputs are (a) how much of the model the router prunes
+ * per view on the BigCity camera path and (b) what that does to
+ * throughput and tail latency as the shard count grows.
+ *
+ * Before timing, each sweep point verifies the sharded pipeline bitwise
+ * against unsharded renderForward via an FNV-1a hash over every
+ * activation buffer (image, final_t, n_contrib, isect_vals) — sharding
+ * is a scheduling/placement choice, never a quality choice; the k-way
+ * merge reconstructs the exact global depth order (see
+ * shard/shard_renderer.hpp).
+ *
+ * Load model: N closed-loop synthetic clients walk the scene's camera
+ * path from staggered offsets (same protocol as bench/micro_serve.cpp,
+ * so the two JSONs are comparable).
+ *
+ * Prints a table and emits BENCH_shard.json (scripts/bench_shard.sh)
+ * with the machine/build context block.
+ *
+ * Usage: micro_shard [--smoke] [--out FILE.json]
+ */
+
+#include <atomic>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "render/culling.hpp"
+#include "render/rasterizer.hpp"
+#include "serve/render_service.hpp"
+#include "serve/snapshot.hpp"
+#include "shard/router.hpp"
+#include "shard/shard_renderer.hpp"
+#include "shard/sharded_snapshot.hpp"
+
+using namespace clm;
+
+namespace {
+
+struct ShardCase
+{
+    std::string name;
+    std::string scene;
+    size_t n_gaussians;
+    int width, height;
+    int sh_degree;
+    int clients;
+    int requests;       //!< Per sweep point.
+    int probe_views;    //!< Views checked for bitwise identity.
+};
+
+struct SweepPoint
+{
+    int shards = 1;
+    double build_ms = 0;         //!< One-time partition + carve cost.
+    double rps = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    double mean_selected = 0;    //!< Router: shards rendered / request.
+    double frac_pruned = 0;      //!< Router: mean pruned fraction.
+    bool bitwise_identical = false;
+    std::vector<double> per_view_pruned;    //!< Fraction per path view.
+};
+
+struct CaseResult
+{
+    ShardCase cfg;
+    size_t mean_subset = 0;
+    int views = 0;
+    double direct_ms_per_view = 0;    //!< Unsharded reference loop.
+    std::vector<SweepPoint> sweep;
+};
+
+/** FNV-1a over the full forward activation state of @p out. */
+uint64_t
+hashOutput(const RenderOutput &out)
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const void *data, size_t bytes) {
+        const unsigned char *c = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < bytes; ++i) {
+            h ^= c[i];
+            h *= 1099511628211ull;
+        }
+    };
+    mix(out.image.data().data(), out.image.data().size() * sizeof(float));
+    mix(out.final_t.data(), out.final_t.size() * sizeof(float));
+    mix(out.n_contrib.data(), out.n_contrib.size() * sizeof(uint32_t));
+    mix(out.isect_vals.data(), out.isect_vals.size() * sizeof(uint32_t));
+    return h;
+}
+
+/** Routed sharded renders vs unsharded: FNV hashes must match. */
+bool
+verifyBitIdentity(const GaussianModel &model, const ShardedSnapshot &snap,
+                  const std::vector<Camera> &cams,
+                  const RenderConfig &render)
+{
+    ShardRouter router(snap);
+    ShardRenderArena arena;
+    RenderArena ref_arena;
+    for (const Camera &cam : cams) {
+        router.route(cam.frustum(), arena.route);
+        const RenderOutput &sharded =
+            renderForwardSharded(snap, arena.route, cam, render, arena);
+        const uint64_t hs = hashOutput(sharded);
+        const RenderOutput &ref = renderForward(
+            model, cam, frustumCull(model, cam), render, ref_arena);
+        if (hs != hashOutput(ref))
+            return false;
+    }
+    return true;
+}
+
+/** Drive one sweep point with closed-loop clients (micro_serve
+ *  protocol: staggered offsets along the shared route). */
+void
+runSweepPoint(const ShardedSnapshotSlot &slot, const RenderConfig &render,
+              const std::vector<Camera> &path, int n_clients,
+              int n_requests, SweepPoint &p)
+{
+    ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.max_batch = 4;
+    cfg.render = render;
+    RenderService service(slot, cfg);
+
+    std::atomic<int> budget{n_requests};
+    Timer wall;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < n_clients; ++c) {
+        clients.emplace_back([&, c] {
+            size_t pos = static_cast<size_t>(c) * path.size()
+                       / static_cast<size_t>(n_clients);
+            while (budget.fetch_sub(1) > 0) {
+                service.submit(path[pos % path.size()]).get();
+                ++pos;
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    const double elapsed = wall.seconds();
+    service.stop();    // join before reading stats (last batch counted)
+    ServeStats stats = service.stats();
+
+    p.rps = elapsed > 0 ? stats.requests / elapsed : 0.0;
+    p.p50_ms = stats.p50_ms;
+    p.p99_ms = stats.p99_ms;
+    p.mean_selected = stats.mean_shards_selected;
+    p.frac_pruned = stats.mean_shard_frac_pruned;
+}
+
+CaseResult
+runCase(const ShardCase &c)
+{
+    SceneSpec spec = SceneSpec::byName(c.scene);
+    GaussianModel model = generateSceneGaussians(spec, c.n_gaussians);
+    const int n_views = 48;
+    std::vector<Camera> path =
+        generateCameraPath(spec, n_views, c.width, c.height);
+
+    RenderConfig render;
+    render.sh_degree = c.sh_degree;
+
+    CaseResult r;
+    r.cfg = c;
+    r.views = n_views;
+
+    // Reference: the direct unsharded per-view loop.
+    RenderArena arena;
+    size_t subset_sum = 0;
+    {
+        for (int v = 0; v < 4; ++v) {    // warm-up
+            auto s = frustumCull(model, path[v]);
+            renderForward(model, path[v], s, render, arena);
+        }
+        Timer t;
+        const int reps = 8;
+        for (int v = 0; v < reps; ++v) {
+            auto s = frustumCull(model, path[v]);
+            subset_sum += s.size();
+            renderForward(model, path[v], s, render, arena);
+        }
+        r.direct_ms_per_view = t.millis() / reps;
+        r.mean_subset = subset_sum / reps;
+    }
+
+    auto base = std::make_shared<ModelSnapshot>();
+    base->model = model;
+    base->version = 1;
+    base->param_hash = hashModelParams(model);
+
+    for (int k : {1, 2, 4, 8}) {
+        SweepPoint p;
+        p.shards = k;
+        Timer build;
+        ShardedSnapshotSlot slot(k);
+        slot.publish(base);
+        p.build_ms = build.millis();
+        auto snap = slot.acquire();
+
+        std::vector<Camera> probe(path.begin(),
+                                  path.begin() + c.probe_views);
+        p.bitwise_identical =
+            verifyBitIdentity(model, *snap, probe, render);
+
+        // Router effectiveness across the whole path (per view).
+        ShardRouter router(*snap);
+        std::vector<uint32_t> selected;
+        for (const Camera &cam : path) {
+            router.route(cam.frustum(), selected);
+            p.per_view_pruned.push_back(
+                1.0 - static_cast<double>(selected.size()) / k);
+        }
+
+        runSweepPoint(slot, render, path, c.clients, c.requests, p);
+        r.sweep.push_back(std::move(p));
+    }
+    return r;
+}
+
+void
+writeJson(const std::string &path, const std::vector<CaseResult> &results,
+          bool smoke)
+{
+    std::ofstream f(path);
+    f << "{\n  \"bench\": \"shard\",\n  \"smoke\": "
+      << (smoke ? "true" : "false") << ",\n";
+    bench::writeJsonContext(f);
+    f << "  \"cases\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const CaseResult &r = results[i];
+        f << "    {\"name\": \"" << r.cfg.name << "\""
+          << ", \"scene\": \"" << r.cfg.scene << "\""
+          << ", \"gaussians\": " << r.cfg.n_gaussians
+          << ", \"width\": " << r.cfg.width
+          << ", \"height\": " << r.cfg.height
+          << ", \"sh_degree\": " << r.cfg.sh_degree
+          << ", \"views\": " << r.views
+          << ", \"mean_subset\": " << r.mean_subset
+          << ", \"clients\": " << r.cfg.clients
+          << ", \"requests\": " << r.cfg.requests
+          << ", \"direct_ms_per_view\": " << r.direct_ms_per_view
+          << ",\n     \"sweep\": [\n";
+        for (size_t s = 0; s < r.sweep.size(); ++s) {
+            const SweepPoint &p = r.sweep[s];
+            f << "       {\"shards\": " << p.shards
+              << ", \"rps\": " << p.rps
+              << ", \"p50_ms\": " << p.p50_ms
+              << ", \"p99_ms\": " << p.p99_ms
+              << ", \"mean_shards_selected\": " << p.mean_selected
+              << ", \"frac_pruned\": " << p.frac_pruned
+              << ", \"build_ms\": " << p.build_ms
+              << ", \"bitwise_identical\": "
+              << (p.bitwise_identical ? "true" : "false")
+              << ",\n        \"per_view_pruned\": [";
+            for (size_t v = 0; v < p.per_view_pruned.size(); ++v)
+                f << (v ? ", " : "") << p.per_view_pruned[v];
+            f << "]}" << (s + 1 < r.sweep.size() ? "," : "") << "\n";
+        }
+        f << "     ]}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_shard.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--smoke")
+            smoke = true;
+        else if (arg == "--out" && i + 1 < argc)
+            out_path = argv[++i];
+        else {
+            std::cerr << "usage: micro_shard [--smoke] [--out FILE]\n";
+            return 2;
+        }
+    }
+
+    // City-scale sharded serving ladder: big models whose camera paths
+    // see only a part of the scene per view — the regime where frustum
+    // routing bounds the per-request working set.
+    std::vector<ShardCase> cases;
+    if (smoke) {
+        cases = {{"smoke", "BigCity", 20000, 96, 54, 1, 4, 24, 2}};
+    } else {
+        cases = {{"small", "BigCity", 100000, 160, 90, 2, 16, 160, 4},
+                 {"medium", "BigCity", 300000, 192, 108, 2, 16, 128, 4},
+                 {"large", "BigCity", 600000, 256, 144, 2, 16, 96, 3}};
+    }
+
+    std::cout << "=== micro_shard: frustum-routed sharded serving ===\n"
+              << "(simd: " << simdIsaName()
+              << ", threads: " << ThreadPool::global().threads()
+              << ", 1 serve worker)\n\n";
+    Table table({"Case", "Gaussians", "WxH", "Shards", "Req/s", "p50 ms",
+                 "p99 ms", "Sel", "Pruned", "Bitwise"});
+    std::vector<CaseResult> results;
+    bool all_identical = true;
+    for (const ShardCase &c : cases) {
+        CaseResult r = runCase(c);
+        for (const SweepPoint &p : r.sweep) {
+            all_identical = all_identical && p.bitwise_identical;
+            table.addRow(
+                {r.cfg.name, std::to_string(r.cfg.n_gaussians),
+                 std::to_string(c.width) + "x" + std::to_string(c.height),
+                 std::to_string(p.shards), Table::fmt(p.rps, 1),
+                 Table::fmt(p.p50_ms, 1), Table::fmt(p.p99_ms, 1),
+                 Table::fmt(p.mean_selected, 2),
+                 Table::fmt(p.frac_pruned * 100.0, 0) + "%",
+                 p.bitwise_identical ? "yes" : "NO"});
+        }
+        std::cout << "[" << r.cfg.name << "] direct "
+                  << Table::fmt(r.direct_ms_per_view, 2)
+                  << " ms/view unsharded, subset "
+                  << r.mean_subset << "\n";
+        results.push_back(std::move(r));
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+
+    writeJson(out_path, results, smoke);
+    std::cout << "\nwrote " << out_path << "\n";
+    if (!all_identical) {
+        std::cerr << "FAIL: sharded frames differ from unsharded\n";
+        return 1;
+    }
+    return 0;
+}

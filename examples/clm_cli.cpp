@@ -11,13 +11,17 @@
  *
  *   clm_cli serve [--scene NAME] [--system ...] [--steps N]
  *                 [--clients N] [--requests N] [--max-batch N]
+ *                 [--shards N]
  *
  * The serve subcommand trains briefly, then keeps training in the
  * background while N synthetic clients walk the scene's camera path and
  * request views from a RenderService — the live-model serving loop:
  * training republishes a model snapshot every batch, clients render
  * from whatever snapshot is current, and requests are coalesced into
- * fused multi-view batches.
+ * fused multi-view batches. With --shards N every published snapshot is
+ * additionally carved into N spatial shards and each request's frustum
+ * is routed against the shard AABBs, rendering only the shards it can
+ * see — frames stay bitwise identical to unsharded serving.
  */
 
 #include <atomic>
@@ -64,6 +68,7 @@ usage(const char *argv0)
         "[--render FILE]\n"
         "       %s serve [--scene NAME] [--system ...] [--steps N]\n"
         "          [--clients N] [--requests N] [--max-batch N]\n"
+        "          [--shards N]\n"
         "scenes: Bicycle Rubble Alameda Ithaca BigCity\n",
         argv0, argv0);
     std::exit(2);
@@ -77,7 +82,7 @@ usage(const char *argv0)
  */
 int
 runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
-         int max_batch)
+         int max_batch, int shards)
 {
     std::printf("[serve] warm-up: %d training steps...\n", warmup_steps);
     session.train(warmup_steps);
@@ -88,7 +93,20 @@ runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
     serve_config.workers = 1;
     serve_config.max_batch = max_batch;
     serve_config.render = session.config().train.render;
-    RenderService service(session.snapshots(), serve_config);
+    // Sharded mode carves every published snapshot into spatial shards
+    // and frustum-routes each request; unsharded serves the whole
+    // model. Frames are bitwise identical either way.
+    std::unique_ptr<RenderService> service_ptr;
+    if (shards > 0) {
+        std::printf("[serve] sharded serving: %d spatial shards\n",
+                    shards);
+        service_ptr = std::make_unique<RenderService>(
+            session.enableSharding(shards), serve_config);
+    } else {
+        service_ptr = std::make_unique<RenderService>(
+            session.snapshots(), serve_config);
+    }
+    RenderService &service = *service_ptr;
 
     // Training continues while clients are served; every batch
     // republishes the snapshot the service renders from.
@@ -132,6 +150,11 @@ runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
     std::printf("[serve] throughput %.1f req/s, latency p50 %.1f ms, "
                 "p99 %.1f ms\n",
                 stats.requests_per_s, stats.p50_ms, stats.p99_ms);
+    if (stats.sharded_requests > 0)
+        std::printf("[serve] frustum routing: %.2f/%d shards rendered "
+                    "per request (%.0f%% pruned)\n",
+                    stats.mean_shards_selected, shards,
+                    stats.mean_shard_frac_pruned * 100.0);
     std::printf(
         "[serve] snapshots served: versions %llu..%llu (training "
         "advanced the model %llu times mid-serve)\n",
@@ -162,6 +185,7 @@ main(int argc, char **argv)
     int clients = 4;
     int requests = 64;
     int max_batch = 4;
+    int shards = 0;
 
     int argi = 1;
     if (argi < argc && !std::strcmp(argv[argi], "serve")) {
@@ -202,6 +226,8 @@ main(int argc, char **argv)
             requests = std::atoi(need_value("--requests").c_str());
         else if (serve_mode && !std::strcmp(argv[i], "--max-batch"))
             max_batch = std::atoi(need_value("--max-batch").c_str());
+        else if (serve_mode && !std::strcmp(argv[i], "--shards"))
+            shards = std::atoi(need_value("--shards").c_str());
         else
             usage(argv[0]);
     }
@@ -225,7 +251,8 @@ main(int argc, char **argv)
                 session.model().size(), session.viewCount(), steps);
 
     if (serve_mode)
-        return runServe(session, steps, clients, requests, max_batch);
+        return runServe(session, steps, clients, requests, max_batch,
+                        shards);
 
     double psnr0 = session.evaluatePsnr();
     int done = 0;

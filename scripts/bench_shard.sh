@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build and run the sharded-serving micro-benchmark, emitting
+# BENCH_shard.json in the repo root: requests/sec and p50/p99 latency of
+# the RenderService in sharded mode over city-scale models, swept across
+# shard counts 1/2/4/8, with the per-view fraction of shards the frustum
+# router pruned and a bitwise-identity flag (sharded frames are verified
+# hash-identical to unsharded renderForward before timing).
+#
+# The JSON includes the machine/build context block (thread count,
+# compiler, SIMD backend, CLM_DISABLE_SIMD). Worker threads default to
+# CLM_THREADS=1 so recorded points are single-core-comparable across
+# runs; export CLM_THREADS to override.
+#
+# Uses the shared build-release/ tree so it never flips the cached
+# build type of the default build/ directory that verify.sh uses.
+#
+# Usage: scripts/bench_shard.sh [--smoke]
+#   --smoke   tiny single-case run (CI "builds and runs" gate)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+export CLM_THREADS="${CLM_THREADS:-1}"
+
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j"$JOBS" --target micro_shard
+./build-release/micro_shard "$@" --out BENCH_shard.json

@@ -7,6 +7,7 @@
 #include "math/ellipsoid.hpp"
 #include "math/simd.hpp"
 #include "render/binning.hpp"
+#include "render/culling.hpp"
 #include "render/compositor.hpp"
 #include "render/projection.hpp"
 #include "util/logging.hpp"
@@ -21,15 +22,13 @@ namespace {
  *  saves (mirrors the binning-stage threshold). */
 constexpr size_t kMinParallel = 512;
 
-/** Run @p body over [0, n), through the pool when worthwhile. */
+/** Run @p body over [0, n), through the pool when worthwhile (the
+ *  shared poolForRange policy with this file's threshold). */
 template <typename Body>
 void
 forRange(size_t n, bool parallel, const Body &body)
 {
-    if (parallel && n >= kMinParallel)
-        ThreadPool::global().parallelFor(n, body);
-    else
-        body(0, n);
+    poolForRange(n, parallel, kMinParallel, body);
 }
 
 /**
@@ -103,47 +102,56 @@ frustumCullBatch(const GaussianModel &model,
                  const std::vector<Camera> &cameras,
                  BatchCullScratch &scratch,
                  std::vector<std::vector<uint32_t>> &subsets,
-                 bool parallel)
+                 bool parallel, uint64_t cache_key)
 {
     const size_t B = cameras.size();
     CLM_ASSERT(B >= 1, "empty camera batch");
     subsets.resize(B);
 
-    // Pass 1 — shared per-Gaussian setup, paid once for the whole
-    // batch: world scale (3 exp), bounding radius, packed thresholds.
     const size_t n = model.size();
-    const size_t padded = (n + 7) & ~size_t(7);
-    scratch.cx.resize(padded);
-    scratch.cy.resize(padded);
-    scratch.cz.resize(padded);
-    scratch.neg_thresh.resize(padded);
-    forRange(n, parallel, [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-            const Vec3 scale = model.worldScale(i);
-            float r = kCullSigma * scale.x;
-            if (kCullSigma * scale.y > r)
-                r = kCullSigma * scale.y;
-            if (kCullSigma * scale.z > r)
-                r = kCullSigma * scale.z;
-            const Vec3 &p = model.position(i);
-            float m = std::fabs(p.x);
-            if (std::fabs(p.y) > m)
-                m = std::fabs(p.y);
-            if (std::fabs(p.z) > m)
-                m = std::fabs(p.z);
-            scratch.cx[i] = p.x;
-            scratch.cy[i] = p.y;
-            scratch.cz[i] = p.z;
-            // NaN radii/centers poison the threshold, so their lanes
-            // are never pre-rejected and the exact test decides.
-            scratch.neg_thresh[i] = -r - kCullPrefilterEps * (3.0f * m);
+    // Snapshot-scoped cache: the SoA stage is a pure function of the
+    // model, so when the caller vouches (by key) that the model is the
+    // same published state as last time, pass 1 is skipped whole and
+    // the sweep below reads the cached stage.
+    const bool cached = cache_key != 0 && scratch.cached_key == cache_key
+                     && scratch.cached_size == n;
+    if (!cached) {
+        // Pass 1 — shared per-Gaussian setup, paid once for the whole
+        // batch: world scale (3 exp), bounding radius, packed
+        // thresholds.
+        const size_t padded = (n + 7) & ~size_t(7);
+        scratch.cx.resize(padded);
+        scratch.cy.resize(padded);
+        scratch.cz.resize(padded);
+        scratch.neg_thresh.resize(padded);
+        forRange(n, parallel, [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+                const float r = cullBoundingRadius(model, i);
+                const Vec3 &p = model.position(i);
+                float m = std::fabs(p.x);
+                if (std::fabs(p.y) > m)
+                    m = std::fabs(p.y);
+                if (std::fabs(p.z) > m)
+                    m = std::fabs(p.z);
+                scratch.cx[i] = p.x;
+                scratch.cy[i] = p.y;
+                scratch.cz[i] = p.z;
+                // NaN radii/centers poison the threshold, so their
+                // lanes are never pre-rejected and the exact test
+                // decides.
+                scratch.neg_thresh[i] =
+                    -r - kCullPrefilterEps * (3.0f * m);
+            }
+        });
+        for (size_t i = n; i < padded; ++i) {
+            scratch.cx[i] = scratch.cy[i] = scratch.cz[i] = 0.0f;
+            // Padding lanes always read "clearly outside" so they can
+            // never force the scalar path.
+            scratch.neg_thresh[i] =
+                std::numeric_limits<float>::infinity();
         }
-    });
-    for (size_t i = n; i < padded; ++i) {
-        scratch.cx[i] = scratch.cy[i] = scratch.cz[i] = 0.0f;
-        // Padding lanes always read "clearly outside" so they can never
-        // force the scalar path.
-        scratch.neg_thresh[i] = std::numeric_limits<float>::infinity();
+        scratch.cached_key = cache_key;
+        scratch.cached_size = n;
     }
 
     // Pass 2 — each view sweeps the shared stage. Views are

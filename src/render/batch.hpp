@@ -64,13 +64,27 @@ namespace clm {
 constexpr float kCullPrefilterEps = 1e-4f;
 
 /** Reusable scratch of frustumCullBatch: the shared SoA cull stage
- *  (padded to a multiple of 8 for the packed sweep). */
+ *  (padded to a multiple of 8 for the packed sweep). The stage is a
+ *  pure function of the model parameters, so it can be cached across
+ *  batches keyed by the snapshot version being served (the first rung
+ *  of the ROADMAP's snapshot-scoped serving caches). */
 struct BatchCullScratch
 {
     std::vector<float> cx, cy, cz;    //!< Bounding-sphere centers.
     /** Packed reject threshold: -radius - eps * 3|p|_inf (padding lanes
      *  hold +inf, so they always read as "clearly outside"). */
     std::vector<float> neg_thresh;
+
+    /** @name Snapshot-scoped cache tag
+     * Non-zero cached_key means the SoA stage above was built from a
+     * model tagged with that key (a ModelSnapshot version) of
+     * cached_size Gaussians; frustumCullBatch skips the rebuild when a
+     * caller passes the same key again. 0 = untagged (always rebuild).
+     */
+    /// @{
+    uint64_t cached_key = 0;
+    size_t cached_size = 0;
+    /// @}
 
     /** Bytes currently held (for memory accounting). */
     size_t bytes() const;
@@ -81,12 +95,22 @@ struct BatchCullScratch
  * @p subsets[v] receives exactly frustumCull(model, cameras[v]) — same
  * membership, same (ascending) order, in every build flavor.
  * Deterministic under any parallel split.
+ *
+ * @param cache_key Non-zero tags the shared SoA stage with this key
+ *        (callers pass the ModelSnapshot version they render): when
+ *        @p scratch already holds the stage for the same key and model
+ *        size, the per-Gaussian rebuild — including the 3 worldScale
+ *        exp() per row — is skipped entirely, amortizing it across all
+ *        batches served from one snapshot. The stage is a pure function
+ *        of the model, so the cache is bitwise neutral; callers must
+ *        pass distinct keys for distinct models (snapshot versions do).
+ *        0 (the default) rebuilds unconditionally and untags.
  */
 void frustumCullBatch(const GaussianModel &model,
                       const std::vector<Camera> &cameras,
                       BatchCullScratch &scratch,
                       std::vector<std::vector<uint32_t>> &subsets,
-                      bool parallel = true);
+                      bool parallel = true, uint64_t cache_key = 0);
 
 /** Wall-clock stage breakdown of the last renderForwardBatch(). */
 struct BatchStageTimes

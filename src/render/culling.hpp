@@ -15,9 +15,32 @@
 #include <vector>
 
 #include "gaussian/model.hpp"
+#include "math/ellipsoid.hpp"
 #include "render/camera.hpp"
 
 namespace clm {
+
+/**
+ * The kCullSigma bounding-sphere radius of Gaussian @p i — the largest
+ * semi-axis of the cull ellipsoid, i.e. exactly
+ * Ellipsoid::fromGaussian(...).boundingRadius(). ONE definition shared
+ * by the batched cull stage (render/batch.cpp) and the shard
+ * partitioner's AABBs (shard/partitioner.cpp), both of whose
+ * conservatism arguments require "at least the radius frustumCull
+ * tests" — keeping the expression in one place keeps those proofs
+ * attached to the code they depend on.
+ */
+inline float
+cullBoundingRadius(const GaussianModel &model, size_t i)
+{
+    const Vec3 scale = model.worldScale(i);
+    float r = kCullSigma * scale.x;
+    if (kCullSigma * scale.y > r)
+        r = kCullSigma * scale.y;
+    if (kCullSigma * scale.z > r)
+        r = kCullSigma * scale.z;
+    return r;
+}
 
 /**
  * Compute the in-frustum Gaussian index set S for @p camera.
@@ -27,6 +50,13 @@ namespace clm {
  */
 std::vector<uint32_t> frustumCull(const GaussianModel &model,
                                   const Camera &camera);
+
+/** Out-parameter overload for hot loops: clears @p selected and fills
+ *  it with exactly the value-returning overload's result, reusing the
+ *  caller's buffer capacity (the sharded serving path culls K compact
+ *  models per request). */
+void frustumCull(const GaussianModel &model, const Camera &camera,
+                 std::vector<uint32_t> &selected);
 
 /**
  * Same selection rule evaluated from packed critical-attribute records

@@ -5,20 +5,63 @@
 
 #include "math/stats.hpp"
 #include "render/culling.hpp"
+#include "shard/router.hpp"
+#include "shard/shard_renderer.hpp"
+#include "shard/sharded_snapshot.hpp"
 #include "util/logging.hpp"
 
 namespace clm {
 
+namespace {
+
+/** SplitMix64: the standard 64-bit finalizer. Used to make reservoir
+ *  sampling a pure function of (seed, observation index) — see
+ *  ServeStats — instead of a shared-RNG draw whose order would depend
+ *  on worker-thread interleaving. */
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+uint64_t
+latencyReservoirSlot(uint64_t seed, uint64_t index)
+{
+    return splitmix64(seed ^ index) % index;
+}
+
 RenderService::RenderService(const SnapshotSlot &snapshots,
                              ServeConfig config)
-    : config_(config), snapshots_(snapshots),
+    : config_(config), snapshots_(&snapshots),
       queue_(config.queue_capacity)
+{
+    startWorkers();
+}
+
+RenderService::RenderService(const ShardedSnapshotSlot &shards,
+                             ServeConfig config)
+    : config_(config), sharded_(&shards), queue_(config.queue_capacity)
+{
+    startWorkers();
+}
+
+void
+RenderService::startWorkers()
 {
     CLM_ASSERT(config_.workers >= 1, "need at least one serve worker");
     CLM_ASSERT(config_.max_batch >= 1, "max_batch must be >= 1");
     workers_.reserve(config_.workers);
-    for (int w = 0; w < config_.workers; ++w)
-        workers_.emplace_back([this] { workerLoop(); });
+    for (int w = 0; w < config_.workers; ++w) {
+        if (sharded_ != nullptr)
+            workers_.emplace_back([this] { shardedWorkerLoop(); });
+        else
+            workers_.emplace_back([this] { workerLoop(); });
+    }
 }
 
 RenderService::~RenderService() { stop(); }
@@ -65,7 +108,7 @@ RenderService::workerLoop()
     std::vector<double> latencies;
 
     while (queue_.popBatch(batch, config_.max_batch)) {
-        std::shared_ptr<const ModelSnapshot> snap = snapshots_.acquire();
+        std::shared_ptr<const ModelSnapshot> snap = snapshots_->acquire();
         CLM_ASSERT(snap != nullptr,
                    "RenderService: render requested before the first "
                    "snapshot publish");
@@ -89,13 +132,15 @@ RenderService::workerLoop()
 
         if (config_.fused_batch && n > 1) {
             // Fused multi-view pass: one shared cull/precompute/sort
-            // for the whole coalesced batch.
+            // for the whole coalesced batch. The snapshot version keys
+            // the cull stage cache: consecutive batches on the same
+            // published state skip the per-Gaussian SoA rebuild.
             const double t0 = clock_.seconds();
             cams.clear();
             for (const PendingRequest &r : batch)
                 cams.push_back(r.camera);
             frustumCullBatch(snap->model, cams, arena.cull, subsets,
-                             config_.render.parallel);
+                             config_.render.parallel, snap->version);
             renderForwardBatch(snap->model, cams, subsets,
                                config_.render, arena);
             const double render_s = clock_.seconds() - t0;
@@ -120,24 +165,86 @@ RenderService::workerLoop()
 }
 
 void
+RenderService::shardedWorkerLoop()
+{
+    std::vector<PendingRequest> batch;
+    ShardRenderArena arena;
+    std::vector<double> latencies;
+    ShardRouter router;
+    uint64_t router_version = 0;    //!< Base version router was built on.
+
+    while (queue_.popBatch(batch, config_.max_batch)) {
+        std::shared_ptr<const ShardedSnapshot> snap = sharded_->acquire();
+        CLM_ASSERT(snap != nullptr,
+                   "RenderService: render requested before the first "
+                   "sharded snapshot publish");
+        CLM_ASSERT(snap->base != nullptr, "sharded snapshot without base");
+        if (router.shardCount() == 0
+            || router_version != snap->base->version) {
+            router = ShardRouter(*snap);
+            router_version = snap->base->version;
+        }
+        const size_t n = batch.size();
+        latencies.resize(n);
+        uint64_t selected_sum = 0;
+        uint64_t total_sum = 0;
+
+        // Requests render view-at-a-time: routing is per-frustum, so a
+        // coalesced batch still pays one render per request here (the
+        // fused multi-view pass composes with sharding at the next
+        // scale-out rung).
+        for (size_t v = 0; v < n; ++v) {
+            const double t0 = clock_.seconds();
+            router.route(batch[v].camera.frustum(), arena.route);
+            const RenderOutput &out = renderForwardSharded(
+                *snap, arena.route, batch[v].camera, config_.render,
+                arena);
+            const double render_s = clock_.seconds() - t0;
+
+            RenderResponse resp;
+            resp.image = out.image;
+            resp.request_id = batch[v].id;
+            resp.snapshot_version = snap->base->version;
+            resp.snapshot_hash = snap->base->param_hash;
+            resp.train_step = snap->base->train_step;
+            resp.batch_size = static_cast<int>(n);
+            resp.queue_s = t0 - batch[v].enqueue_s;
+            resp.render_s = render_s;
+            resp.shards_total = static_cast<int>(snap->shardCount());
+            resp.shards_selected = static_cast<int>(arena.route.size());
+            selected_sum += arena.route.size();
+            total_sum += snap->shardCount();
+            latencies[v] = clock_.seconds() - batch[v].enqueue_s;
+            batch[v].reply.set_value(std::move(resp));
+        }
+        recordBatch(n, latencies.data(), snap->base->version,
+                    selected_sum, total_sum);
+    }
+}
+
+void
 RenderService::recordBatch(size_t batch_size, const double *latencies_s,
-                           uint64_t snapshot_version)
+                           uint64_t snapshot_version,
+                           uint64_t shards_selected_sum,
+                           uint64_t shards_total_sum)
 {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     done_requests_ += batch_size;
     done_batches_ += 1;
     for (size_t v = 0; v < batch_size; ++v) {
-        // Algorithm-R uniform reservoir: every latency ever observed
-        // has equal probability of being in the sample.
+        // Algorithm-R uniform reservoir. The replacement slot for the
+        // i-th observation is splitmix64(seed, i) % i — a pure function
+        // of the (seed, index) pair, so the set of sampled indices is
+        // reproducible run-to-run regardless of how worker threads
+        // interleave their recordBatch calls.
         const double l = latencies_s[v];
         max_latency_s_ = std::max(max_latency_s_, l);
         ++latency_count_;
         if (latencies_s_.size() < kLatencyReservoir) {
             latencies_s_.push_back(l);
         } else {
-            const uint64_t j = static_cast<uint64_t>(
-                reservoir_rng_.uniformInt(
-                    0, static_cast<int64_t>(latency_count_) - 1));
+            const uint64_t j = latencyReservoirSlot(config_.latency_seed,
+                                                    latency_count_);
             if (j < kLatencyReservoir)
                 latencies_s_[j] = l;
         }
@@ -146,6 +253,11 @@ RenderService::recordBatch(size_t batch_size, const double *latencies_s,
         min_version_ = snapshot_version;
     if (snapshot_version > max_version_)
         max_version_ = snapshot_version;
+    if (shards_total_sum > 0) {
+        sharded_requests_ += batch_size;
+        shards_selected_sum_ += shards_selected_sum;
+        shards_total_sum_ += shards_total_sum;
+    }
 }
 
 ServeStats
@@ -154,12 +266,16 @@ RenderService::stats() const
     ServeStats s;
     std::vector<double> lat;
     double max_latency_s;
+    uint64_t sel_sum, tot_sum;
     {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         s.requests = done_requests_;
         s.batches = done_batches_;
         s.min_snapshot_version = min_version_;
         s.max_snapshot_version = max_version_;
+        s.sharded_requests = sharded_requests_;
+        sel_sum = shards_selected_sum_;
+        tot_sum = shards_total_sum_;
         lat = latencies_s_;
         max_latency_s = max_latency_s_;
     }
@@ -169,6 +285,15 @@ RenderService::stats() const
             static_cast<double>(s.requests) / static_cast<double>(s.batches);
     if (s.elapsed_s > 0)
         s.requests_per_s = static_cast<double>(s.requests) / s.elapsed_s;
+    if (s.sharded_requests > 0) {
+        s.mean_shards_selected = static_cast<double>(sel_sum)
+                               / static_cast<double>(s.sharded_requests);
+        if (tot_sum > 0)
+            s.mean_shard_frac_pruned =
+                1.0
+                - static_cast<double>(sel_sum)
+                      / static_cast<double>(tot_sum);
+    }
     if (!lat.empty()) {
         double sum = 0;
         for (double l : lat)

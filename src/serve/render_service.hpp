@@ -16,6 +16,14 @@
  * was rendered from so served frames are traceable to exactly one
  * published state.
  *
+ * In *sharded* mode the service serves a ShardedSnapshotSlot instead:
+ * each request's frustum is routed against the spatial shard AABBs
+ * (shard/router.hpp) and only the selected shards are rendered through
+ * the exact per-shard/k-way-merge pipeline (shard/shard_renderer.hpp).
+ * Frames stay bitwise identical to unsharded serving; routing bounds
+ * the per-request working set, and responses/stats report how many
+ * shards the router pruned.
+ *
  * Throughput and latency are reported through ServeStats (request/batch
  * counters plus p50/p99 latency percentiles, in the spirit of the
  * sim/metrics counters); bench/micro_serve.cpp records them in
@@ -31,7 +39,6 @@
 #include <thread>
 #include <vector>
 
-#include "math/rng.hpp"
 #include "render/batch.hpp"
 #include "render/camera.hpp"
 #include "render/image.hpp"
@@ -41,6 +48,8 @@
 #include "util/timer.hpp"
 
 namespace clm {
+
+class ShardedSnapshotSlot;
 
 /** Serving configuration. */
 struct ServeConfig
@@ -57,6 +66,11 @@ struct ServeConfig
      *  each request of a batch view-at-a-time (the bench baseline);
      *  frames are bitwise identical either way. */
     bool fused_batch = true;
+    /** Seed of the deterministic latency-reservoir sampling (see
+     *  ServeStats): which observation indices end up in the p50/p99
+     *  sample is a pure function of this seed, so percentile estimates
+     *  are reproducible run-to-run for a fixed request schedule. */
+    uint64_t latency_seed = 0x5e12e;
 };
 
 /** One served frame plus its provenance and accounting. */
@@ -70,6 +84,11 @@ struct RenderResponse
     int batch_size = 0;              //!< Size of the coalesced batch.
     double queue_s = 0;              //!< Time spent waiting in the queue.
     double render_s = 0;             //!< Wall time of the batch render.
+    /** @name Sharded-mode routing provenance (0 when unsharded) */
+    /// @{
+    int shards_total = 0;            //!< Shards in the served snapshot.
+    int shards_selected = 0;         //!< Shards the router kept.
+    /// @}
 };
 
 /** Aggregate serving counters (see stats()). */
@@ -83,14 +102,38 @@ struct ServeStats
     /** Latency percentiles/mean/max come from a bounded uniform
      *  reservoir sample of the per-request latencies (the counters are
      *  exact), so a long-running service never accumulates unbounded
-     *  per-request state. */
+     *  per-request state. Reservoir membership is decided by a
+     *  deterministic hash of (ServeConfig::latency_seed, observation
+     *  index) — not a shared RNG whose draw order would depend on
+     *  worker interleaving — so the sampled index set is reproducible
+     *  run-to-run. */
     double p50_ms = 0;               //!< Median request latency.
     double p99_ms = 0;               //!< Tail request latency.
     double mean_ms = 0;
     double max_ms = 0;
     uint64_t min_snapshot_version = 0;   //!< Oldest snapshot served.
     uint64_t max_snapshot_version = 0;   //!< Newest snapshot served.
+    /** @name Sharded-mode routing counters (zero when unsharded)
+     * Router effectiveness: what fraction of the model's shards the
+     * frustum routing pruned, averaged over served requests.
+     */
+    /// @{
+    uint64_t sharded_requests = 0;   //!< Requests served via routing.
+    double mean_shards_selected = 0; //!< Mean shards rendered/request.
+    double mean_shard_frac_pruned = 0;   //!< Mean pruned fraction.
+    /// @}
 };
+
+/**
+ * Deterministic Algorithm-R replacement slot for the @p index-th
+ * latency observation (1-based): a pure function of (seed, index)
+ * returning j uniform-ish in [0, index). Observations with
+ * j < reservoir-size replace slot j; everything else is dropped. Being
+ * index-keyed (not a shared-RNG draw) makes the sampled index set
+ * reproducible run-to-run regardless of worker-thread interleaving —
+ * the property that keeps benched p50/p99 stable across reruns.
+ */
+uint64_t latencyReservoirSlot(uint64_t seed, uint64_t index);
 
 /** See file comment. */
 class RenderService
@@ -102,6 +145,17 @@ class RenderService
      * published snapshot before the first request is rendered.
      */
     RenderService(const SnapshotSlot &snapshots, ServeConfig config);
+
+    /**
+     * Sharded mode: serve from @p shards (shard/sharded_snapshot.hpp)
+     * instead of a whole-model slot. Each request's frustum is routed
+     * against the shard AABBs and only the selected shards are
+     * rendered, through the exact k-way-merge pipeline
+     * (shard/shard_renderer.hpp) — frames are bitwise identical to
+     * unsharded serving; routing only bounds the per-request working
+     * set. Same lifetime/publish contract as the unsharded ctor.
+     */
+    RenderService(const ShardedSnapshotSlot &shards, ServeConfig config);
 
     /** Stops and joins the workers (pending requests are drained). */
     ~RenderService();
@@ -136,11 +190,16 @@ class RenderService
     };
 
     void workerLoop();
+    void shardedWorkerLoop();
     void recordBatch(size_t batch_size, const double *latencies_s,
-                     uint64_t snapshot_version);
+                     uint64_t snapshot_version,
+                     uint64_t shards_selected_sum = 0,
+                     uint64_t shards_total_sum = 0);
+    void startWorkers();
 
     ServeConfig config_;
-    const SnapshotSlot &snapshots_;
+    const SnapshotSlot *snapshots_ = nullptr;        //!< Unsharded mode.
+    const ShardedSnapshotSlot *sharded_ = nullptr;   //!< Sharded mode.
     MpmcQueue<PendingRequest> queue_;
     std::vector<std::thread> workers_;
     Timer clock_;    //!< Service-lifetime clock (latency timestamps).
@@ -158,9 +217,11 @@ class RenderService
     uint64_t min_version_ = 0;
     uint64_t max_version_ = 0;
     uint64_t latency_count_ = 0;     //!< Latencies ever observed.
-    Rng reservoir_rng_{0x5e12e};
     std::vector<double> latencies_s_;    //!< Uniform reservoir sample.
     double max_latency_s_ = 0;
+    uint64_t shards_selected_sum_ = 0;   //!< Sharded-mode accumulators.
+    uint64_t shards_total_sum_ = 0;
+    uint64_t sharded_requests_ = 0;
 };
 
 } // namespace clm

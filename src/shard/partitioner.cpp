@@ -1,0 +1,158 @@
+#include "shard/partitioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "render/culling.hpp"
+#include "util/logging.hpp"
+
+namespace clm {
+
+namespace {
+
+/** One in-progress leaf of the recursive split: a [begin, end) slice of
+ *  the shared index scratch plus the AABB of the member *centers* (the
+ *  split geometry; the published bounds add the sphere radii later). */
+struct Leaf
+{
+    size_t begin = 0, end = 0;
+    Aabb centers;
+
+    size_t count() const { return end - begin; }
+};
+
+/** Longest axis of @p box: 0/1/2 for x/y/z, ties resolved in that
+ *  order so the split sequence is deterministic. */
+int
+longestAxis(const Aabb &box)
+{
+    if (box.empty())
+        return 0;
+    const Vec3 e = box.extent();
+    int axis = 0;
+    float best = e.x;
+    if (e.y > best) {
+        axis = 1;
+        best = e.y;
+    }
+    if (e.z > best)
+        axis = 2;
+    return axis;
+}
+
+float
+axisCoord(const Vec3 &p, int axis)
+{
+    return axis == 0 ? p.x : axis == 1 ? p.y : p.z;
+}
+
+/** Monotone total order over float bit patterns (same sign-flip trick
+ *  as depthBits): agrees with operator< for ordered values and gives
+ *  NaNs a fixed, deterministic rank — so the split comparator below is
+ *  a strict weak order even when training has diverged into NaN
+ *  positions (operator< alone would make every NaN compare equivalent
+ *  to everything, which is UB in nth_element). */
+uint32_t
+orderedBits(float v)
+{
+    uint32_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return (b & 0x80000000u) ? ~b : (b | 0x80000000u);
+}
+
+Aabb
+centerBounds(const GaussianModel &model, const uint32_t *idx, size_t n)
+{
+    Aabb box;
+    for (size_t i = 0; i < n; ++i)
+        box.extend(model.position(idx[i]));
+    return box;
+}
+
+} // namespace
+
+ShardPartition
+partitionModel(const GaussianModel &model, int shards)
+{
+    CLM_ASSERT(shards >= 1, "need at least one shard");
+    const size_t n = model.size();
+
+    // Index scratch the recursive split permutes in place.
+    std::vector<uint32_t> idx(n);
+    for (size_t i = 0; i < n; ++i)
+        idx[i] = static_cast<uint32_t>(i);
+
+    std::vector<Leaf> leaves;
+    leaves.push_back({0, n, centerBounds(model, idx.data(), n)});
+
+    // Split until K leaves: always the most-populated leaf (ties ->
+    // lowest leaf id), by count at the median of the longest center
+    // axis. A median-by-count split works even when every center is
+    // identical, so K > occupied-cells simply produces empty leaves
+    // once counts reach 0/1.
+    while (leaves.size() < static_cast<size_t>(shards)) {
+        size_t pick = 0;
+        for (size_t l = 1; l < leaves.size(); ++l)
+            if (leaves[l].count() > leaves[pick].count())
+                pick = l;
+        Leaf leaf = leaves[pick];
+        const size_t half = leaf.count() / 2;
+        const int axis = longestAxis(leaf.centers);
+        uint32_t *base = idx.data() + leaf.begin;
+        std::nth_element(
+            base, base + half, base + leaf.count(),
+            [&](uint32_t a, uint32_t b) {
+                const uint32_t ca =
+                    orderedBits(axisCoord(model.position(a), axis));
+                const uint32_t cb =
+                    orderedBits(axisCoord(model.position(b), axis));
+                // Global index breaks coordinate ties so the partition
+                // never depends on nth_element's internal order.
+                return ca < cb || (ca == cb && a < b);
+            });
+        Leaf lo{leaf.begin, leaf.begin + half,
+                centerBounds(model, base, half)};
+        Leaf hi{leaf.begin + half, leaf.end,
+                centerBounds(model, base + half, leaf.count() - half)};
+        leaves[pick] = lo;
+        leaves.push_back(hi);
+    }
+
+    ShardPartition part;
+    part.cells.resize(leaves.size());
+    for (size_t l = 0; l < leaves.size(); ++l) {
+        ShardCell &cell = part.cells[l];
+        cell.members.assign(idx.begin() + leaves[l].begin,
+                            idx.begin() + leaves[l].end);
+        std::sort(cell.members.begin(), cell.members.end());
+        bool unbounded = false;
+        for (uint32_t g : cell.members) {
+            // Bounds must contain the member's cull sphere, not just
+            // its center — see the routing-safety argument in the
+            // file comment.
+            const float r = cullBoundingRadius(model, g);
+            const Vec3 &p = model.position(g);
+            if (!(std::isfinite(p.x) && std::isfinite(p.y)
+                  && std::isfinite(p.z) && std::isfinite(r))) {
+                // frustumCull conservatively KEEPS non-finite rows
+                // (every plane reject compares false), but
+                // Aabb::extend would silently drop a NaN point — so
+                // the cell must become unprunable instead.
+                unbounded = true;
+                continue;
+            }
+            cell.bounds.extend(p - Vec3{r, r, r});
+            cell.bounds.extend(p + Vec3{r, r, r});
+        }
+        if (unbounded) {
+            constexpr float m = std::numeric_limits<float>::max();
+            cell.bounds.lo = Vec3{-m, -m, -m};
+            cell.bounds.hi = Vec3{m, m, m};
+        }
+    }
+    return part;
+}
+
+} // namespace clm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Spatial model sharding: recursive median split of the Gaussians into K
+ * shards by their world-space centers — the partition step of the
+ * multi-worker serving scale-out (ROADMAP). Each shard records its member
+ * indices (ascending) plus a conservative world AABB that contains every
+ * member's kCullSigma bounding sphere, the same sphere frustumCull()
+ * tests first. That containment is what lets the ShardRouter prune a
+ * shard against a request frustum without ever changing the rendered
+ * image: a shard AABB fully outside a frustum plane implies every member
+ * sphere is outside that plane, so the exact per-Gaussian cull would
+ * have rejected all of them anyway.
+ *
+ * The split is by *count* (nth_element at n/2, ties broken by global
+ * index), not by coordinate value, so it is deterministic, always
+ * balances within one Gaussian, and degenerates gracefully when many
+ * Gaussians share a center (K > occupied cells just yields empty
+ * shards). K is arbitrary (not only powers of two): the leaf with the
+ * most members is split until K leaves exist.
+ */
+
+#ifndef CLM_SHARD_PARTITIONER_HPP
+#define CLM_SHARD_PARTITIONER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "gaussian/model.hpp"
+#include "math/aabb.hpp"
+
+namespace clm {
+
+/** One spatial cell of the partition. */
+struct ShardCell
+{
+    /** Member Gaussian indices into the source model, ascending. */
+    std::vector<uint32_t> members;
+
+    /** Conservative world bounds: contains every member's kCullSigma
+     *  bounding sphere (empty when the cell has no members). */
+    Aabb bounds;
+};
+
+/** A K-way spatial partition of a model (shards are disjoint and cover
+ *  every Gaussian; some may be empty when K exceeds what the spatial
+ *  distribution can occupy). */
+struct ShardPartition
+{
+    std::vector<ShardCell> cells;
+
+    size_t shardCount() const { return cells.size(); }
+};
+
+/**
+ * Partition @p model into exactly @p shards cells by recursive median
+ * split over the Gaussian centers (see file comment). Deterministic:
+ * depends only on the model parameters and @p shards — non-finite
+ * coordinates included (the split comparator totally orders float bit
+ * patterns, so NaN never breaks the strict weak ordering). A cell
+ * holding any member with a non-finite center or cull radius gets the
+ * full-range AABB: frustumCull conservatively *keeps* such rows, so
+ * their shard must never be prunable.
+ */
+ShardPartition partitionModel(const GaussianModel &model, int shards);
+
+} // namespace clm
+
+#endif // CLM_SHARD_PARTITIONER_HPP

@@ -1,0 +1,56 @@
+#include "shard/router.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace clm {
+
+bool
+shardMayIntersect(const Frustum &frustum, const Aabb &box)
+{
+    if (box.empty())
+        return false;
+    for (int j = 0; j < 6; ++j) {
+        const Plane &pl = frustum.plane(j);
+        // Most-positive vertex along the plane normal: if even it is
+        // clearly below the plane, the whole box (and so every member
+        // cull sphere inside it) is outside the frustum.
+        const Vec3 v{
+            pl.n.x >= 0.0f ? box.hi.x : box.lo.x,
+            pl.n.y >= 0.0f ? box.hi.y : box.lo.y,
+            pl.n.z >= 0.0f ? box.hi.z : box.lo.z,
+        };
+        const float dist = pl.n.dot(v) + pl.d;
+        const float margin =
+            kShardRouteEps
+            * (std::fabs(pl.n.x * v.x) + std::fabs(pl.n.y * v.y)
+               + std::fabs(pl.n.z * v.z) + std::fabs(pl.d));
+        if (dist < -margin)
+            return false;
+    }
+    return true;
+}
+
+ShardRouter::ShardRouter(const ShardedSnapshot &snapshot)
+{
+    bounds_.reserve(snapshot.shards.size());
+    for (const ModelShard &s : snapshot.shards)
+        bounds_.push_back(s.bounds);
+}
+
+ShardRouter::ShardRouter(std::vector<Aabb> bounds)
+    : bounds_(std::move(bounds))
+{
+}
+
+void
+ShardRouter::route(const Frustum &frustum,
+                   std::vector<uint32_t> &selected) const
+{
+    selected.clear();
+    for (size_t s = 0; s < bounds_.size(); ++s)
+        if (shardMayIntersect(frustum, bounds_[s]))
+            selected.push_back(static_cast<uint32_t>(s));
+}
+
+} // namespace clm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Frustum-routed shard selection: intersect a request's view frustum
+ * with the shards' world AABBs and return the candidate shards the
+ * request must render. Routing is *conservative with an explicit error
+ * budget* (the same idiom as the cull prefilter in render/batch.hpp): a
+ * shard is pruned only when its AABB clears a frustum plane by more
+ * than kShardRouteEps times the plane-distance term magnitudes. Because
+ * each shard AABB contains every member's cull bounding sphere
+ * (shard/partitioner.hpp), an AABB provably outside a plane means every
+ * member sphere is outside it, so frustumCull() would have rejected all
+ * members anyway — pruning can drop per-request work but can never
+ * change the rendered image.
+ *
+ * False positives (a shard routed whose members all cull away) are
+ * harmless: the per-shard cull returns empty and the renderer skips it.
+ */
+
+#ifndef CLM_SHARD_ROUTER_HPP
+#define CLM_SHARD_ROUTER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "math/aabb.hpp"
+#include "math/frustum.hpp"
+#include "shard/sharded_snapshot.hpp"
+
+namespace clm {
+
+/**
+ * Relative error budget of the routing plane test: a shard may be
+ * pruned only when the AABB's most-positive vertex is below the plane
+ * by more than kShardRouteEps times the distance's term magnitudes
+ * (|n_k v_k| per component, plus |d|). The true float-evaluation
+ * difference between the AABB corner distance and the member sphere
+ * distances it bounds is a few ulp (~1e-7 relative), so 1e-4
+ * over-covers it by ~1000x; anything closer to the boundary stays
+ * routed and the exact per-Gaussian cull decides.
+ */
+constexpr float kShardRouteEps = 1e-4f;
+
+/**
+ * True when @p box may intersect @p frustum under the kShardRouteEps
+ * margin (see file comment). Empty boxes never intersect.
+ */
+bool shardMayIntersect(const Frustum &frustum, const Aabb &box);
+
+/**
+ * Routes requests to shards by frustum/AABB intersection. Holds copies
+ * of the shard bounds, so a router stays valid independently of the
+ * snapshot it was built from (workers rebuild per acquired snapshot —
+ * the copy is K AABBs, trivially cheap).
+ */
+class ShardRouter
+{
+  public:
+    ShardRouter() = default;
+
+    /** Build over @p snapshot's shard bounds. */
+    explicit ShardRouter(const ShardedSnapshot &snapshot);
+
+    /** Build over explicit bounds (tests). */
+    explicit ShardRouter(std::vector<Aabb> bounds);
+
+    /** Shard ids whose AABB may intersect @p frustum, ascending,
+     *  written into @p selected (cleared first; reusable buffer for
+     *  hot-loop callers). */
+    void route(const Frustum &frustum,
+               std::vector<uint32_t> &selected) const;
+
+    size_t shardCount() const { return bounds_.size(); }
+    const Aabb &bounds(size_t s) const { return bounds_[s]; }
+
+  private:
+    std::vector<Aabb> bounds_;
+};
+
+} // namespace clm
+
+#endif // CLM_SHARD_ROUTER_HPP

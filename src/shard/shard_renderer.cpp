@@ -1,0 +1,253 @@
+#include "shard/shard_renderer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "render/compositor.hpp"
+#include "render/culling.hpp"
+#include "render/projection.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace clm {
+
+namespace {
+
+/** Run @p body over [0, n), through the pool when worthwhile (the
+ *  shared poolForRange policy with the single-view pipeline's
+ *  per-subset-entry threshold). */
+template <typename Body>
+void
+forRange(size_t n, bool parallel, const Body &body)
+{
+    poolForRange(n, parallel, kMinParallelSubset, body);
+}
+
+} // namespace
+
+size_t
+ShardRenderArena::ShardScratch::bytes() const
+{
+    size_t b = subset.capacity() * sizeof(uint32_t);
+    b += projected.capacity() * sizeof(ProjectedGaussian);
+    b += binning.bytes();
+    b += isect_vals.capacity() * sizeof(uint32_t);
+    b += tile_ranges.capacity() * sizeof(TileRange);
+    b += global_pos.capacity() * sizeof(uint32_t);
+    return b;
+}
+
+size_t
+ShardRenderArena::footprintBytes() const
+{
+    size_t b = out.activationBytes();
+    for (const ShardScratch &s : shards)
+        b += s.bytes();
+    b += (alpha_cut.capacity() + row_k.capacity()) * sizeof(float);
+    b += depth_bits.capacity() * sizeof(uint32_t);
+    for (const TileStage &st : stages)
+        b += st.bytes();
+    b += route.capacity() * sizeof(uint32_t);
+    b += merge_cursors.capacity() * sizeof(size_t);
+    return b;
+}
+
+const RenderOutput &
+renderForwardSharded(const ShardedSnapshot &snapshot,
+                     const std::vector<uint32_t> &shard_ids,
+                     const Camera &camera, const RenderConfig &cfg,
+                     ShardRenderArena &arena)
+{
+    CLM_ASSERT(cfg.tile_size > 0, "bad tile size");
+    const size_t S = shard_ids.size();
+    for (size_t s = 0; s < S; ++s) {
+        CLM_ASSERT(shard_ids[s] < snapshot.shardCount(),
+                   "shard id out of range");
+        CLM_ASSERT(s == 0 || shard_ids[s] > shard_ids[s - 1],
+                   "shard ids must be ascending and unique");
+    }
+
+    const int w = camera.width();
+    const int h = camera.height();
+    const TileGrid grid = TileGrid::forImage(w, h, cfg.tile_size);
+
+    RenderOutput &out = arena.out;
+    out.image.resetUnfilled(w, h);
+    out.final_t.resize(static_cast<size_t>(w) * h);
+    out.n_contrib.resize(static_cast<size_t>(w) * h);
+    out.tiles_x = grid.tiles_x;
+    out.tiles_y = grid.tiles_y;
+
+    if (arena.shards.size() < S)
+        arena.shards.resize(S);
+
+    // --- 1. Per-shard single-view stages: cull, project, bin — the
+    // exact pipeline renderForward runs, over the compact shard model.
+    // The footprint index is rewritten to the *global* Gaussian index
+    // so the assembled activation state matches the unsharded one.
+    size_t total = 0;
+    for (size_t s = 0; s < S; ++s) {
+        ShardRenderArena::ShardScratch &sh = arena.shards[s];
+        const ModelShard &shard = snapshot.shards[shard_ids[s]];
+        frustumCull(shard.model, camera, sh.subset);
+        const size_t ns = sh.subset.size();
+        total += ns;
+        sh.projected.resize(ns);
+        forRange(ns, cfg.parallel, [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+                ProjectedGaussian p = projectGaussian(
+                    shard.model, sh.subset[i], camera, cfg.sh_degree);
+                p.index = shard.global_indices[sh.subset[i]];
+                sh.projected[i] = p;
+            }
+        });
+        buildTileIntersections(sh.projected, grid, cfg.alpha_min,
+                               cfg.exact_tile_bounds, cfg.parallel,
+                               sh.binning, sh.isect_vals,
+                               sh.tile_ranges);
+    }
+    CLM_ASSERT(total <= std::numeric_limits<uint32_t>::max(),
+               "sharded subset overflows 32-bit positions");
+
+    // --- 2. Global subset assembly: k-way merge of the shards'
+    // (ascending, disjoint) global index lists. Footprints land at
+    // their global subset position — the order frustumCull on the base
+    // model yields — and each shard records its local->global position
+    // map for the intersection merge below.
+    out.projected.resize(total);
+    std::vector<size_t> &cur = arena.merge_cursors;
+    cur.assign(S, 0);
+    for (size_t s = 0; s < S; ++s)
+        arena.shards[s].global_pos.resize(arena.shards[s].subset.size());
+    for (size_t gp = 0; gp < total; ++gp) {
+        size_t pick = S;
+        uint32_t best = std::numeric_limits<uint32_t>::max();
+        for (size_t s = 0; s < S; ++s) {
+            const ShardRenderArena::ShardScratch &sh = arena.shards[s];
+            if (cur[s] >= sh.subset.size())
+                continue;
+            const uint32_t g = sh.projected[cur[s]].index;
+            if (pick == S || g < best) {
+                pick = s;
+                best = g;
+            }
+        }
+        CLM_ASSERT(pick < S, "global merge ran dry early");
+        ShardRenderArena::ShardScratch &sh = arena.shards[pick];
+        sh.global_pos[cur[pick]] = static_cast<uint32_t>(gp);
+        out.projected[gp] = sh.projected[cur[pick]];
+        ++cur[pick];
+    }
+
+    // Per-global-entry compositing cuts and depth keys — the cuts
+    // through the same expressions as renderForward (bit for bit), the
+    // depth keys for the stable intersection merge.
+    computeAlphaCutPowers(out.projected, cfg.alpha_min, cfg.parallel,
+                          arena.alpha_cut, arena.row_k);
+    arena.depth_bits.resize(total);
+    forRange(total, cfg.parallel, [&](size_t begin, size_t end) {
+        for (size_t gp = begin; gp < end; ++gp)
+            arena.depth_bits[gp] = depthBits(out.projected[gp].depth);
+    });
+
+    // --- 3. Reconstruct the global front-to-back order: per tile,
+    // k-way merge the shards' sorted runs by (depth_bits, global
+    // position). Within a shard a run is sorted by (depth, local
+    // position) and local->global is monotone, so this merge is
+    // exactly the unique stable sort the unsharded radix sort
+    // produces. Global positions are unique across shards, so the
+    // packed (depth << 32 | gp) compare is total.
+    const size_t n_tiles = grid.tileCount();
+    out.tile_ranges.resize(n_tiles);
+    size_t total_isect = 0;
+    for (size_t t = 0; t < n_tiles; ++t) {
+        TileRange r;
+        r.begin = static_cast<uint32_t>(total_isect);
+        for (size_t s = 0; s < S; ++s)
+            total_isect += arena.shards[s].tile_ranges[t].size();
+        CLM_ASSERT(total_isect <= std::numeric_limits<uint32_t>::max(),
+                   "sharded intersections overflow 32-bit ranges");
+        r.end = static_cast<uint32_t>(total_isect);
+        out.tile_ranges[t] = r;
+    }
+    out.isect_vals.resize(total_isect);
+
+    auto merge_tiles = [&](size_t t0, size_t t1) {
+        std::vector<uint32_t> heads(S);
+        for (size_t t = t0; t < t1; ++t) {
+            uint32_t o = out.tile_ranges[t].begin;
+            for (size_t s = 0; s < S; ++s)
+                heads[s] = arena.shards[s].tile_ranges[t].begin;
+            while (o < out.tile_ranges[t].end) {
+                size_t pick = S;
+                uint64_t best = 0;
+                for (size_t s = 0; s < S; ++s) {
+                    const ShardRenderArena::ShardScratch &sh =
+                        arena.shards[s];
+                    if (heads[s] >= sh.tile_ranges[t].end)
+                        continue;
+                    const uint32_t gp =
+                        sh.global_pos[sh.isect_vals[heads[s]]];
+                    const uint64_t key =
+                        (static_cast<uint64_t>(arena.depth_bits[gp])
+                         << 32)
+                        | gp;
+                    if (pick == S || key < best) {
+                        pick = s;
+                        best = key;
+                    }
+                }
+                CLM_ASSERT(pick < S, "tile merge ran dry early");
+                out.isect_vals[o++] = static_cast<uint32_t>(best);
+                ++heads[pick];
+            }
+        }
+    };
+    if (cfg.parallel && n_tiles > 1 && total_isect >= kMinParallelSubset)
+        ThreadPool::global().parallelFor(
+            n_tiles,
+            [&](size_t begin, size_t end) { merge_tiles(begin, end); });
+    else
+        merge_tiles(0, n_tiles);
+
+    // --- 4. Composite through the shared per-tile kernels, exactly as
+    // renderForward does (tiles touch disjoint pixels; the chunking
+    // cannot change results).
+    size_t n_chunks = 1;
+    if (cfg.parallel && n_tiles > 1)
+        n_chunks = std::min<size_t>(
+            n_tiles,
+            static_cast<size_t>(ThreadPool::global().threads()) * 2);
+    const size_t tiles_per_chunk = (n_tiles + n_chunks - 1) / n_chunks;
+    if (arena.stages.size() < n_chunks)
+        arena.stages.resize(n_chunks);
+    auto composite_chunk = [&](size_t c) {
+        const size_t t0 = c * tiles_per_chunk;
+        const size_t t1 = std::min(t0 + tiles_per_chunk, n_tiles);
+        detail::compositeTileRange(cfg, grid, arena.alpha_cut,
+                                   arena.row_k, arena.stages[c], t0, t1,
+                                   out);
+    };
+    if (n_chunks > 1) {
+        ThreadPool::global().parallelFor(
+            n_chunks, [&](size_t begin, size_t end) {
+                for (size_t c = begin; c < end; ++c)
+                    composite_chunk(c);
+            });
+    } else {
+        composite_chunk(0);
+    }
+    return out;
+}
+
+const RenderOutput &
+renderForwardSharded(const ShardedSnapshot &snapshot, const Camera &camera,
+                     const RenderConfig &cfg, ShardRenderArena &arena)
+{
+    std::vector<uint32_t> all(snapshot.shardCount());
+    for (size_t s = 0; s < all.size(); ++s)
+        all[s] = static_cast<uint32_t>(s);
+    return renderForwardSharded(snapshot, all, camera, cfg, arena);
+}
+
+} // namespace clm

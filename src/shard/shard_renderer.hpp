@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Exact sharded forward rendering: compose per-shard rasterization
+ * results into a frame that is *bitwise identical* to unsharded
+ * renderForward() for any shard count, in SIMD and scalar builds alike.
+ *
+ * Each selected shard runs the existing single-view stages over its
+ * compact model — frustumCull, projection, and the flat key-sorted
+ * binning of render/binning.hpp — producing its own
+ * (tile << 32 | depth) key-sorted intersection buffer. The global
+ * front-to-back order is then reconstructed exactly:
+ *
+ *  1. The per-shard in-frustum subsets (mapped to global indices) are
+ *     k-way merged into the global subset — precisely the set and order
+ *     frustumCull(base_model, camera) would return, because shard rows
+ *     are bitwise copies and the cull predicate is per-row.
+ *  2. Per-shard projected footprints are placed at their global subset
+ *     positions (projection is a pure per-row function, so the values
+ *     are the bits renderForward would have computed).
+ *  3. Each tile's per-shard sorted runs are k-way merged by
+ *     (depth_bits, global subset position). Within a shard a tile run
+ *     is sorted by (depth, local position) and the local->global
+ *     position map is monotone, so the merge yields exactly the unique
+ *     stable sort of the global keys — the same tie-breaking (depth,
+ *     then subset position) the single radix sort produces.
+ *  4. Compositing runs the shared render/compositor kernels over the
+ *     merged ranges — the same kernels, same staged inputs, same bits.
+ *
+ * Shards pruned by the ShardRouter contribute nothing, and by the
+ * router's conservation argument their members would have failed the
+ * exact cull anyway — so routing changes work, never pixels.
+ */
+
+#ifndef CLM_SHARD_SHARD_RENDERER_HPP
+#define CLM_SHARD_SHARD_RENDERER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "render/arena.hpp"
+#include "render/camera.hpp"
+#include "render/rasterizer.hpp"
+#include "shard/sharded_snapshot.hpp"
+
+namespace clm {
+
+/**
+ * Reusable scratch + output of the sharded pipeline (one per
+ * concurrently serving worker, like RenderArena). The assembled global
+ * activation state lands in `out` exactly as renderForward would have
+ * produced it.
+ */
+class ShardRenderArena
+{
+  public:
+    /** Assembled global forward activation state (bitwise identical to
+     *  unsharded renderForward into an arena). */
+    RenderOutput out;
+
+    /** @name Per-selected-shard scratch (contents are garbage between
+     *  calls; slot s serves the s-th *selected* shard of the call) */
+    /// @{
+    struct ShardScratch
+    {
+        std::vector<uint32_t> subset;     //!< Local in-frustum indices.
+        std::vector<ProjectedGaussian> projected;
+        BinningScratch binning;
+        std::vector<uint32_t> isect_vals; //!< Local key-sorted buffer.
+        std::vector<TileRange> tile_ranges;
+        /** Local subset position -> global subset position. */
+        std::vector<uint32_t> global_pos;
+
+        size_t bytes() const;
+    };
+    std::vector<ShardScratch> shards;
+    /// @}
+
+    /** @name Global assembly scratch */
+    /// @{
+    std::vector<float> alpha_cut;      //!< Per-global-entry cuts.
+    std::vector<float> row_k;
+    std::vector<uint32_t> depth_bits;  //!< Per-global-entry depth key.
+    std::vector<TileStage> stages;     //!< Per-chunk compositing stage.
+    std::vector<uint32_t> route;       //!< Router output scratch.
+    std::vector<size_t> merge_cursors; //!< Global-merge head positions.
+    /// @}
+
+    /** Approximate bytes held (activation state + all scratch). */
+    size_t footprintBytes() const;
+};
+
+/**
+ * Render @p camera's view from the shards listed in @p shard_ids
+ * (ascending ids into @p snapshot.shards — e.g. from
+ * ShardRouter::route()). Results land in @p arena.out and are bitwise
+ * identical to renderForward(base, camera, frustumCull(base, camera))
+ * whenever @p shard_ids includes every shard whose members the exact
+ * cull would select — which any ShardRouter selection does. The
+ * returned reference aliases @p arena.out.
+ */
+const RenderOutput &
+renderForwardSharded(const ShardedSnapshot &snapshot,
+                     const std::vector<uint32_t> &shard_ids,
+                     const Camera &camera, const RenderConfig &config,
+                     ShardRenderArena &arena);
+
+/** Convenience overload rendering ALL shards (no routing). */
+const RenderOutput &
+renderForwardSharded(const ShardedSnapshot &snapshot, const Camera &camera,
+                     const RenderConfig &config, ShardRenderArena &arena);
+
+} // namespace clm
+
+#endif // CLM_SHARD_SHARD_RENDERER_HPP

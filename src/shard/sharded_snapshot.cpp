@@ -1,0 +1,92 @@
+#include "shard/sharded_snapshot.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace clm {
+
+size_t
+ShardedSnapshot::totalGaussians() const
+{
+    size_t n = 0;
+    for (const ModelShard &s : shards)
+        n += s.model.size();
+    return n;
+}
+
+std::shared_ptr<const ShardedSnapshot>
+buildShardedSnapshot(std::shared_ptr<const ModelSnapshot> base, int shards)
+{
+    CLM_ASSERT(base != nullptr, "cannot shard a null snapshot");
+    auto out = std::make_shared<ShardedSnapshot>();
+    const GaussianModel &model = base->model;
+
+    ShardPartition part = partitionModel(model, shards);
+    out->shards.resize(part.cells.size());
+    for (size_t s = 0; s < part.cells.size(); ++s) {
+        ModelShard &shard = out->shards[s];
+        shard.global_indices = std::move(part.cells[s].members);
+        shard.bounds = part.cells[s].bounds;
+        // Compact row copies: every attribute is copied bit for bit, so
+        // per-shard culling/projection sees exactly the base model's
+        // rows (the exactness argument of shard/shard_renderer.hpp
+        // starts here).
+        const size_t n = shard.global_indices.size();
+        shard.model.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+            const size_t g = shard.global_indices[i];
+            shard.model.position(i) = model.position(g);
+            shard.model.logScale(i) = model.logScale(g);
+            shard.model.rotation(i) = model.rotation(g);
+            std::memcpy(shard.model.sh(i), model.sh(g),
+                        kShDim * sizeof(float));
+            shard.model.rawOpacity(i) = model.rawOpacity(g);
+        }
+    }
+    out->base = std::move(base);
+    return out;
+}
+
+ShardedSnapshotSlot::ShardedSnapshotSlot(int shards) : shards_(shards)
+{
+    CLM_ASSERT(shards >= 1, "need at least one shard");
+}
+
+void
+ShardedSnapshotSlot::publish(std::shared_ptr<const ModelSnapshot> base)
+{
+    if (!base)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (current_ && current_->base
+            && current_->base->version == base->version)
+            return;    // same published state: the partition is current
+    }
+    // Re-partition outside the lock (readers keep serving the previous
+    // sharded snapshot untouched); publish() is single-caller like
+    // SnapshotSlot::publish, so no competing rebuild can interleave.
+    std::shared_ptr<const ShardedSnapshot> built =
+        buildShardedSnapshot(std::move(base), shards_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = std::move(built);
+}
+
+std::shared_ptr<const ShardedSnapshot>
+ShardedSnapshotSlot::acquire() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_;
+}
+
+uint64_t
+ShardedSnapshotSlot::version() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_ && current_->base ? current_->base->version : 0;
+}
+
+} // namespace clm

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Sharded model snapshots: the serving-side representation of a spatial
+ * partition. A ShardedSnapshot is carved from one immutable
+ * ModelSnapshot (serve/snapshot.hpp) — per-shard global index lists
+ * plus *compact* per-shard models whose rows are bitwise copies of the
+ * base model's rows — so each shard can be culled, projected and binned
+ * against only its own slice of the scene, bounding the per-request
+ * working set the way city-scale splatting systems partition scenes
+ * into spatial cells.
+ *
+ * Rebuilds happen once per publish, not per request: the
+ * ShardedSnapshotSlot keeps the partition of the base snapshot version
+ * it was built from and re-partitions only when the version changes
+ * (publishing the same ModelSnapshot twice is a no-op). Readers acquire
+ * by shared_ptr exactly like ModelSnapshot readers and can keep
+ * rendering from a retired sharded snapshot for as long as they like.
+ */
+
+#ifndef CLM_SHARD_SHARDED_SNAPSHOT_HPP
+#define CLM_SHARD_SHARDED_SNAPSHOT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/snapshot.hpp"
+#include "shard/partitioner.hpp"
+
+namespace clm {
+
+/** One spatial shard of a published model. */
+struct ModelShard
+{
+    /** Member rows in the base model, ascending. local row i of
+     *  `model` is global row `global_indices[i]`. */
+    std::vector<uint32_t> global_indices;
+
+    /** Compact model holding exactly the member rows (bitwise copies),
+     *  in global_indices order. */
+    GaussianModel model;
+
+    /** Conservative world bounds of every member's cull sphere (see
+     *  shard/partitioner.hpp); empty for an empty shard. */
+    Aabb bounds;
+};
+
+/** An immutable K-way sharding of one published ModelSnapshot. */
+struct ShardedSnapshot
+{
+    /** The base snapshot the shards were carved from (version,
+     *  param_hash and train_step provide response provenance). */
+    std::shared_ptr<const ModelSnapshot> base;
+
+    std::vector<ModelShard> shards;
+
+    size_t shardCount() const { return shards.size(); }
+
+    /** Total Gaussians across all shards (== base->model.size()). */
+    size_t totalGaussians() const;
+};
+
+/**
+ * Carve @p base into @p shards spatial shards (partitionModel() over
+ * the base model, then compact row copies). Deterministic.
+ */
+std::shared_ptr<const ShardedSnapshot>
+buildShardedSnapshot(std::shared_ptr<const ModelSnapshot> base,
+                     int shards);
+
+/**
+ * Single-publisher / multi-reader slot of the current ShardedSnapshot,
+ * mirroring SnapshotSlot. publish() re-partitions only when the base
+ * snapshot version changed since the last build; acquire() is safe
+ * from any number of threads.
+ */
+class ShardedSnapshotSlot
+{
+  public:
+    explicit ShardedSnapshotSlot(int shards);
+
+    /** Shard count every published snapshot is carved into. */
+    int shards() const { return shards_; }
+
+    /** Rebuild from @p base if its version differs from the current
+     *  sharded snapshot's base version (no-op otherwise, so calling at
+     *  every publish point costs one version compare between model
+     *  changes). Ignores nullptr. */
+    void publish(std::shared_ptr<const ModelSnapshot> base);
+
+    /** The current sharded snapshot; nullptr before the first
+     *  publish(). */
+    std::shared_ptr<const ShardedSnapshot> acquire() const;
+
+    /** Base snapshot version of the current sharded snapshot (0 before
+     *  the first publish). */
+    uint64_t version() const;
+
+  private:
+    const int shards_;
+    mutable std::mutex mutex_;
+    std::shared_ptr<const ShardedSnapshot> current_;
+};
+
+} // namespace clm
+
+#endif // CLM_SHARD_SHARDED_SNAPSHOT_HPP

@@ -64,6 +64,26 @@ class ThreadPool
     bool stop_ = false;
 };
 
+/**
+ * Threshold-gated dispatch shared by the per-entry render passes: run
+ * @p body over [0, n) through the global pool when @p parallel and the
+ * item count makes forking worthwhile, else inline on the caller. ONE
+ * definition of the policy — callers pick their threshold constant —
+ * so the batched and sharded pipelines cannot drift apart. Only valid
+ * for bodies whose items are independent (any split is bitwise
+ * neutral).
+ */
+template <typename Body>
+inline void
+poolForRange(size_t n, bool parallel, size_t min_parallel,
+             const Body &body)
+{
+    if (parallel && n >= min_parallel)
+        ThreadPool::global().parallelFor(n, body);
+    else
+        body(0, n);
+}
+
 } // namespace clm
 
 #endif // CLM_UTIL_THREAD_POOL_HPP

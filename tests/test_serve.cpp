@@ -81,6 +81,72 @@ TEST(FrustumCullBatch, MatchesPerViewCullExactly)
     }
 }
 
+TEST(FrustumCullBatch, SnapshotScopedCullCacheIsBitwiseNeutral)
+{
+    // Satellite of the sharding PR: passing the same non-zero cache
+    // key again must skip the shared SoA rebuild (the stage is a pure
+    // function of the model) without changing any membership; a new
+    // key over a *changed* model must invalidate and rebuild.
+    BatchFixture fix;
+    std::vector<Camera> cams(fix.cameras.begin(), fix.cameras.begin() + 3);
+    BatchCullScratch cached, fresh;
+    std::vector<std::vector<uint32_t>> a, b, c;
+
+    frustumCullBatch(fix.model, cams, cached, a, true, /*cache_key=*/7);
+    EXPECT_EQ(cached.cached_key, 7u);
+    // Poison detector: a cached second call must not touch the stage
+    // (same key + size), and must produce identical subsets.
+    const std::vector<float> stage_before = cached.neg_thresh;
+    frustumCullBatch(fix.model, cams, cached, b, true, /*cache_key=*/7);
+    EXPECT_EQ(cached.neg_thresh, stage_before);
+    EXPECT_EQ(a, b);
+    for (size_t v = 0; v < cams.size(); ++v)
+        EXPECT_EQ(a[v], frustumCull(fix.model, cams[v]));
+
+    // Model changed, key advanced: results must track the new model.
+    GaussianModel moved = fix.model;
+    for (size_t i = 0; i < moved.size(); ++i)
+        moved.position(i).x += 3.0f;
+    frustumCullBatch(moved, cams, cached, c, true, /*cache_key=*/8);
+    EXPECT_EQ(cached.cached_key, 8u);
+    std::vector<std::vector<uint32_t>> ref;
+    frustumCullBatch(moved, cams, fresh, ref);
+    EXPECT_EQ(c, ref);
+
+    // Key 0 untags: the next keyed call cannot falsely hit.
+    frustumCullBatch(fix.model, cams, cached, b, true, /*cache_key=*/0);
+    EXPECT_EQ(cached.cached_key, 0u);
+    EXPECT_EQ(b, a);
+}
+
+TEST(ServeStats, LatencyReservoirSlotsAreDeterministic)
+{
+    // Satellite: reservoir membership is a pure function of
+    // (seed, observation index), so benched p50/p99 are reproducible
+    // run-to-run — no shared-RNG draw order involved.
+    for (uint64_t seed : {uint64_t(0x5e12e), uint64_t(1), uint64_t(42)}) {
+        size_t hits = 0;
+        for (uint64_t i = 4097; i < 8192; ++i) {
+            const uint64_t j = latencyReservoirSlot(seed, i);
+            EXPECT_EQ(j, latencyReservoirSlot(seed, i));    // pure
+            EXPECT_LT(j, i);                                // in range
+            if (j < 4096)
+                ++hits;
+        }
+        // Algorithm R keeps the sample uniform: the acceptance rate
+        // over indices (R, 2R] is ~R * (H(2R) - H(R)) ≈ R ln 2 — allow
+        // generous slack, this is a sanity band, not a statistics test.
+        EXPECT_GT(hits, 4096 * 0.55);
+        EXPECT_LT(hits, 4096 * 0.85);
+    }
+    // Different seeds sample different index sets (the seed matters).
+    size_t differs = 0;
+    for (uint64_t i = 4097; i < 4197; ++i)
+        if (latencyReservoirSlot(1, i) != latencyReservoirSlot(2, i))
+            ++differs;
+    EXPECT_GT(differs, 50u);
+}
+
 TEST(FrustumCullBatch, SerialAndParallelIdentical)
 {
     BatchFixture fix;
