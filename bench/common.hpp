@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "math/rng.hpp"
-#include "math/simd.hpp"
+#include "math/simd_backend.hpp"
 #include "util/thread_pool.hpp"
 #include "offload/frustum_sets.hpp"
 #include "offload/planner.hpp"
@@ -151,9 +151,11 @@ fmtMillions(double n, int digits = 1)
 /**
  * Machine/build context block for BENCH_*.json files, so recorded perf
  * points are comparable across runs: worker-thread count (and whether
- * CLM_THREADS pinned it), compiler, SIMD backend and whether the build
- * disabled SIMD (-DCLM_DISABLE_SIMD=ON). Emitted as a `"context": {...},`
- * line inside the top-level JSON object.
+ * CLM_THREADS pinned it), compiler, the compile-time SIMD baseline
+ * (`"simd"`), the runtime-dispatched kernel backend actually executing
+ * (`"simd_dispatch"` — CPUID choice, or the CLM_SIMD override), and
+ * whether the build disabled SIMD (-DCLM_DISABLE_SIMD=ON). Emitted as a
+ * `"context": {...},` line inside the top-level JSON object.
  */
 inline void
 writeJsonContext(std::ostream &f)
@@ -173,7 +175,8 @@ writeJsonContext(std::ostream &f)
 #else
       << "unknown"
 #endif
-      << "\", \"simd\": \"" << simdIsaName() << "\", \"simd_disabled\": "
+      << "\", \"simd\": \"" << simdIsaName() << "\", \"simd_dispatch\": \""
+      << simdDispatchName() << "\", \"simd_disabled\": "
       << (kSimdDisabled ? "true" : "false") << ", \"build\": \""
 #ifdef NDEBUG
       << "release"
@@ -181,6 +184,16 @@ writeJsonContext(std::ostream &f)
       << "debug"
 #endif
       << "\"},\n";
+}
+
+/** The matching one-line console context ("(threads: N, simd: ...)"),
+ *  so every bench binary reports the same facts the same way. */
+inline std::string
+contextLine()
+{
+    return "(threads: " + std::to_string(ThreadPool::global().threads())
+         + ", simd: " + simdDispatchName() + ", build baseline: "
+         + simdIsaName() + ")";
 }
 
 } // namespace clm::bench

@@ -278,9 +278,7 @@ main(int argc, char **argv)
     }
 
     std::cout << "=== micro_serve: concurrent serving throughput ===\n"
-              << "(simd: " << simdIsaName()
-              << ", threads: " << ThreadPool::global().threads()
-              << ", 1 serve worker)\n\n";
+              << bench::contextLine() << " (1 serve worker)\n\n";
     Table table({"Case", "Gaussians", "WxH", "Subset", "Batch", "Req/s",
                  "p50 ms", "p99 ms", "MeanB", "vs b1"});
     std::vector<CaseResult> results;

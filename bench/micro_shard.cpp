@@ -305,9 +305,7 @@ main(int argc, char **argv)
     }
 
     std::cout << "=== micro_shard: frustum-routed sharded serving ===\n"
-              << "(simd: " << simdIsaName()
-              << ", threads: " << ThreadPool::global().threads()
-              << ", 1 serve worker)\n\n";
+              << bench::contextLine() << " (1 serve worker)\n\n";
     Table table({"Case", "Gaussians", "WxH", "Shards", "Req/s", "p50 ms",
                  "p99 ms", "Sel", "Pruned", "Bitwise"});
     std::vector<CaseResult> results;

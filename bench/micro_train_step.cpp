@@ -27,10 +27,12 @@
 
 #include "common.hpp"
 #include "gaussian/adam.hpp"
+#include "math/simd_backend.hpp"
 #include "render/arena.hpp"
 #include "render/culling.hpp"
 #include "render/loss.hpp"
 #include "render/rasterizer.hpp"
+#include "render/simd_kernels.hpp"
 #include "scene/camera_path.hpp"
 #include "scene/scene_spec.hpp"
 #include "scene/synthetic.hpp"
@@ -47,6 +49,15 @@ struct BenchCase
     std::string name;
     size_t n_gaussians;
     int width, height;
+};
+
+/** One forced-kernel-table rerun of the forward + backward pass. */
+struct BackendResult
+{
+    const char *name = "";
+    double raster_bwd_ms = 0;
+    bool forward_identical = true;     //!< Image bits vs first backend.
+    bool backward_identical = true;    //!< Gradient bits vs first backend.
 };
 
 struct BenchResult
@@ -68,6 +79,8 @@ struct BenchResult
     // Brute-force loss baseline (one call; 0 when skipped).
     double loss_ref_fwd_ms = 0;
     double loss_ref_bwd_ms = 0;
+    /** Forced-backend reruns (every table this CPU supports). */
+    std::vector<BackendResult> backends;
 
     double lossSpeedup() const
     {
@@ -76,6 +89,33 @@ struct BenchResult
         return sat > 0 && ref > 0 ? ref / sat : 0.0;
     }
 };
+
+/** FNV-1a over a raw byte range, chainable via @p h. */
+uint64_t
+fnv1a(const void *data, size_t bytes,
+      uint64_t h = 1469598103934665603ull)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** FNV-1a over every gradient buffer (bitwise comparison proxy). */
+uint64_t
+gradHash(const GaussianGrads &g)
+{
+    uint64_t h = fnv1a(g.d_position.data(),
+                       g.d_position.size() * sizeof(Vec3));
+    h = fnv1a(g.d_log_scale.data(), g.d_log_scale.size() * sizeof(Vec3),
+              h);
+    h = fnv1a(g.d_rotation.data(), g.d_rotation.size() * sizeof(Quat), h);
+    h = fnv1a(g.d_sh.data(), g.d_sh.size() * sizeof(float), h);
+    h = fnv1a(g.d_opacity.data(), g.d_opacity.size() * sizeof(float), h);
+    return h;
+}
 
 /** Run one config; reps adapt to hit ~min_seconds of stepping. */
 BenchResult
@@ -167,6 +207,49 @@ runCase(const BenchCase &cfg, double min_seconds, int max_reps,
         r.loss_ref_fwd_ms = rt.forward_s * 1e3;
         r.loss_ref_bwd_ms = rt.backward_s * 1e3;
     }
+
+    // Forced-backend sweep: rerun forward + backward under every kernel
+    // table this CPU supports and check the dispatch-invariance claim —
+    // the image and gradient bits must not depend on the backend.
+    {
+        const int backend_reps = max_reps > 1 ? 3 : 1;
+        auto subset = frustumCull(model, cam);
+        RenderConfig forced = render;
+        uint64_t ref_img = 0, ref_grad = 0;
+        bool have_ref = false;
+        for (int bi = 0; bi < kNumSimdBackends; ++bi) {
+            const RenderKernels *kern =
+                renderKernelsFor(static_cast<SimdBackend>(bi));
+            if (!kern)
+                continue;    // unsupported on this CPU / build
+            forced.kernels = kern;
+            BackendResult b;
+            b.name = kern->name;
+            uint64_t img = 0, gh = 0;
+            for (int rep = 0; rep < backend_reps; ++rep) {
+                const RenderOutput &out =
+                    renderForward(model, cam, subset, forced, arena);
+                computeLoss(out.image, gt, &d_image, loss_cfg, scratch);
+                grads.zero();
+                Timer t;
+                renderBackward(model, cam, forced, out, d_image, grads,
+                               arena);
+                b.raster_bwd_ms += t.millis();
+                img = fnv1a(out.image.data().data(),
+                            out.image.data().size() * sizeof(float));
+                gh = gradHash(grads);
+            }
+            b.raster_bwd_ms /= backend_reps;
+            if (!have_ref) {
+                ref_img = img;
+                ref_grad = gh;
+                have_ref = true;
+            }
+            b.forward_identical = img == ref_img;
+            b.backward_identical = gh == ref_grad;
+            r.backends.push_back(b);
+        }
+    }
     return r;
 }
 
@@ -198,7 +281,20 @@ writeJson(const std::string &path, const std::vector<BenchResult> &results,
           << ", \"step_ms\": " << r.step_ms
           << ", \"loss_ref_fwd_ms\": " << r.loss_ref_fwd_ms
           << ", \"loss_ref_bwd_ms\": " << r.loss_ref_bwd_ms
-          << ", \"loss_speedup\": " << r.lossSpeedup() << "}"
+          << ", \"loss_speedup\": " << r.lossSpeedup();
+        bool fwd_same = true, bwd_same = true;
+        f << ", \"raster_bwd_by_backend\": {";
+        for (size_t b = 0; b < r.backends.size(); ++b) {
+            const BackendResult &br = r.backends[b];
+            f << (b ? ", " : "") << "\"" << br.name
+              << "\": " << br.raster_bwd_ms;
+            fwd_same = fwd_same && br.forward_identical;
+            bwd_same = bwd_same && br.backward_identical;
+        }
+        f << "}, \"forward_bitwise_identical\": "
+          << (fwd_same ? "true" : "false")
+          << ", \"backward_bitwise_identical\": "
+          << (bwd_same ? "true" : "false") << "}"
           << (i + 1 < results.size() ? "," : "") << "\n";
     }
     f << "  ]\n}\n";
@@ -246,8 +342,7 @@ main(int argc, char **argv)
     }
 
     std::cout << "=== micro_train_step: full training-step breakdown ===\n"
-              << "(simd: " << simdIsaName()
-              << ", threads: " << ThreadPool::global().threads() << ")\n\n";
+              << bench::contextLine() << "\n\n";
     Table table({"Case", "Subset", "WxH", "Cull", "Proj", "Bin", "Comp",
                  "RastBwd", "LossFwd", "LossBwd", "Adam", "Step ms",
                  "RefLoss", "LossX"});
@@ -269,6 +364,19 @@ main(int argc, char **argv)
         results.push_back(r);
     }
     table.print(std::cout);
+
+    std::cout << "\nbackward by forced kernel table (ms, bitwise vs "
+                 "first backend):\n";
+    for (const BenchResult &r : results) {
+        std::cout << "  " << r.cfg.name << ":";
+        for (const BackendResult &b : r.backends)
+            std::cout << "  " << b.name << "="
+                      << Table::fmt(b.raster_bwd_ms, 2)
+                      << (b.forward_identical && b.backward_identical
+                              ? ""
+                              : " [BITS DIFFER]");
+        std::cout << "\n";
+    }
 
     writeJson(out_path, results, smoke);
     std::cout << "\nwrote " << out_path << "\n";

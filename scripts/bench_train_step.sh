@@ -3,11 +3,17 @@
 # BENCH_train_step.json in the repo root: a per-stage breakdown
 # (cull/project/bin/composite/loss fwd+bwd/rasterizer bwd/adam) so the
 # perf trajectory of the *whole* training step is tracked across PRs,
-# plus the SAT-loss speedup over the retained brute-force reference.
+# plus the SAT-loss speedup over the retained brute-force reference and
+# a per-kernel-table backward sweep (raster_bwd_by_backend: every SIMD
+# backend the CPU supports, forced one at a time on the same inputs,
+# with forward/backward_bitwise_identical flags from hashing the image
+# and all gradient buffers across backends).
 #
 # The JSON includes a machine/build context block (thread count,
-# compiler, SIMD backend, CLM_DISABLE_SIMD); pin the worker count with
-# CLM_THREADS=N for comparable runs.
+# compiler, build-baseline "simd" ISA, runtime-dispatched
+# "simd_dispatch" backend, CLM_DISABLE_SIMD); pin the worker count with
+# CLM_THREADS=N for comparable runs, and force the dispatched backend
+# with CLM_SIMD=avx2|sse2|neon|scalar.
 #
 # Uses a dedicated build-release/ tree so it never flips the cached
 # build type of the default build/ directory that verify.sh uses.

@@ -2,24 +2,37 @@
  * @file
  * Portable 8-lane float SIMD batches for the compositing hot loops.
  *
- * F8 is a fixed-width batch of 8 floats with one backend selected at
- * compile time:
+ * F8 is a fixed-width batch of 8 floats with one backend selected per
+ * translation unit:
  *
- *   - AVX2 (`__AVX2__`):          one 256-bit register
- *   - SSE2 (`__SSE2__`, the x86-64 baseline): two 128-bit registers
+ *   - AVX2:          one 256-bit register
+ *   - SSE2 (the x86-64 baseline): two 128-bit registers
  *   - NEON (`__aarch64__`):       two 128-bit registers
  *   - scalar fallback:            a plain float[8]
+ *
+ * Ordinary translation units get the backend the compiler flags allow
+ * (`__AVX2__` from -march=native, else `__SSE2__`/NEON, else scalar).
+ * The per-ISA render kernel TUs (render/simd_kernels_*.cpp) instead
+ * *force* a backend by defining CLM_F8_FORCE_{AVX2,SSE2,NEON,SCALAR}
+ * before including this header — that is how one binary carries kernels
+ * for several ISAs and picks between them at startup (runtime dispatch;
+ * see math/simd_backend.hpp). Each backend lives in its own inline
+ * namespace (clm::f8_avx2::F8, clm::f8_sse2::F8, ...), so forced TUs
+ * with different backends can coexist in one binary without ODR
+ * violations while plain `clm::F8` keeps working everywhere.
  *
  * Building with `-DCLM_DISABLE_SIMD=ON` forces the scalar fallback AND
  * flips the default of RenderConfig::use_simd to false, so the whole
  * binary reproduces the pre-SIMD scalar reference bit for bit.
  *
  * Every backend performs the *same* IEEE-754 single-precision operation
- * sequence — no FMA contraction, and min/max follow the SSE convention
+ * sequence — no FMA contraction, division is the correctly-rounded IEEE
+ * quotient everywhere, and min/max follow the SSE convention
  * `min(a, b) = a < b ? a : b` (returns b on unordered) on every backend —
  * so a given F8 expression produces bitwise-identical results on every
  * ISA and on the scalar fallback. Results are therefore run-to-run and
- * machine-to-machine deterministic; only the speed changes.
+ * machine-to-machine deterministic, and independent of the dispatch
+ * choice; only the speed changes.
  *
  * Masks are F8 values whose lanes are all-ones (true) or all-zeros
  * (false) bit patterns, as produced by lt()/gt(); combine them with
@@ -33,36 +46,54 @@
 #include <cstdint>
 #include <cstring>
 
-#if !defined(CLM_DISABLE_SIMD) && defined(__AVX2__)
+#include "math/simd_backend.hpp"
+
+// Backend selection: an explicit CLM_F8_FORCE_* request (kernel TUs)
+// wins; otherwise the compiler flags decide, exactly as before runtime
+// dispatch existed.
+#if defined(CLM_F8_FORCE_AVX2)
 #define CLM_SIMD_ISA_AVX2 1
-#include <immintrin.h>
+#elif defined(CLM_F8_FORCE_SSE2)
+#define CLM_SIMD_ISA_SSE2 1
+#elif defined(CLM_F8_FORCE_NEON)
+#define CLM_SIMD_ISA_NEON 1
+#elif defined(CLM_F8_FORCE_SCALAR)
+#define CLM_SIMD_ISA_SCALAR 1
+#elif !defined(CLM_DISABLE_SIMD) && defined(__AVX2__)
+#define CLM_SIMD_ISA_AVX2 1
 #elif !defined(CLM_DISABLE_SIMD) && defined(__SSE2__)
 #define CLM_SIMD_ISA_SSE2 1
-#include <emmintrin.h>
 #elif !defined(CLM_DISABLE_SIMD) && defined(__aarch64__) \
     && defined(__ARM_NEON)
 #define CLM_SIMD_ISA_NEON 1
-#include <arm_neon.h>
 #else
 #define CLM_SIMD_ISA_SCALAR 1
 #endif
 
-namespace clm {
-
-/** True when built with -DCLM_DISABLE_SIMD=ON (scalar reference build). */
-#ifdef CLM_DISABLE_SIMD
-constexpr bool kSimdDisabled = true;
+#if defined(CLM_SIMD_ISA_AVX2)
+#include <immintrin.h>
+#define CLM_F8_NAMESPACE f8_avx2
+#elif defined(CLM_SIMD_ISA_SSE2)
+#include <emmintrin.h>
+#define CLM_F8_NAMESPACE f8_sse2
+#elif defined(CLM_SIMD_ISA_NEON)
+#include <arm_neon.h>
+#define CLM_F8_NAMESPACE f8_neon
 #else
-constexpr bool kSimdDisabled = false;
+#define CLM_F8_NAMESPACE f8_scalar
 #endif
 
-/** Compile-time backend name: "avx2", "sse2", "neon" or "scalar". */
-const char *simdIsaName();
+namespace clm {
 
 /** Measured ULP bound of exp8() against the correctly-rounded float
  *  exponential over its full clamped domain [-87.34, 88.38] (asserted by
  *  test_simd.cpp with a dense sweep). */
 constexpr int kExp8MaxUlp = 2;
+
+/** This TU's F8 backend lives here; `clm::F8` resolves through the
+ *  inline namespace, while the qualified names stay distinct per
+ *  backend so multi-backend binaries are ODR-clean. */
+inline namespace CLM_F8_NAMESPACE {
 
 #if defined(CLM_SIMD_ISA_AVX2)
 
@@ -74,10 +105,6 @@ struct F8
     static F8 zero() { return {_mm256_setzero_ps()}; }
     static F8 load(const float *p) { return {_mm256_loadu_ps(p)}; }
     void store(float *p) const { _mm256_storeu_ps(p, v); }
-
-    friend F8 operator+(F8 a, F8 b) { return {_mm256_add_ps(a.v, b.v)}; }
-    friend F8 operator-(F8 a, F8 b) { return {_mm256_sub_ps(a.v, b.v)}; }
-    friend F8 operator*(F8 a, F8 b) { return {_mm256_mul_ps(a.v, b.v)}; }
 
     static F8 min(F8 a, F8 b) { return {_mm256_min_ps(a.v, b.v)}; }
     static F8 max(F8 a, F8 b) { return {_mm256_max_ps(a.v, b.v)}; }
@@ -118,6 +145,18 @@ struct F8
     }
 };
 
+// Arithmetic lives OUTSIDE the class on every backend: GCC applies a
+// `#pragma GCC target` region (how the AVX2 kernel TU builds without
+// -mavx2) to free inline functions but NOT to friend functions defined
+// inside a class body — those would be codegen'd for the baseline ISA
+// and fail to inline the always_inline intrinsics.
+inline F8 operator+(F8 a, F8 b) { return {_mm256_add_ps(a.v, b.v)}; }
+inline F8 operator-(F8 a, F8 b) { return {_mm256_sub_ps(a.v, b.v)}; }
+inline F8 operator*(F8 a, F8 b) { return {_mm256_mul_ps(a.v, b.v)}; }
+/** IEEE single division — correctly rounded on every backend, so
+ *  quotients are bitwise identical across ISAs like every other op. */
+inline F8 operator/(F8 a, F8 b) { return {_mm256_div_ps(a.v, b.v)}; }
+
 #elif defined(CLM_SIMD_ISA_SSE2)
 
 struct F8
@@ -135,13 +174,6 @@ struct F8
         _mm_storeu_ps(p, lo);
         _mm_storeu_ps(p + 4, hi);
     }
-
-    friend F8 operator+(F8 a, F8 b)
-    { return {_mm_add_ps(a.lo, b.lo), _mm_add_ps(a.hi, b.hi)}; }
-    friend F8 operator-(F8 a, F8 b)
-    { return {_mm_sub_ps(a.lo, b.lo), _mm_sub_ps(a.hi, b.hi)}; }
-    friend F8 operator*(F8 a, F8 b)
-    { return {_mm_mul_ps(a.lo, b.lo), _mm_mul_ps(a.hi, b.hi)}; }
 
     static F8 min(F8 a, F8 b)
     { return {_mm_min_ps(a.lo, b.lo), _mm_min_ps(a.hi, b.hi)}; }
@@ -190,6 +222,16 @@ struct F8
     }
 };
 
+// Out-of-class for pragma-target compatibility (see the AVX2 backend).
+inline F8 operator+(F8 a, F8 b)
+{ return {_mm_add_ps(a.lo, b.lo), _mm_add_ps(a.hi, b.hi)}; }
+inline F8 operator-(F8 a, F8 b)
+{ return {_mm_sub_ps(a.lo, b.lo), _mm_sub_ps(a.hi, b.hi)}; }
+inline F8 operator*(F8 a, F8 b)
+{ return {_mm_mul_ps(a.lo, b.lo), _mm_mul_ps(a.hi, b.hi)}; }
+inline F8 operator/(F8 a, F8 b)
+{ return {_mm_div_ps(a.lo, b.lo), _mm_div_ps(a.hi, b.hi)}; }
+
 #elif defined(CLM_SIMD_ISA_NEON)
 
 struct F8
@@ -207,13 +249,6 @@ struct F8
         vst1q_f32(p, lo);
         vst1q_f32(p + 4, hi);
     }
-
-    friend F8 operator+(F8 a, F8 b)
-    { return {vaddq_f32(a.lo, b.lo), vaddq_f32(a.hi, b.hi)}; }
-    friend F8 operator-(F8 a, F8 b)
-    { return {vsubq_f32(a.lo, b.lo), vsubq_f32(a.hi, b.hi)}; }
-    friend F8 operator*(F8 a, F8 b)
-    { return {vmulq_f32(a.lo, b.lo), vmulq_f32(a.hi, b.hi)}; }
 
     static F8 lt(F8 a, F8 b)
     {
@@ -290,6 +325,17 @@ struct F8
     }
 };
 
+// Out-of-class for pragma-target compatibility (see the AVX2 backend).
+inline F8 operator+(F8 a, F8 b)
+{ return {vaddq_f32(a.lo, b.lo), vaddq_f32(a.hi, b.hi)}; }
+inline F8 operator-(F8 a, F8 b)
+{ return {vsubq_f32(a.lo, b.lo), vsubq_f32(a.hi, b.hi)}; }
+inline F8 operator*(F8 a, F8 b)
+{ return {vmulq_f32(a.lo, b.lo), vmulq_f32(a.hi, b.hi)}; }
+/** vdivq_f32 (AArch64) is the correctly-rounded IEEE quotient. */
+inline F8 operator/(F8 a, F8 b)
+{ return {vdivq_f32(a.lo, b.lo), vdivq_f32(a.hi, b.hi)}; }
+
 #else    // CLM_SIMD_ISA_SCALAR
 
 struct F8
@@ -315,28 +361,6 @@ struct F8
     {
         for (int l = 0; l < 8; ++l)
             p[l] = v[l];
-    }
-
-    friend F8 operator+(F8 a, F8 b)
-    {
-        F8 r;
-        for (int l = 0; l < 8; ++l)
-            r.v[l] = a.v[l] + b.v[l];
-        return r;
-    }
-    friend F8 operator-(F8 a, F8 b)
-    {
-        F8 r;
-        for (int l = 0; l < 8; ++l)
-            r.v[l] = a.v[l] - b.v[l];
-        return r;
-    }
-    friend F8 operator*(F8 a, F8 b)
-    {
-        F8 r;
-        for (int l = 0; l < 8; ++l)
-            r.v[l] = a.v[l] * b.v[l];
-        return r;
     }
 
     // SSE semantics: min(a, b) = a < b ? a : b (b on unordered).
@@ -442,6 +466,40 @@ struct F8
     }
 };
 
+// Out-of-class for pragma-target compatibility (see the AVX2 backend).
+inline F8
+operator+(F8 a, F8 b)
+{
+    F8 r;
+    for (int l = 0; l < 8; ++l)
+        r.v[l] = a.v[l] + b.v[l];
+    return r;
+}
+inline F8
+operator-(F8 a, F8 b)
+{
+    F8 r;
+    for (int l = 0; l < 8; ++l)
+        r.v[l] = a.v[l] - b.v[l];
+    return r;
+}
+inline F8
+operator*(F8 a, F8 b)
+{
+    F8 r;
+    for (int l = 0; l < 8; ++l)
+        r.v[l] = a.v[l] * b.v[l];
+    return r;
+}
+inline F8
+operator/(F8 a, F8 b)
+{
+    F8 r;
+    for (int l = 0; l < 8; ++l)
+        r.v[l] = a.v[l] / b.v[l];
+    return r;
+}
+
 #endif    // backend selection
 
 /**
@@ -488,6 +546,8 @@ exp8(F8 x)
     F8 y = p * z + r + one;
     return y * pow2n;
 }
+
+} // inline namespace CLM_F8_NAMESPACE
 
 } // namespace clm
 

@@ -46,7 +46,10 @@ TileStage::stageFrom(const std::vector<ProjectedGaussian> &projected,
     soa_conic_c.resize(padded);
     soa_power_cut.resize(padded);
     soa_row_k.resize(padded);
-    gvals.resize(padded);
+    soa_opacity.resize(padded);
+    soa_color_r.resize(padded);
+    soa_color_g.resize(padded);
+    soa_color_b.resize(padded);
     for (size_t j = 0; j < len; ++j) {
         const StagedGaussian &e = hot[j];
         soa_mean_x[j] = e.mean_x;
@@ -56,6 +59,10 @@ TileStage::stageFrom(const std::vector<ProjectedGaussian> &projected,
         soa_conic_c[j] = e.conic_c;
         soa_power_cut[j] = e.power_cut;
         soa_row_k[j] = e.row_k;
+        soa_opacity[j] = e.opacity;
+        soa_color_r[j] = color[j].x;
+        soa_color_g[j] = color[j].y;
+        soa_color_b[j] = color[j].z;
     }
     for (size_t j = len; j < padded; ++j) {
         soa_mean_x[j] = 0.0f;
@@ -66,6 +73,10 @@ TileStage::stageFrom(const std::vector<ProjectedGaussian> &projected,
         // +inf cut: padding lanes always fail `power >= power_cut`.
         soa_power_cut[j] = std::numeric_limits<float>::infinity();
         soa_row_k[j] = 0.0f;
+        soa_opacity[j] = 0.0f;
+        soa_color_r[j] = 0.0f;
+        soa_color_g[j] = 0.0f;
+        soa_color_b[j] = 0.0f;
     }
 }
 
@@ -75,7 +86,9 @@ TileStage::bytes() const
     size_t soa = (soa_mean_x.capacity() + soa_mean_y.capacity()
                   + soa_conic_a.capacity() + soa_conic_b.capacity()
                   + soa_conic_c.capacity() + soa_power_cut.capacity()
-                  + soa_row_k.capacity() + gvals.capacity())
+                  + soa_row_k.capacity() + soa_opacity.capacity()
+                  + soa_color_r.capacity() + soa_color_g.capacity()
+                  + soa_color_b.capacity() + grad8.capacity())
                * sizeof(float);
     return hot.capacity() * sizeof(StagedGaussian)
          + color.capacity() * sizeof(Vec3)

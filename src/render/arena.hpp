@@ -55,18 +55,23 @@ struct TileStage
     std::vector<ProjectionGrads> grads;
 
     /** @name SIMD batch staging (backward replay)
-     * SoA mirrors of the `hot` test fields, filled when stageFrom() is
-     * asked to @p stage_soa: the backward pass evaluates power + exp for
-     * 8 staged Gaussians at a time from these arrays. Padded to a
+     * SoA mirrors of the staged fields, filled when stageFrom() is
+     * asked to @p stage_soa: the backward kernel replays 8 pixels per
+     * F8 batch straight from these arrays
+     * (render/simd_kernels.hpp::BackwardTileArgs). Padded to a
      * multiple of 8 with entries whose power_cut is +inf, so padding
      * lanes can never pass the alpha-cut test. */
     /// @{
     std::vector<float> soa_mean_x, soa_mean_y;
     std::vector<float> soa_conic_a, soa_conic_b, soa_conic_c;
     std::vector<float> soa_power_cut, soa_row_k;
-    /** Per-entry masked exp(power) scratch of the current pixel: 0 for
-     *  entries the compositor provably skips. */
-    std::vector<float> gvals;
+    std::vector<float> soa_opacity;
+    std::vector<float> soa_color_r, soa_color_g, soa_color_b;
+    /** Per-entry 8-lane gradient partials (kG8Comps components per
+     *  entry, lane-major), accumulated by the backward kernel and
+     *  reduced in fixed lane order — the deterministic lane reduction.
+     *  Zeroed per tile by renderBackward. */
+    std::vector<float> grad8;
     /// @}
 
     /** Size for @p n Gaussians; @p for_backward also zero-inits grads. */

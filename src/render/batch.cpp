@@ -5,10 +5,10 @@
 #include <limits>
 
 #include "math/ellipsoid.hpp"
-#include "math/simd.hpp"
 #include "render/binning.hpp"
 #include "render/culling.hpp"
 #include "render/compositor.hpp"
+#include "render/simd_kernels.hpp"
 #include "render/projection.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
@@ -45,36 +45,39 @@ cullViewPacked(const GaussianModel &model, const BatchCullScratch &st,
 {
     sel.clear();
     const Frustum &fr = cam.frustum();
-    F8 nx[6], ny[6], nz[6], nd[6], margin[6];
+    const RenderKernels &kern = renderKernels();
+    CullPrefilterArgs args;
     for (int j = 0; j < 6; ++j) {
         const Plane &pl = fr.plane(j);
-        nx[j] = F8::broadcast(pl.n.x);
-        ny[j] = F8::broadcast(pl.n.y);
-        nz[j] = F8::broadcast(pl.n.z);
-        nd[j] = F8::broadcast(pl.d);
-        margin[j] = F8::broadcast(kCullPrefilterEps * std::fabs(pl.d));
+        args.plane_nx[j] = pl.n.x;
+        args.plane_ny[j] = pl.n.y;
+        args.plane_nz[j] = pl.n.z;
+        args.plane_d[j] = pl.d;
+        args.margin[j] = kCullPrefilterEps * std::fabs(pl.d);
     }
     const size_t n = model.size();
     const size_t padded = st.cx.size();
-    alignas(32) float rej_lanes[8];
-    for (size_t b = 0; b < padded; b += 8) {
-        const F8 px = F8::load(&st.cx[b]);
-        const F8 py = F8::load(&st.cy[b]);
-        const F8 pz = F8::load(&st.cz[b]);
-        const F8 thr = F8::load(&st.neg_thresh[b]);
-        F8 rejected = F8::zero();
-        for (int j = 0; j < 6; ++j) {
-            F8 dist = nx[j] * px + ny[j] * py + nz[j] * pz + nd[j];
-            rejected =
-                F8::bitOr(rejected, F8::lt(dist, thr - margin[j]));
-        }
-        if (F8::all(rejected))
-            continue;    // every lane clearly outside this view
-        rejected.store(rej_lanes);
-        for (int l = 0; l < 8 && b + l < n; ++l) {
-            if (rej_lanes[l] != 0.0f)
-                continue;
-            const size_t i = b + l;
+    // Per-view (and hence per-thread in pass 2) mask buffer on the
+    // stack: the dispatched kernel sweeps one block, then the scalar
+    // scan below confirms surviving lanes with the exact predicate.
+    constexpr size_t kBlock = 1024;
+    alignas(32) float rejected[kBlock];
+    for (size_t b0 = 0; b0 < padded; b0 += kBlock) {
+        const size_t blk =
+            padded - b0 < kBlock ? padded - b0 : kBlock;
+        args.cx = st.cx.data() + b0;
+        args.cy = st.cy.data() + b0;
+        args.cz = st.cz.data() + b0;
+        args.neg_thresh = st.neg_thresh.data() + b0;
+        args.padded = blk;
+        args.rejected = rejected;
+        kern.cull_prefilter(args);
+        for (size_t k = 0; k < blk; ++k) {
+            const size_t i = b0 + k;
+            if (i >= n)
+                break;
+            if (rejected[k] != 0.0f)
+                continue;    // clearly outside this view
             // Exact predicate — identical to frustumCull().
             Ellipsoid e = Ellipsoid::fromGaussian(
                 model.position(i), model.worldScale(i),

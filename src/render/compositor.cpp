@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include "math/simd.hpp"
 #include "render/arena.hpp"
+#include "render/simd_kernels.hpp"
 
 namespace clm {
 
@@ -135,116 +135,6 @@ compositeTileScalar(const TileStage &stage, size_t len, int px0, int px1,
     }
 }
 
-/**
- * SIMD per-tile compositor: 8-pixel groups, one F8 lane per pixel, the
- * whole alpha-test/compositing recurrence evaluated as masked batch
- * arithmetic with exp8() replacing the scalar std::exp. Lane
- * termination (transmittance floor, tile edge) is a mask; every lane
- * runs the same fixed op sequence, so results are run-to-run
- * deterministic and independent of threading (tiles touch disjoint
- * pixels). Differs from compositeTileScalar only through exp8's
- * <= kExp8MaxUlp rounding.
- */
-void
-compositeTileSimd(const TileStage &stage, size_t len, int px0, int px1,
-                  int py0, int py1, int w, float alpha_min, float t_min,
-                  const Vec3 &background, RenderOutput &out)
-{
-    const StagedGaussian *hot = stage.hot.data();
-    const Vec3 *colors = stage.color.data();
-
-    const F8 zero = F8::zero();
-    const F8 one = F8::broadcast(1.0f);
-    const F8 neg_half = F8::broadcast(-0.5f);
-    const F8 v_alpha_min = F8::broadcast(alpha_min);
-    const F8 v_t_min = F8::broadcast(t_min);
-    const F8 v_clamp = F8::broadcast(0.99f);
-    alignas(32) const float iota_a[8] = {0, 1, 2, 3, 4, 5, 6, 7};
-    const F8 iota = F8::load(iota_a);
-
-    for (int py = py0; py < py1; ++py) {
-        const float pcy = py + 0.5f;
-        for (int px = px0; px < px1; px += 8) {
-            const int lanes = std::min(8, px1 - px);
-            const F8 pcx =
-                F8::broadcast(px + 0.5f) + iota;
-            F8 t_acc = one;
-            F8 cr = zero, cg = zero, cb = zero;
-            F8 last = zero;
-            // Lanes past the tile edge start terminated: they flow
-            // through the same arithmetic but are masked out of every
-            // update and never stored back.
-            F8 active =
-                F8::lt(iota, F8::broadcast(static_cast<float>(lanes)));
-            for (size_t pos = 0; pos < len; ++pos) {
-                const StagedGaussian e = hot[pos];
-                const float dy = e.mean_y - pcy;
-                // No pixel of this row can reach the alpha cut.
-                if (-0.5f * e.row_k * dy * dy + kRowCutMargin
-                    < e.power_cut)
-                    continue;
-                const F8 dx = F8::broadcast(e.mean_x) - pcx;
-                // Same operand association as the scalar path
-                // ((a*dx)*dx, (c*dy)*dy, (b*dx)*dy), so for equal
-                // inputs the power bits are identical and the ONLY
-                // deviation from compositeTileScalar is exp8's
-                // rounding.
-                const F8 power =
-                    neg_half
-                        * (F8::broadcast(e.conic_a) * dx * dx
-                           + F8::broadcast(e.conic_c * dy * dy))
-                    - F8::broadcast(e.conic_b) * dx
-                          * F8::broadcast(dy);
-                const F8 cut = F8::broadcast(e.power_cut);
-                // Candidate lanes: alive, power in [cut, 0]. Built from
-                // the same two comparisons the scalar path branches on
-                // (NaN power is a candidate there too).
-                F8 ok = F8::bitAndNot(
-                    F8::bitOr(F8::gt(power, zero), F8::lt(power, cut)),
-                    active);
-                if (!F8::any(ok))
-                    continue;
-                F8 alpha = F8::min(
-                    v_clamp, F8::broadcast(e.opacity) * exp8(power));
-                ok = F8::bitAndNot(F8::lt(alpha, v_alpha_min), ok);
-                if (!F8::any(ok))
-                    continue;
-                const F8 t_next = t_acc * (one - alpha);
-                // Lanes whose transmittance would drop below the floor
-                // terminate WITHOUT compositing this entry — the exact
-                // scalar "break" semantics.
-                const F8 terminate = F8::lt(t_next, v_t_min);
-                const F8 contrib = F8::bitAndNot(terminate, ok);
-                const F8 wgt = F8::bitAnd(contrib, alpha * t_acc);
-                cr = cr + F8::broadcast(colors[pos].x) * wgt;
-                cg = cg + F8::broadcast(colors[pos].y) * wgt;
-                cb = cb + F8::broadcast(colors[pos].z) * wgt;
-                t_acc = F8::select(contrib, t_next, t_acc);
-                last = F8::select(
-                    contrib, F8::broadcast(static_cast<float>(pos + 1)),
-                    last);
-                active = F8::bitAndNot(F8::bitAnd(ok, terminate), active);
-                if (!F8::any(active))
-                    break;
-            }
-            alignas(32) float ta[8], la[8], ra[8], ga[8], ba[8];
-            t_acc.store(ta);
-            last.store(la);
-            cr.store(ra);
-            cg.store(ga);
-            cb.store(ba);
-            for (int l = 0; l < lanes; ++l) {
-                const size_t pi = static_cast<size_t>(py) * w + px + l;
-                out.final_t[pi] = ta[l];
-                out.n_contrib[pi] = static_cast<uint32_t>(la[l]);
-                out.image.setPixel(px + l, py,
-                                   Vec3{ra[l], ga[l], ba[l]}
-                                       + background * ta[l]);
-            }
-        }
-    }
-}
-
 } // namespace
 
 namespace detail {
@@ -284,12 +174,33 @@ compositeTileRange(const RenderConfig &cfg, const TileGrid &grid,
         }
         stage.stageFrom(out.projected, out.isect_vals, range, alpha_cut,
                         row_k, /*for_backward=*/false);
-        if (cfg.use_simd && len < kSimdMaxStagedEntries)
-            compositeTileSimd(stage, len, px0, px1, py0, py1, w,
-                              alpha_min, t_min, background, out);
-        else
+        if (cfg.use_simd && len < kSimdMaxStagedEntries) {
+            // SIMD path: the runtime-dispatched per-ISA kernel (or the
+            // table cfg.kernels forces). The kernel body is the former
+            // compositeTileSimd, one copy per F8 backend — every table
+            // produces bitwise-identical pixels.
+            const RenderKernels &kern =
+                cfg.kernels ? *cfg.kernels : renderKernels();
+            CompositeTileArgs args;
+            args.hot = stage.hot.data();
+            args.colors = stage.color.data();
+            args.len = len;
+            args.px0 = px0;
+            args.px1 = px1;
+            args.py0 = py0;
+            args.py1 = py1;
+            args.width = w;
+            args.alpha_min = alpha_min;
+            args.t_min = t_min;
+            args.background = background;
+            args.image = out.image.data().data();
+            args.final_t = out.final_t.data();
+            args.n_contrib = out.n_contrib.data();
+            kern.composite_tile(args);
+        } else {
             compositeTileScalar(stage, len, px0, px1, py0, py1, w,
                                 alpha_min, t_min, background, out);
+        }
     }
 }
 

@@ -28,7 +28,7 @@
 #include <vector>
 
 #include "gaussian/model.hpp"
-#include "math/simd.hpp"
+#include "math/simd_backend.hpp"
 #include "render/binning.hpp"
 #include "render/camera.hpp"
 #include "render/image.hpp"
@@ -37,6 +37,7 @@
 namespace clm {
 
 class RenderArena;
+struct RenderKernels;
 
 /** SIMD tile-length gate shared by the forward compositor and the
  *  backward replay (they MUST agree, or a tile could composite with
@@ -70,19 +71,26 @@ struct RenderConfig
      *  tile intersections binned. Off reproduces the plain square bound
      *  (kept togglable so benches can report the reduction). */
     bool exact_tile_bounds = true;
-    /** Composite through the 8-lane SIMD kernels (math/simd.hpp):
-     *  8-pixel groups with batched power/alpha evaluation and the
-     *  polynomial exp8() in the forward pass, and a batched exp
-     *  precompute feeding the backward replay. Still fully
-     *  deterministic — run-to-run, parallel ≡ serial, and even across
-     *  ISA backends (every backend runs the same IEEE op sequence) —
-     *  but NOT bit-identical to the scalar reference path: exp8 is
-     *  within kExp8MaxUlp of std::exp, which moves quality-harness
-     *  PSNR by well under 0.05 dB (asserted in tests). Off runs the
-     *  pre-SIMD scalar loops unchanged. Defaults to off in
+    /** Composite and replay through the 8-lane SIMD kernel tables
+     *  (render/simd_kernels.hpp): 8-pixel groups with batched
+     *  power/alpha evaluation and the polynomial exp8() in the forward
+     *  pass, and the 8-pixel-lane gradient replay in the backward
+     *  pass. Still fully deterministic — run-to-run, parallel ≡
+     *  serial, and even across ISA backends and dispatch choices
+     *  (every backend runs the same IEEE op sequence) — but NOT
+     *  bit-identical to the scalar reference path: exp8 is within
+     *  kExp8MaxUlp of std::exp, which moves quality-harness PSNR by
+     *  well under 0.05 dB (asserted in tests). Off runs the pre-SIMD
+     *  scalar loops unchanged. Defaults to off in
      *  -DCLM_DISABLE_SIMD=ON builds, which therefore reproduce the
      *  scalar reference bit for bit. */
     bool use_simd = !kSimdDisabled;
+    /** Kernel table the SIMD paths run. nullptr (the default) uses the
+     *  startup dispatch choice, renderKernels(); tests and benches set
+     *  it (renderKernelsFor()) to force a specific backend in-process.
+     *  The choice never changes an output bit (all tables run the same
+     *  IEEE op sequence), only speed. */
+    const RenderKernels *kernels = nullptr;
 };
 
 /**

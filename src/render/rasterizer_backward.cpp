@@ -1,10 +1,11 @@
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <vector>
 
-#include "math/simd.hpp"
 #include "render/arena.hpp"
 #include "render/rasterizer.hpp"
+#include "render/simd_kernels.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
@@ -23,55 +24,130 @@ accumulate(ProjectionGrads &into, const ProjectionGrads &from)
     into.d_opacity += from.d_opacity;
 }
 
+/** Sum 8 lane partials left to right — THE fixed lane order of the
+ *  deterministic lane reduction. */
+float
+sumLanes(const float *p)
+{
+    float s = p[0];
+    for (int l = 1; l < 8; ++l)
+        s += p[l];
+    return s;
+}
+
+/** Reduce one staged entry's 8-lane gradient partials (the backward
+ *  kernel's grad8 block) into a ProjectionGrads, lanes in fixed order. */
+ProjectionGrads
+reduceLanes(const float *g8)
+{
+    ProjectionGrads g;
+    g.d_mean2d.x = sumLanes(g8 + kG8MeanX * 8);
+    g.d_mean2d.y = sumLanes(g8 + kG8MeanY * 8);
+    g.d_conic_a = sumLanes(g8 + kG8ConicA * 8);
+    g.d_conic_b = sumLanes(g8 + kG8ConicB * 8);
+    g.d_conic_c = sumLanes(g8 + kG8ConicC * 8);
+    g.d_color.x = sumLanes(g8 + kG8ColorR * 8);
+    g.d_color.y = sumLanes(g8 + kG8ColorG * 8);
+    g.d_color.z = sumLanes(g8 + kG8ColorB * 8);
+    g.d_opacity = sumLanes(g8 + kG8Opacity * 8);
+    return g;
+}
+
 /**
- * Batched power/alpha evaluation for one pixel's replay: evaluate the
- * power test and exp8 for 8 staged Gaussians at a time from the SoA
- * staging, writing a masked exp value into stage.gvals — 0 for entries
- * the scalar path provably skips (row cut, power > 0, power below the
- * alpha-cut threshold). The back-to-front replay then runs unchanged,
- * reading gvals instead of calling std::exp per surviving entry; masked
- * entries fall out at its `alpha < alpha_min` test while leaving every
- * accumulator bit-unchanged. Pure fixed-order arithmetic, so the
- * backward pass stays deterministic (parallel == serial bitwise).
+ * Scalar-reference backward replay of one tile (the pre-SIMD path,
+ * kept verbatim behind RenderConfig::use_simd == false and for
+ * -DCLM_DISABLE_SIMD=ON builds): per-pixel back-to-front replay with
+ * std::exp, accumulating into stage.grads.
  */
 void
-batchPixelGvals(TileStage &stage, uint32_t n_contrib, float pcx, float pcy)
+backwardTileScalar(TileStage &stage, const RenderOutput &fwd,
+                   const Image &d_image, int px0, int px1, int py0,
+                   int py1, int w, float alpha_min,
+                   const Vec3 &background)
 {
-    const float *mx = stage.soa_mean_x.data();
-    const float *my = stage.soa_mean_y.data();
-    const float *ca = stage.soa_conic_a.data();
-    const float *cb = stage.soa_conic_b.data();
-    const float *cc = stage.soa_conic_c.data();
-    const float *cut = stage.soa_power_cut.data();
-    const float *rk = stage.soa_row_k.data();
-    float *gv = stage.gvals.data();
+    const StagedGaussian *hot = stage.hot.data();
+    const Vec3 *colors = stage.color.data();
+    for (int py = py0; py < py1; ++py) {
+        const float pcy = py + 0.5f;
+        for (int px = px0; px < px1; ++px) {
+            size_t pi = static_cast<size_t>(py) * w + px;
+            uint32_t n_contrib = fwd.n_contrib[pi];
+            if (n_contrib == 0)
+                continue;
+            const float pcx = px + 0.5f;
+            Vec3 dpix = d_image.pixel(px, py);
+            float bg_dot = background.dot(dpix);
 
-    const F8 zero = F8::zero();
-    const F8 neg_half = F8::broadcast(-0.5f);
-    const F8 margin = F8::broadcast(kRowCutMargin);
-    const F8 v_pcx = F8::broadcast(pcx);
-    const F8 v_pcy = F8::broadcast(pcy);
+            // Replay back-to-front over the composited prefix.
+            float t_acc = fwd.final_t[pi];
+            float last_alpha = 0.0f;
+            Vec3 last_color{0, 0, 0};
+            Vec3 accum_rec{0, 0, 0};
+            for (size_t pos = n_contrib; pos-- > 0;) {
+                const StagedGaussian e = hot[pos];
+                float dx = e.mean_x - pcx;
+                float dy = e.mean_y - pcy;
+                // No pixel of this row reaches the cut.
+                if (-0.5f * e.row_k * dy * dy + kRowCutMargin
+                    < e.power_cut)
+                    continue;
+                float power = -0.5f * (e.conic_a * dx * dx
+                                       + e.conic_c * dy * dy)
+                            - e.conic_b * dx * dy;
+                if (power > 0.0f)
+                    continue;
+                if (power < e.power_cut)
+                    continue;    // alpha < alpha_min
+                float gval = std::exp(power);
+                float raw_alpha = e.opacity * gval;
+                bool clamped = raw_alpha > 0.99f;
+                float alpha = clamped ? 0.99f : raw_alpha;
+                if (alpha < alpha_min)
+                    continue;
 
-    for (uint32_t pos = 0; pos < n_contrib; pos += 8) {
-        const F8 dx = F8::load(mx + pos) - v_pcx;
-        const F8 dy = F8::load(my + pos) - v_pcy;
-        const F8 v_cut = F8::load(cut + pos);
-        // Row bound: the best power any pixel of this row can reach.
-        const F8 rowbound =
-            neg_half * F8::load(rk + pos) * dy * dy + margin;
-        F8 skip = F8::lt(rowbound, v_cut);
-        // Operand association matches compositeTileSimd (and the scalar
-        // path) exactly: (a*dx)*dx, (c*dy)*dy, (b*dx)*dy — so the
-        // replay reproduces the forward's power bits and skips
-        // precisely the entries the forward skipped.
-        const F8 power =
-            neg_half
-                * (F8::load(ca + pos) * dx * dx
-                   + F8::load(cc + pos) * dy * dy)
-            - F8::load(cb + pos) * dx * dy;
-        skip = F8::bitOr(skip, F8::gt(power, zero));
-        skip = F8::bitOr(skip, F8::lt(power, v_cut));
-        F8::bitAndNot(skip, exp8(power)).store(gv + pos);
+                // Transmittance in front of this Gaussian.
+                t_acc = t_acc / (1.0f - alpha);
+                float dchannel_dcolor = alpha * t_acc;
+
+                float dl_dalpha = 0.0f;
+                // c - (color accumulated behind this Gaussian).
+                accum_rec = last_color * last_alpha
+                          + accum_rec * (1.0f - last_alpha);
+                last_color = colors[pos];
+                dl_dalpha +=
+                    (colors[pos].x - accum_rec.x) * dpix.x;
+                dl_dalpha +=
+                    (colors[pos].y - accum_rec.y) * dpix.y;
+                dl_dalpha +=
+                    (colors[pos].z - accum_rec.z) * dpix.z;
+
+                ProjectionGrads &g = stage.grads[pos];
+                g.d_color += dpix * dchannel_dcolor;
+
+                dl_dalpha *= t_acc;
+                last_alpha = alpha;
+
+                // Background shows through less when alpha grows.
+                dl_dalpha +=
+                    (-fwd.final_t[pi] / (1.0f - alpha)) * bg_dot;
+
+                if (clamped)
+                    continue;    // min(0.99, .) sub-gradient = 0
+
+                float dl_dg = e.opacity * dl_dalpha;
+                g.d_opacity += gval * dl_dalpha;
+
+                // G = exp(power(d)), d = mean - pix.
+                float gdl = gval * dl_dg;
+                g.d_mean2d.x += gdl * (-e.conic_a * dx
+                                       - e.conic_b * dy);
+                g.d_mean2d.y += gdl * (-e.conic_c * dy
+                                       - e.conic_b * dx);
+                g.d_conic_a += gdl * (-0.5f * dx * dx);
+                g.d_conic_b += gdl * (-dx * dy);
+                g.d_conic_c += gdl * (-0.5f * dy * dy);
+            }
+        }
     }
 }
 
@@ -131,6 +207,12 @@ renderBackward(const GaussianModel &model, const Camera &camera,
 
     const float alpha_min = cfg.alpha_min;
     const Vec3 background = cfg.background;
+    // Runtime-dispatched per-ISA kernel table (or the table cfg.kernels
+    // forces). Must agree with the forward pass's table choice only in
+    // spirit: every table runs the same IEEE op sequence, so the replay
+    // recomputes the forward's alpha bits under any of them.
+    const RenderKernels &kern =
+        cfg.kernels ? *cfg.kernels : renderKernels();
 
     auto backward_chunk = [&](size_t c) {
         TileStage &stage = arena.stages[c];
@@ -142,17 +224,17 @@ renderBackward(const GaussianModel &model, const Camera &camera,
             const size_t len = range.size();
             if (len == 0)
                 continue;
-            // Stage the tile's hot fields + zeroed local accumulators so
-            // the replay streams sequentially through memory. Shared
-            // with the forward pass so the two stagings cannot desync.
+            // Stage the tile's hot fields so the replay streams
+            // sequentially through memory. Shared with the forward pass
+            // so the two stagings cannot desync. The SIMD kernel reads
+            // the SoA mirrors and accumulates into grad8; the scalar
+            // reference path accumulates into stage.grads instead.
             const bool simd_batch =
                 cfg.use_simd && len < kSimdMaxStagedEntries;
             stage.stageFrom(fwd.projected, fwd.isect_vals, range,
                             arena.alpha_cut, arena.row_k,
-                            /*for_backward=*/true,
+                            /*for_backward=*/!simd_batch,
                             /*stage_soa=*/simd_batch);
-            const StagedGaussian *hot = stage.hot.data();
-            const Vec3 *colors = stage.color.data();
 
             const int ty = static_cast<int>(t) / fwd.tiles_x;
             const int tx = static_cast<int>(t) % fwd.tiles_x;
@@ -160,112 +242,59 @@ renderBackward(const GaussianModel &model, const Camera &camera,
             const int py0 = ty * cfg.tile_size;
             const int px1 = std::min(px0 + cfg.tile_size, w);
             const int py1 = std::min(py0 + cfg.tile_size, h);
-            for (int py = py0; py < py1; ++py) {
-                const float pcy = py + 0.5f;
-                for (int px = px0; px < px1; ++px) {
-                    size_t pi = static_cast<size_t>(py) * w + px;
-                    uint32_t n_contrib = fwd.n_contrib[pi];
-                    if (n_contrib == 0)
-                        continue;
-                    const float pcx = px + 0.5f;
-                    Vec3 dpix = d_image.pixel(px, py);
-                    float bg_dot = background.dot(dpix);
 
-                    // SIMD: evaluate the power tests + exp for the whole
-                    // composited prefix in 8-wide batches up front; the
-                    // replay below then just reads the masked values.
-                    if (simd_batch)
-                        batchPixelGvals(stage, n_contrib, pcx, pcy);
+            if (simd_batch) {
+                // 8-pixel-lane SIMD replay: per-entry 8-lane gradient
+                // partials, then the deterministic lane reduction.
+                stage.grad8.resize(len
+                                   * static_cast<size_t>(kG8Comps) * 8);
+                std::memset(stage.grad8.data(), 0,
+                            stage.grad8.size() * sizeof(float));
+                BackwardTileArgs args;
+                args.mean_x = stage.soa_mean_x.data();
+                args.mean_y = stage.soa_mean_y.data();
+                args.conic_a = stage.soa_conic_a.data();
+                args.conic_b = stage.soa_conic_b.data();
+                args.conic_c = stage.soa_conic_c.data();
+                args.power_cut = stage.soa_power_cut.data();
+                args.row_k = stage.soa_row_k.data();
+                args.opacity = stage.soa_opacity.data();
+                args.color_r = stage.soa_color_r.data();
+                args.color_g = stage.soa_color_g.data();
+                args.color_b = stage.soa_color_b.data();
+                args.len = len;
+                args.px0 = px0;
+                args.px1 = px1;
+                args.py0 = py0;
+                args.py1 = py1;
+                args.width = w;
+                args.alpha_min = alpha_min;
+                args.background = background;
+                args.final_t = fwd.final_t.data();
+                args.n_contrib = fwd.n_contrib.data();
+                args.d_image = d_image.data().data();
+                args.grad8 = stage.grad8.data();
+                kern.backward_tile(args);
 
-                    // Replay back-to-front over the composited prefix.
-                    float t_acc = fwd.final_t[pi];
-                    float last_alpha = 0.0f;
-                    Vec3 last_color{0, 0, 0};
-                    Vec3 accum_rec{0, 0, 0};
-                    for (size_t pos = n_contrib; pos-- > 0;) {
-                        const StagedGaussian e = hot[pos];
-                        float dx = e.mean_x - pcx;
-                        float dy = e.mean_y - pcy;
-                        float gval;
-                        if (simd_batch) {
-                            // Masked-out entries carry gval == 0 (exp8
-                            // itself can never return 0: its clamped
-                            // minimum is exp(-87.34), a normal float).
-                            gval = stage.gvals[pos];
-                            if (gval == 0.0f)
-                                continue;
-                        } else {
-                            // No pixel of this row reaches the cut.
-                            if (-0.5f * e.row_k * dy * dy
-                                    + kRowCutMargin
-                                < e.power_cut)
-                                continue;
-                            float power =
-                                -0.5f * (e.conic_a * dx * dx
-                                         + e.conic_c * dy * dy)
-                                - e.conic_b * dx * dy;
-                            if (power > 0.0f)
-                                continue;
-                            if (power < e.power_cut)
-                                continue;    // alpha < alpha_min
-                            gval = std::exp(power);
-                        }
-                        float raw_alpha = e.opacity * gval;
-                        bool clamped = raw_alpha > 0.99f;
-                        float alpha = clamped ? 0.99f : raw_alpha;
-                        if (alpha < alpha_min)
-                            continue;
+                // Flush: reduce each staged entry's 8 lanes in fixed
+                // lane order, then accumulate in staged order into
+                // this chunk's per-subset array.
+                for (size_t j = 0; j < len; ++j)
+                    accumulate(
+                        acc[fwd.isect_vals[range.begin + j]],
+                        reduceLanes(stage.grad8.data()
+                                    + j * static_cast<size_t>(kG8Comps)
+                                          * 8));
+            } else {
+                backwardTileScalar(stage, fwd, d_image, px0, px1, py0,
+                                   py1, w, alpha_min, background);
 
-                        // Transmittance in front of this Gaussian.
-                        t_acc = t_acc / (1.0f - alpha);
-                        float dchannel_dcolor = alpha * t_acc;
-
-                        float dl_dalpha = 0.0f;
-                        // c - (color accumulated behind this Gaussian).
-                        accum_rec = last_color * last_alpha
-                                  + accum_rec * (1.0f - last_alpha);
-                        last_color = colors[pos];
-                        dl_dalpha +=
-                            (colors[pos].x - accum_rec.x) * dpix.x;
-                        dl_dalpha +=
-                            (colors[pos].y - accum_rec.y) * dpix.y;
-                        dl_dalpha +=
-                            (colors[pos].z - accum_rec.z) * dpix.z;
-
-                        ProjectionGrads &g = stage.grads[pos];
-                        g.d_color += dpix * dchannel_dcolor;
-
-                        dl_dalpha *= t_acc;
-                        last_alpha = alpha;
-
-                        // Background shows through less when alpha grows.
-                        dl_dalpha +=
-                            (-fwd.final_t[pi] / (1.0f - alpha)) * bg_dot;
-
-                        if (clamped)
-                            continue;    // min(0.99, .) sub-gradient = 0
-
-                        float dl_dg = e.opacity * dl_dalpha;
-                        g.d_opacity += gval * dl_dalpha;
-
-                        // G = exp(power(d)), d = mean - pix.
-                        float gdl = gval * dl_dg;
-                        g.d_mean2d.x += gdl * (-e.conic_a * dx
-                                               - e.conic_b * dy);
-                        g.d_mean2d.y += gdl * (-e.conic_c * dy
-                                               - e.conic_b * dx);
-                        g.d_conic_a += gdl * (-0.5f * dx * dx);
-                        g.d_conic_b += gdl * (-dx * dy);
-                        g.d_conic_c += gdl * (-0.5f * dy * dy);
-                    }
-                }
+                // Flush the tile-local accumulators into this chunk's
+                // per-subset array (one entry per Gaussian per tile).
+                for (size_t j = 0; j < len; ++j)
+                    accumulate(acc[fwd.isect_vals[range.begin + j]],
+                               stage.grads[j]);
             }
-
-            // Flush the tile-local accumulators into this chunk's
-            // per-subset array (one entry per Gaussian per tile).
-            for (size_t j = 0; j < len; ++j)
-                accumulate(acc[fwd.isect_vals[range.begin + j]],
-                           stage.grads[j]);
         }
     };
 

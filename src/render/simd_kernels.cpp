@@ -1,0 +1,39 @@
+#include "render/simd_kernels.hpp"
+
+#include "math/simd_backend.hpp"
+
+namespace clm {
+
+const RenderKernels *
+renderKernelsFor(SimdBackend backend)
+{
+    switch (backend) {
+    case SimdBackend::kScalar:
+        return renderKernelsScalar();
+    case SimdBackend::kSse2:
+        return renderKernelsSse2();
+    case SimdBackend::kNeon:
+        return renderKernelsNeon();
+    case SimdBackend::kAvx2:
+        // Table may be compiled in but unsafe on this CPU: gate on the
+        // same support check the dispatch uses.
+        return simdBackendSupported(SimdBackend::kAvx2)
+                   ? renderKernelsAvx2()
+                   : nullptr;
+    }
+    return nullptr;
+}
+
+const RenderKernels &
+renderKernels()
+{
+    static const RenderKernels *const chosen = [] {
+        if (const RenderKernels *k =
+                renderKernelsFor(simdDispatchBackend()))
+            return k;
+        return renderKernelsScalar();    // compiled into every build
+    }();
+    return *chosen;
+}
+
+} // namespace clm

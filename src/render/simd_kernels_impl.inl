@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Body of one backend's render kernel table. Included by each
+ * render/simd_kernels_<backend>.cpp inside an anonymous namespace,
+ * after that TU forced its F8 backend (CLM_F8_FORCE_*) — so `F8` below
+ * resolves to the TU's backend and the same source compiles once per
+ * ISA. The AVX2 TU includes this inside a target("avx2") pragma region;
+ * to keep AVX2 codegen out of comdat symbols shared with baseline TUs,
+ * these bodies stick to F8, plain arithmetic and raw pointers — no std::
+ * templates, no containers, no lambdas.
+ *
+ * Determinism contract (the whole point of this layer): every statement
+ * is a fixed sequence of IEEE single ops identical across backends, so
+ * for equal inputs all backends produce bitwise-equal outputs.
+ */
+
+/**
+ * Forward per-tile compositor: 8-pixel groups, one F8 lane per pixel,
+ * the whole alpha-test/compositing recurrence evaluated as masked batch
+ * arithmetic with exp8() replacing the scalar std::exp. Lane
+ * termination (transmittance floor, tile edge) is a mask; every lane
+ * runs the same fixed op sequence, so results are run-to-run
+ * deterministic and independent of threading (tiles touch disjoint
+ * pixels). Differs from compositeTileScalar only through exp8's
+ * <= kExp8MaxUlp rounding.
+ */
+void
+kernelCompositeTile(const CompositeTileArgs &a)
+{
+    const StagedGaussian *hot = a.hot;
+    const Vec3 *colors = a.colors;
+    const size_t len = a.len;
+    const int w = a.width;
+
+    const F8 zero = F8::zero();
+    const F8 one = F8::broadcast(1.0f);
+    const F8 neg_half = F8::broadcast(-0.5f);
+    const F8 v_alpha_min = F8::broadcast(a.alpha_min);
+    const F8 v_t_min = F8::broadcast(a.t_min);
+    const F8 v_clamp = F8::broadcast(0.99f);
+    alignas(32) const float iota_a[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+    const F8 iota = F8::load(iota_a);
+
+    for (int py = a.py0; py < a.py1; ++py) {
+        const float pcy = py + 0.5f;
+        for (int px = a.px0; px < a.px1; px += 8) {
+            const int lanes = a.px1 - px < 8 ? a.px1 - px : 8;
+            const F8 pcx =
+                F8::broadcast(px + 0.5f) + iota;
+            F8 t_acc = one;
+            F8 cr = zero, cg = zero, cb = zero;
+            F8 last = zero;
+            // Lanes past the tile edge start terminated: they flow
+            // through the same arithmetic but are masked out of every
+            // update and never stored back.
+            F8 active =
+                F8::lt(iota, F8::broadcast(static_cast<float>(lanes)));
+            for (size_t pos = 0; pos < len; ++pos) {
+                const StagedGaussian e = hot[pos];
+                const float dy = e.mean_y - pcy;
+                // No pixel of this row can reach the alpha cut.
+                if (-0.5f * e.row_k * dy * dy + kRowCutMargin
+                    < e.power_cut)
+                    continue;
+                const F8 dx = F8::broadcast(e.mean_x) - pcx;
+                // Same operand association as the scalar path
+                // ((a*dx)*dx, (c*dy)*dy, (b*dx)*dy), so for equal
+                // inputs the power bits are identical and the ONLY
+                // deviation from compositeTileScalar is exp8's
+                // rounding.
+                const F8 power =
+                    neg_half
+                        * (F8::broadcast(e.conic_a) * dx * dx
+                           + F8::broadcast(e.conic_c * dy * dy))
+                    - F8::broadcast(e.conic_b) * dx
+                          * F8::broadcast(dy);
+                const F8 cut = F8::broadcast(e.power_cut);
+                // Candidate lanes: alive, power in [cut, 0]. Built from
+                // the same two comparisons the scalar path branches on
+                // (NaN power is a candidate there too).
+                F8 ok = F8::bitAndNot(
+                    F8::bitOr(F8::gt(power, zero), F8::lt(power, cut)),
+                    active);
+                if (!F8::any(ok))
+                    continue;
+                F8 alpha = F8::min(
+                    v_clamp, F8::broadcast(e.opacity) * exp8(power));
+                ok = F8::bitAndNot(F8::lt(alpha, v_alpha_min), ok);
+                if (!F8::any(ok))
+                    continue;
+                const F8 t_next = t_acc * (one - alpha);
+                // Lanes whose transmittance would drop below the floor
+                // terminate WITHOUT compositing this entry — the exact
+                // scalar "break" semantics.
+                const F8 terminate = F8::lt(t_next, v_t_min);
+                const F8 contrib = F8::bitAndNot(terminate, ok);
+                const F8 wgt = F8::bitAnd(contrib, alpha * t_acc);
+                cr = cr + F8::broadcast(colors[pos].x) * wgt;
+                cg = cg + F8::broadcast(colors[pos].y) * wgt;
+                cb = cb + F8::broadcast(colors[pos].z) * wgt;
+                t_acc = F8::select(contrib, t_next, t_acc);
+                last = F8::select(
+                    contrib, F8::broadcast(static_cast<float>(pos + 1)),
+                    last);
+                active = F8::bitAndNot(F8::bitAnd(ok, terminate), active);
+                if (!F8::any(active))
+                    break;
+            }
+            alignas(32) float ta[8], la[8], ra[8], ga[8], ba[8];
+            t_acc.store(ta);
+            last.store(la);
+            cr.store(ra);
+            cg.store(ga);
+            cb.store(ba);
+            for (int l = 0; l < lanes; ++l) {
+                const size_t pi = static_cast<size_t>(py) * w + px + l;
+                a.final_t[pi] = ta[l];
+                a.n_contrib[pi] = static_cast<uint32_t>(la[l]);
+                // Image::setPixel layout: interleaved RGB, row-major.
+                float *pix = a.image + pi * 3;
+                pix[0] = ra[l] + a.background.x * ta[l];
+                pix[1] = ga[l] + a.background.y * ta[l];
+                pix[2] = ba[l] + a.background.z * ta[l];
+            }
+        }
+    }
+}
+
+/** grad8[comp] += v for one staged entry's 8 lane partials. Masked
+ *  lanes of @p v must hold exact +-0.0f so they leave partials
+ *  unchanged up to the sign of zero (fixed op order keeps even that
+ *  deterministic). */
+inline void
+g8Add(float *g8, int comp, F8 v)
+{
+    float *p = g8 + comp * 8;
+    (F8::load(p) + v).store(p);
+}
+
+/**
+ * Backward per-tile replay: 8-pixel groups, one F8 lane per pixel. Each
+ * group replays the tile list back-to-front from the group's deepest
+ * composited prefix; a lane joins at its own n_contrib via a mask, so
+ * the per-lane arithmetic (alpha recompute, transmittance rewind
+ * through t / (1 - alpha), dL/dalpha chain) is exactly the scalar
+ * replay's sequence on that lane's values. Per-Gaussian gradients
+ * accumulate into per-entry 8-lane partials (grad8) in pixel-group
+ * order; the caller reduces the 8 lanes in fixed lane order — so
+ * gradients are deterministic run-to-run, parallel == serial, and
+ * bitwise identical across every F8 backend (exp8 and friends are
+ * bit-equal everywhere).
+ *
+ * Mirrors the forward kernel's tests (same row cut, same power window,
+ * same exp8 bits), so the replay composites exactly the entries the
+ * forward composited.
+ */
+void
+kernelBackwardTile(const BackwardTileArgs &a)
+{
+    const int w = a.width;
+
+    const F8 zero = F8::zero();
+    const F8 one = F8::broadcast(1.0f);
+    const F8 neg_half = F8::broadcast(-0.5f);
+    const F8 v_alpha_min = F8::broadcast(a.alpha_min);
+    const F8 v_clamp = F8::broadcast(0.99f);
+    alignas(32) const float iota_a[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+    const F8 iota = F8::load(iota_a);
+    const F8 bg_r = F8::broadcast(a.background.x);
+    const F8 bg_g = F8::broadcast(a.background.y);
+    const F8 bg_b = F8::broadcast(a.background.z);
+
+    for (int py = a.py0; py < a.py1; ++py) {
+        const float pcy = py + 0.5f;
+        for (int px = a.px0; px < a.px1; px += 8) {
+            const int lanes = a.px1 - px < 8 ? a.px1 - px : 8;
+            // Gather the group's per-pixel forward activation. Lanes
+            // past the tile edge read n_contrib = 0: they never join
+            // the replay and contribute exact zeros.
+            alignas(32) float nc_a[8], ft_a[8];
+            alignas(32) float dr_a[8], dg_a[8], db_a[8];
+            uint32_t maxc = 0;
+            for (int l = 0; l < 8; ++l) {
+                if (l < lanes) {
+                    const size_t pi =
+                        static_cast<size_t>(py) * w + px + l;
+                    const uint32_t nc = a.n_contrib[pi];
+                    if (nc > maxc)
+                        maxc = nc;
+                    nc_a[l] = static_cast<float>(nc);
+                    ft_a[l] = a.final_t[pi];
+                    const float *dp = a.d_image + pi * 3;
+                    dr_a[l] = dp[0];
+                    dg_a[l] = dp[1];
+                    db_a[l] = dp[2];
+                } else {
+                    nc_a[l] = 0.0f;
+                    ft_a[l] = 1.0f;
+                    dr_a[l] = dg_a[l] = db_a[l] = 0.0f;
+                }
+            }
+            if (maxc == 0)
+                continue;
+            const F8 pcx = F8::broadcast(px + 0.5f) + iota;
+            // n_contrib < kSimdMaxStagedEntries = 2^24, so the float
+            // lane holds it exactly and lt() is an exact integer test.
+            const F8 nc_f = F8::load(nc_a);
+            const F8 fin_t = F8::load(ft_a);
+            const F8 dpr = F8::load(dr_a);
+            const F8 dpg = F8::load(dg_a);
+            const F8 dpb = F8::load(db_a);
+            // Same association as Vec3::dot: (x + y) + z.
+            const F8 bg_dot = bg_r * dpr + bg_g * dpg + bg_b * dpb;
+
+            F8 t_acc = fin_t;
+            F8 last_alpha = zero;
+            F8 last_r = zero, last_g = zero, last_b = zero;
+            F8 rec_r = zero, rec_g = zero, rec_b = zero;
+            for (size_t pos = maxc; pos-- > 0;) {
+                const float dy_s = a.mean_y[pos] - pcy;
+                // No pixel of this row reaches the cut — uniform
+                // across the group's 8 lanes (dy depends only on py).
+                if (-0.5f * a.row_k[pos] * dy_s * dy_s + kRowCutMargin
+                    < a.power_cut[pos])
+                    continue;
+                // Lanes whose composited prefix includes this entry.
+                const F8 join = F8::lt(
+                    F8::broadcast(static_cast<float>(pos)), nc_f);
+                const F8 dx = F8::broadcast(a.mean_x[pos]) - pcx;
+                const F8 dy = F8::broadcast(dy_s);
+                // Identical association to the forward kernel, so the
+                // power (and hence alpha) bits match the forward pass.
+                const F8 power =
+                    neg_half
+                        * (F8::broadcast(a.conic_a[pos]) * dx * dx
+                           + F8::broadcast(a.conic_c[pos] * dy_s
+                                           * dy_s))
+                    - F8::broadcast(a.conic_b[pos]) * dx * dy;
+                const F8 cut = F8::broadcast(a.power_cut[pos]);
+                F8 ok = F8::bitAndNot(
+                    F8::bitOr(F8::gt(power, zero), F8::lt(power, cut)),
+                    join);
+                if (!F8::any(ok))
+                    continue;
+                const F8 gval = exp8(power);
+                const F8 raw_alpha =
+                    F8::broadcast(a.opacity[pos]) * gval;
+                const F8 clamped = F8::gt(raw_alpha, v_clamp);
+                const F8 alpha = F8::min(v_clamp, raw_alpha);
+                ok = F8::bitAndNot(F8::lt(alpha, v_alpha_min), ok);
+                if (!F8::any(ok))
+                    continue;
+
+                // Transmittance in front of this Gaussian (rewind);
+                // untouched on lanes that skip the entry.
+                const F8 om_alpha = one - alpha;
+                t_acc = F8::select(ok, t_acc / om_alpha, t_acc);
+                const F8 dch_dcolor = F8::bitAnd(ok, alpha * t_acc);
+
+                // c - (color accumulated behind this Gaussian).
+                rec_r = F8::select(
+                    ok, last_r * last_alpha + rec_r * (one - last_alpha),
+                    rec_r);
+                rec_g = F8::select(
+                    ok, last_g * last_alpha + rec_g * (one - last_alpha),
+                    rec_g);
+                rec_b = F8::select(
+                    ok, last_b * last_alpha + rec_b * (one - last_alpha),
+                    rec_b);
+                const F8 col_r = F8::broadcast(a.color_r[pos]);
+                const F8 col_g = F8::broadcast(a.color_g[pos]);
+                const F8 col_b = F8::broadcast(a.color_b[pos]);
+                last_r = F8::select(ok, col_r, last_r);
+                last_g = F8::select(ok, col_g, last_g);
+                last_b = F8::select(ok, col_b, last_b);
+                F8 dl_dalpha = (col_r - rec_r) * dpr
+                             + (col_g - rec_g) * dpg
+                             + (col_b - rec_b) * dpb;
+
+                float *g8 = a.grad8
+                          + pos * static_cast<size_t>(kG8Comps) * 8;
+                g8Add(g8, kG8ColorR, dpr * dch_dcolor);
+                g8Add(g8, kG8ColorG, dpg * dch_dcolor);
+                g8Add(g8, kG8ColorB, dpb * dch_dcolor);
+
+                dl_dalpha = dl_dalpha * t_acc;
+                last_alpha = F8::select(ok, alpha, last_alpha);
+
+                // Background shows through less when alpha grows.
+                dl_dalpha = dl_dalpha
+                          + ((zero - fin_t) / om_alpha) * bg_dot;
+
+                // min(0.99, .) sub-gradient = 0 on clamped lanes: they
+                // keep the color gradient above but contribute nothing
+                // to opacity/mean/conic.
+                const F8 grad_ok = F8::bitAndNot(clamped, ok);
+                if (!F8::any(grad_ok))
+                    continue;
+                g8Add(g8, kG8Opacity,
+                      F8::bitAnd(grad_ok, gval * dl_dalpha));
+
+                // G = exp(power(d)), d = mean - pix.
+                const F8 gdl =
+                    gval * (F8::broadcast(a.opacity[pos]) * dl_dalpha);
+                const F8 ca8 = F8::broadcast(a.conic_a[pos]);
+                const F8 cb8 = F8::broadcast(a.conic_b[pos]);
+                const F8 cc8 = F8::broadcast(a.conic_c[pos]);
+                g8Add(g8, kG8MeanX,
+                      F8::bitAnd(grad_ok,
+                                 gdl * ((zero - ca8) * dx - cb8 * dy)));
+                g8Add(g8, kG8MeanY,
+                      F8::bitAnd(grad_ok,
+                                 gdl * ((zero - cc8) * dy - cb8 * dx)));
+                g8Add(g8, kG8ConicA,
+                      F8::bitAnd(grad_ok,
+                                 gdl * (neg_half * dx * dx)));
+                g8Add(g8, kG8ConicB,
+                      F8::bitAnd(grad_ok, gdl * ((zero - dx) * dy)));
+                g8Add(g8, kG8ConicC,
+                      F8::bitAnd(grad_ok,
+                                 gdl * (neg_half * dy * dy)));
+            }
+        }
+    }
+}
+
+/**
+ * Packed frustum plane sweep (the batch culler's prefilter): 8 entries
+ * per op against the 6 planes, no early exit but no branches either.
+ * Writes the per-lane "clearly outside" mask; the caller runs the exact
+ * Ellipsoid/Frustum predicate on surviving lanes, so membership can
+ * never differ from the per-view cull.
+ */
+void
+kernelCullPrefilter(const CullPrefilterArgs &a)
+{
+    F8 nx[6], ny[6], nz[6], nd[6], margin[6];
+    for (int j = 0; j < 6; ++j) {
+        nx[j] = F8::broadcast(a.plane_nx[j]);
+        ny[j] = F8::broadcast(a.plane_ny[j]);
+        nz[j] = F8::broadcast(a.plane_nz[j]);
+        nd[j] = F8::broadcast(a.plane_d[j]);
+        margin[j] = F8::broadcast(a.margin[j]);
+    }
+    for (size_t b = 0; b < a.padded; b += 8) {
+        const F8 px = F8::load(a.cx + b);
+        const F8 py = F8::load(a.cy + b);
+        const F8 pz = F8::load(a.cz + b);
+        const F8 thr = F8::load(a.neg_thresh + b);
+        F8 rejected = F8::zero();
+        for (int j = 0; j < 6; ++j) {
+            F8 dist = nx[j] * px + ny[j] * py + nz[j] * pz + nd[j];
+            rejected =
+                F8::bitOr(rejected, F8::lt(dist, thr - margin[j]));
+        }
+        rejected.store(a.rejected + b);
+    }
+}

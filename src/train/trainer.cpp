@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "math/simd_backend.hpp"
 #include "render/culling.hpp"
 #include "serve/snapshot.hpp"
 #include "shard/sharded_snapshot.hpp"
@@ -21,6 +22,14 @@ Trainer::Trainer(GaussianModel model, std::vector<Camera> cameras,
                "one ground-truth image per camera required");
     CLM_ASSERT(!cameras_.empty(), "need at least one view");
     adam_.reset(model_.size());
+    // One startup line so training logs record which SIMD kernel table
+    // the run dispatched to (CLM_SIMD can override the CPUID choice).
+    static const bool logged_simd = [] {
+        inform("render kernels: ", simdDispatchName(),
+               " (build ", simdIsaName(), ")");
+        return true;
+    }();
+    (void)logged_simd;
 }
 
 std::vector<BatchStats>

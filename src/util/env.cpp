@@ -1,0 +1,52 @@
+#include "util/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/logging.hpp"
+
+namespace clm {
+
+long
+envInt(const char *name, long fallback, long min, long max)
+{
+    const char *value = std::getenv(name);
+    if (!value)
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || errno == ERANGE) {
+        warn(name, "=\"", value, "\" is not an integer; using ", fallback);
+        return fallback;
+    }
+    if (v < min)
+        v = min;
+    if (v > max)
+        v = max;
+    return v;
+}
+
+const char *
+envChoice(const char *name, const char *const *choices, size_t n_choices,
+          const char *fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value)
+        return fallback;
+    for (size_t i = 0; i < n_choices; ++i)
+        if (std::strcmp(value, choices[i]) == 0)
+            return choices[i];
+    std::string known;
+    for (size_t i = 0; i < n_choices; ++i) {
+        if (i)
+            known += "|";
+        known += choices[i];
+    }
+    warn(name, "=\"", value, "\" is not one of ", known, "; ignoring");
+    return fallback;
+}
+
+} // namespace clm

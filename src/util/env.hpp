@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Environment-variable parsing shared by every runtime knob (CLM_THREADS,
+ * CLM_SIMD, ...). ONE definition of the "garbage rejection" policy: an
+ * unset variable silently selects the fallback, a malformed value warns
+ * once (to stderr, via util/logging) and selects the fallback — it never
+ * silently degrades into a surprising configuration the way a raw
+ * strtol(garbage) == 0 would.
+ */
+
+#ifndef CLM_UTIL_ENV_HPP
+#define CLM_UTIL_ENV_HPP
+
+#include <cstddef>
+
+namespace clm {
+
+/**
+ * Read integer environment variable @p name clamped into
+ * [@p min, @p max]. Unset returns @p fallback. A value that is not a
+ * plain base-10 integer (empty, trailing junk, overflow) warns and
+ * returns @p fallback. Values outside the range are clamped (a huge
+ * CLM_THREADS should cap, not reject).
+ */
+long envInt(const char *name, long fallback, long min, long max);
+
+/**
+ * Read enumerated environment variable @p name against the
+ * @p n_choices strings of @p choices. Returns the matched element of
+ * @p choices (pointer identity, so callers can compare against their
+ * table), @p fallback when unset, and warns + returns @p fallback on a
+ * value matching no choice. Matching is exact and case-sensitive.
+ */
+const char *envChoice(const char *name, const char *const *choices,
+                      size_t n_choices, const char *fallback);
+
+} // namespace clm
+
+#endif // CLM_UTIL_ENV_HPP

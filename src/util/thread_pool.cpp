@@ -1,8 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 
+#include "util/env.hpp"
 #include "util/logging.hpp"
 
 namespace clm {
@@ -11,17 +11,14 @@ ThreadPool::ThreadPool(unsigned threads)
 {
     if (threads == 0) {
         // CLM_THREADS pins the default worker count (benchmarks and CI
-        // use it for comparable runs); clamped into [1, 1024] —
-        // unparseable values count as 1, absurd counts cap at 1024
-        // rather than spawn unbounded threads. Unset falls back to
-        // hardware concurrency.
-        if (const char *env = std::getenv("CLM_THREADS")) {
-            long v = std::strtol(env, nullptr, 10);
-            threads = static_cast<unsigned>(
-                std::min<long>(std::max<long>(v, 1), 1024));
-        } else {
-            threads = std::max(1u, std::thread::hardware_concurrency());
-        }
+        // use it for comparable runs), through the shared env-parsing
+        // policy (util/env.hpp): unset or garbage (with a warning)
+        // falls back to hardware concurrency, numeric values clamp
+        // into [1, 1024] rather than spawn unbounded threads.
+        const long fallback =
+            std::max(1u, std::thread::hardware_concurrency());
+        threads = static_cast<unsigned>(
+            envInt("CLM_THREADS", fallback, 1, 1024));
     }
     workers_.reserve(threads);
     for (unsigned t = 0; t < threads; ++t)

@@ -23,7 +23,8 @@ class ThreadPool
 {
   public:
     /** Spawn @p threads workers. 0 selects the default: the CLM_THREADS
-     *  environment variable when set (clamped into [1, 1024]), else
+     *  environment variable when set (parsed by util/env.hpp — clamped
+     *  into [1, 1024]; non-numeric values warn and fall back), else
      *  hardware concurrency — so benchmarks/CI can pin the pool size of
      *  global() without code changes. */
     explicit ThreadPool(unsigned threads = 0);

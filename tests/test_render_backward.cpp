@@ -16,6 +16,7 @@
 #include "render/culling.hpp"
 #include "render/loss.hpp"
 #include "render/rasterizer.hpp"
+#include "render/simd_kernels.hpp"
 #include "scene/camera_path.hpp"
 #include "scene/scene_spec.hpp"
 #include "scene/synthetic.hpp"
@@ -323,6 +324,51 @@ TEST(RenderBackward, ParallelBitwiseIdenticalToSerial)
             // The arena overloads are pure scratch reuse.
             EXPECT_EQ(a.d_position[i].x, c.d_position[i].x) << i;
             EXPECT_EQ(a.d_opacity[i], c.d_opacity[i]) << i;
+        }
+    }
+}
+
+TEST(RenderBackward, MaskedTailWidthsBitwiseAcrossKernelTables)
+{
+    // The SIMD backward replays pixels in groups of 8; image widths
+    // 96..103 sweep every tail width (w mod 8 = 0..7), so partial
+    // groups at the right tile edge exercise the masked lanes. The
+    // scalar kernel table runs the identical IEEE op sequence one lane
+    // at a time, so gradients must agree bit for bit with whatever
+    // table the CPU dispatched.
+    const RenderKernels *scalar_kern =
+        renderKernelsFor(SimdBackend::kScalar);
+    ASSERT_NE(scalar_kern, nullptr);
+    SceneSpec spec = SceneSpec::rubble();
+    GaussianModel m = generateGroundTruth(spec, 500);
+    for (int w = 96; w <= 103; ++w) {
+        Camera cam = generateCameraPath(spec, 2, w, 59)[0];
+        auto subset = frustumCull(m, cam);
+        Image d_image(w, 59, {0.3f, -0.2f, 0.1f});
+        auto run = [&](const RenderKernels *kern) {
+            RenderConfig cfg;
+            cfg.kernels = kern;
+            RenderOutput out = renderForward(m, cam, subset, cfg);
+            GaussianGrads g;
+            g.resize(m.size());
+            renderBackward(m, cam, cfg, out, d_image, g);
+            return g;
+        };
+        GaussianGrads a = run(nullptr);    // dispatched table
+        GaussianGrads b = run(scalar_kern);
+        for (size_t i = 0; i < m.size(); ++i) {
+            ASSERT_EQ(a.d_position[i].x, b.d_position[i].x)
+                << "w=" << w << " i=" << i;
+            ASSERT_EQ(a.d_position[i].y, b.d_position[i].y)
+                << "w=" << w << " i=" << i;
+            ASSERT_EQ(a.d_opacity[i], b.d_opacity[i])
+                << "w=" << w << " i=" << i;
+            ASSERT_EQ(a.d_log_scale[i].y, b.d_log_scale[i].y)
+                << "w=" << w << " i=" << i;
+            ASSERT_EQ(a.d_rotation[i].x, b.d_rotation[i].x)
+                << "w=" << w << " i=" << i;
+            ASSERT_EQ(a.d_sh[i * kShDim], b.d_sh[i * kShDim])
+                << "w=" << w << " i=" << i;
         }
     }
 }

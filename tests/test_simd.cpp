@@ -20,6 +20,7 @@
 #include "render/arena.hpp"
 #include "render/culling.hpp"
 #include "render/rasterizer.hpp"
+#include "render/simd_kernels.hpp"
 #include "scene/camera_path.hpp"
 #include "scene/scene_spec.hpp"
 #include "scene/synthetic.hpp"
@@ -224,6 +225,107 @@ TEST(SimdCompositor, BackwardGradientsCloseToScalar)
                     1e-5 + 1e-3 * std::abs(b.d_opacity[i]));
         EXPECT_NEAR(a.d_sh[i * kShDim], b.d_sh[i * kShDim],
                     1e-5 + 1e-3 * std::abs(b.d_sh[i * kShDim]));
+    }
+}
+
+TEST(SimdDispatch, ResolveBackendHonorsTokensAndSupport)
+{
+    const SimdBackend pref = simdPreferredBackend();
+    EXPECT_TRUE(simdBackendSupported(pref));
+    // No token: the CPUID-preferred backend.
+    EXPECT_EQ(simdResolveBackend(nullptr, pref), pref);
+    // Scalar is supported everywhere and always honored.
+    EXPECT_EQ(simdResolveBackend("scalar", pref), SimdBackend::kScalar);
+    // Any supported backend's own token resolves to itself.
+    for (int b = 0; b < kNumSimdBackends; ++b) {
+        const SimdBackend be = static_cast<SimdBackend>(b);
+        if (simdBackendSupported(be))
+            EXPECT_EQ(simdResolveBackend(simdBackendName(be), pref), be)
+                << simdBackendName(be);
+    }
+    // Unknown tokens warn and keep the preferred choice.
+    EXPECT_EQ(simdResolveBackend("banana", pref), pref);
+    // The startup choice is supported and its kernel table exists and
+    // self-identifies.
+    const SimdBackend chosen = simdDispatchBackend();
+    EXPECT_TRUE(simdBackendSupported(chosen));
+    const RenderKernels &kern = renderKernels();
+    EXPECT_EQ(kern.backend, chosen);
+    EXPECT_STREQ(kern.name, simdBackendName(chosen));
+    // Unsupported backends have no table; supported ones all do.
+    for (int b = 0; b < kNumSimdBackends; ++b) {
+        const SimdBackend be = static_cast<SimdBackend>(b);
+        const RenderKernels *t = renderKernelsFor(be);
+        EXPECT_EQ(t != nullptr, simdBackendSupported(be))
+            << simdBackendName(be);
+        if (t)
+            EXPECT_EQ(t->backend, be);
+    }
+}
+
+TEST(SimdDispatch, KernelTablesBitwiseIdenticalAcrossBackends)
+{
+    // THE dispatch-invariance guarantee: every backend's kernel table
+    // runs the same IEEE op sequence, so forward images, activation
+    // state, and backward gradients must match BIT FOR BIT across every
+    // backend this CPU supports — on all five paper scenes (odd
+    // resolution: partial tiles + lane tails).
+    for (const SceneSpec &spec :
+         {SceneSpec::bicycle(), SceneSpec::rubble(), SceneSpec::alameda(),
+          SceneSpec::ithaca(), SceneSpec::bigCity()}) {
+        GaussianModel m = generateGroundTruth(spec, 600);
+        Camera cam = generateCameraPath(spec, 2, 97, 61)[0];
+        auto subset = frustumCull(m, cam);
+        Image d_image(97, 61, {0.3f, -0.2f, 0.1f});
+
+        bool have_ref = false;
+        RenderOutput ref_out;
+        GaussianGrads ref_g;
+        for (int b = 0; b < kNumSimdBackends; ++b) {
+            const RenderKernels *kern =
+                renderKernelsFor(static_cast<SimdBackend>(b));
+            if (!kern)
+                continue;
+            RenderConfig cfg;
+            cfg.kernels = kern;
+            RenderOutput out = renderForward(m, cam, subset, cfg);
+            GaussianGrads g;
+            g.resize(m.size());
+            renderBackward(m, cam, cfg, out, d_image, g);
+            if (!have_ref) {
+                ref_out = std::move(out);
+                ref_g = std::move(g);
+                have_ref = true;
+                continue;
+            }
+            const char *name = kern->name;
+            // Bitwise: float vectors compared as exact values.
+            EXPECT_EQ(out.image.data(), ref_out.image.data())
+                << spec.name << " image vs " << name;
+            EXPECT_EQ(out.final_t, ref_out.final_t)
+                << spec.name << " final_t vs " << name;
+            EXPECT_EQ(out.n_contrib, ref_out.n_contrib)
+                << spec.name << " n_contrib vs " << name;
+            ASSERT_EQ(g.d_position.size(), ref_g.d_position.size());
+            for (size_t i = 0; i < m.size(); ++i) {
+                ASSERT_EQ(floatBits(g.d_position[i].x),
+                          floatBits(ref_g.d_position[i].x))
+                    << spec.name << " " << name << " row " << i;
+                ASSERT_EQ(floatBits(g.d_position[i].y),
+                          floatBits(ref_g.d_position[i].y))
+                    << spec.name << " " << name << " row " << i;
+                ASSERT_EQ(floatBits(g.d_opacity[i]),
+                          floatBits(ref_g.d_opacity[i]))
+                    << spec.name << " " << name << " row " << i;
+                ASSERT_EQ(floatBits(g.d_log_scale[i].z),
+                          floatBits(ref_g.d_log_scale[i].z))
+                    << spec.name << " " << name << " row " << i;
+                ASSERT_EQ(floatBits(g.d_sh[i * kShDim]),
+                          floatBits(ref_g.d_sh[i * kShDim]))
+                    << spec.name << " " << name << " row " << i;
+            }
+        }
+        EXPECT_TRUE(have_ref);
     }
 }
 

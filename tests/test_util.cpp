@@ -17,6 +17,7 @@
 #include <cstdlib>
 
 #include "render/image.hpp"
+#include "util/env.hpp"
 #include "util/logging.hpp"
 #include "util/mpmc_queue.hpp"
 #include "util/table.hpp"
@@ -126,11 +127,55 @@ TEST(Image, PpmRoundTripHeader)
     std::remove(path.c_str());
 }
 
+TEST(Env, IntParsesClampsAndRejectsGarbage)
+{
+    // The one shared env-parsing policy (util/env.hpp): unset -> the
+    // fallback, numbers clamp into range, garbage warns and falls back
+    // instead of silently turning into 0.
+    ASSERT_EQ(unsetenv("CLM_TEST_ENV"), 0);
+    EXPECT_EQ(envInt("CLM_TEST_ENV", 7, 1, 100), 7);
+    ASSERT_EQ(setenv("CLM_TEST_ENV", "42", 1), 0);
+    EXPECT_EQ(envInt("CLM_TEST_ENV", 7, 1, 100), 42);
+    ASSERT_EQ(setenv("CLM_TEST_ENV", "-5", 1), 0);
+    EXPECT_EQ(envInt("CLM_TEST_ENV", 7, 1, 100), 1);    // clamp low
+    ASSERT_EQ(setenv("CLM_TEST_ENV", "4096", 1), 0);
+    EXPECT_EQ(envInt("CLM_TEST_ENV", 7, 1, 100), 100);    // clamp high
+    // strtol-style leading whitespace is tolerated.
+    ASSERT_EQ(setenv("CLM_TEST_ENV", " 3", 1), 0);
+    EXPECT_EQ(envInt("CLM_TEST_ENV", 7, 1, 100), 3);
+    for (const char *garbage :
+         {"", "abc", "12abc", "1.5", "999999999999999999999"}) {
+        ASSERT_EQ(setenv("CLM_TEST_ENV", garbage, 1), 0);
+        EXPECT_EQ(envInt("CLM_TEST_ENV", 7, 1, 100), 7)
+            << "value \"" << garbage << "\"";
+    }
+    ASSERT_EQ(unsetenv("CLM_TEST_ENV"), 0);
+}
+
+TEST(Env, ChoiceMatchesExactlyOrFallsBack)
+{
+    static const char *const kChoices[] = {"avx2", "sse2", "scalar"};
+    ASSERT_EQ(unsetenv("CLM_TEST_ENV"), 0);
+    EXPECT_EQ(envChoice("CLM_TEST_ENV", kChoices, 3, nullptr), nullptr);
+    ASSERT_EQ(setenv("CLM_TEST_ENV", "sse2", 1), 0);
+    // Matches return the canonical table pointer (pointer identity).
+    EXPECT_EQ(envChoice("CLM_TEST_ENV", kChoices, 3, nullptr),
+              kChoices[1]);
+    for (const char *garbage : {"SSE2", "sse", "sse2 ", "", "banana"}) {
+        ASSERT_EQ(setenv("CLM_TEST_ENV", garbage, 1), 0);
+        EXPECT_EQ(envChoice("CLM_TEST_ENV", kChoices, 3, kChoices[2]),
+                  kChoices[2])
+            << "value \"" << garbage << "\"";
+    }
+    ASSERT_EQ(unsetenv("CLM_TEST_ENV"), 0);
+}
+
 TEST(ThreadPool, ClmThreadsEnvPinsDefaultWorkerCount)
 {
-    // CLM_THREADS pins the default (threads == 0) pool size, clamped to
-    // >= 1; unparseable values clamp to 1, unset falls back to hardware
-    // concurrency. Local pools read the env at construction, exactly
+    // CLM_THREADS pins the default (threads == 0) pool size through
+    // util/env.hpp: numeric values clamp into [1, 1024], garbage warns
+    // and falls back to hardware concurrency, unset falls back
+    // silently. Local pools read the env at construction, exactly
     // like the lazily-constructed global() pool does.
     ASSERT_EQ(setenv("CLM_THREADS", "3", 1), 0);
     {
@@ -151,6 +196,14 @@ TEST(ThreadPool, ClmThreadsEnvPinsDefaultWorkerCount)
     {
         ThreadPool pool;
         EXPECT_GE(pool.threads(), 1u);
+    }
+    // Garbage warns and falls back to hardware concurrency, the same
+    // count an unset variable selects.
+    ASSERT_EQ(setenv("CLM_THREADS", "lots", 1), 0);
+    {
+        ThreadPool pool;
+        EXPECT_EQ(pool.threads(),
+                  std::max(1u, std::thread::hardware_concurrency()));
     }
     // An explicit count always wins over the environment.
     ASSERT_EQ(setenv("CLM_THREADS", "5", 1), 0);
