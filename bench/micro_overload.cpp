@@ -1,0 +1,463 @@
+/**
+ * @file
+ * Overload micro-benchmark: what happens to the RenderService when
+ * open-loop arrivals exceed capacity. Closed-loop load (micro_serve)
+ * can never oversubscribe the service — every client waits for its
+ * response — so this bench drives an *open-loop* arrival schedule
+ * (submit at fixed ticks regardless of completions) at 1x/2x/4x of the
+ * measured closed-loop capacity and records, per load point: goodput
+ * (admitted completions/s), shed fraction, and the p50/p99 latency of
+ * admitted requests.
+ *
+ * Two admission configurations face the same schedule:
+ *  - "reject": ShedPolicy::Reject with a short queue and a per-request
+ *    deadline — the overload-hardened configuration. Admitted p99 stays
+ *    bounded (the queue and the deadline cap how stale a request can
+ *    get before rendering) and goodput stays at capacity: shedding
+ *    costs no render time.
+ *  - "block" baseline: the pre-admission-control behavior (effectively
+ *    unbounded queue, no deadline). Under sustained overload the queue
+ *    — and therefore p99 — grows without bound; the bench shows it by
+ *    running the same 2x overload for a short and a long schedule and
+ *    reporting the p99 growth.
+ *
+ * Admitted frames are verified bitwise against direct renderForward
+ * calls (shedding changes WHICH requests render, never WHAT a render
+ * produces), and every future must resolve — a request unresolved
+ * after a generous timeout counts as hung and fails the bench.
+ *
+ * Prints a table and emits BENCH_overload.json
+ * (scripts/bench_overload.sh) with the machine/build context block.
+ *
+ * Usage: micro_overload [--smoke] [--out FILE.json]
+ */
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+#include "render/culling.hpp"
+#include "render/rasterizer.hpp"
+#include "serve/render_service.hpp"
+#include "serve/snapshot.hpp"
+
+using namespace clm;
+
+namespace {
+
+struct OverloadCase
+{
+    std::string name;
+    std::string scene;
+    size_t n_gaussians;
+    int width, height;
+    int sh_degree;
+    int capacity_requests;    //!< Closed-loop capacity probe length.
+    int requests_per_x;       //!< Open-loop requests per 1x of load.
+};
+
+struct PointResult
+{
+    std::string policy;    //!< "reject" or "block".
+    double load_x = 0;     //!< Offered load as a multiple of capacity.
+    int requests = 0;
+    double offered_rps = 0;
+    double elapsed_s = 0;
+    uint64_t admitted = 0;
+    uint64_t shed_queue_full = 0;
+    uint64_t shed_deadline = 0;
+    int hung = 0;
+    double goodput_rps = 0;
+    double shed_fraction = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    double mean_batch = 0;
+    bool bitwise_checked = false;
+    bool bitwise_identical = true;
+};
+
+struct CaseResult
+{
+    OverloadCase cfg;
+    double direct_ms_per_view = 0;
+    double capacity_rps = 0;     //!< Closed-loop, through the service.
+    double capacity_p99_ms = 0;
+    std::vector<PointResult> points;       //!< Reject policy sweep.
+    PointResult baseline_short;            //!< Block @ 2x, short run.
+    PointResult baseline_long;             //!< Block @ 2x, 3x-long run.
+
+    const PointResult *
+    rejectAt(double x) const
+    {
+        for (const PointResult &p : points)
+            if (p.load_x == x)
+                return &p;
+        return nullptr;
+    }
+};
+
+/** Closed-loop capacity probe: N clients, one in flight each, through
+ *  the overload-hardened service's own render path (workers/max_batch
+ *  as configured) — the honest "what can this box do" number the load
+ *  multipliers are anchored to. */
+void
+measureCapacity(const SnapshotSlot &slot, const RenderConfig &render,
+                const std::vector<Camera> &path, int n_requests,
+                CaseResult &out)
+{
+    ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.max_batch = 4;
+    cfg.render = render;
+    RenderService service(slot, cfg);
+
+    std::atomic<int> budget{n_requests};
+    Timer wall;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+        clients.emplace_back([&, c] {
+            size_t pos = static_cast<size_t>(c) * path.size() / 4;
+            while (budget.fetch_sub(1) > 0) {
+                service.submit(path[pos % path.size()]).get();
+                ++pos;
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    const double elapsed = wall.seconds();
+    service.stop();
+    ServeStats stats = service.stats();
+    out.capacity_rps =
+        elapsed > 0 ? static_cast<double>(stats.requests) / elapsed : 0;
+    out.capacity_p99_ms = stats.p99_ms;
+}
+
+/**
+ * Drive one open-loop point: submit @p n_requests on the absolute
+ * schedule t_i = i / rate (no waiting for completions), then wait for
+ * every future. Verifies the first @p verify_n admitted frames bitwise
+ * against direct renders AFTER timing ends.
+ */
+PointResult
+driveOpenLoop(const SnapshotSlot &slot, const GaussianModel &model,
+              const std::vector<Camera> &path, ServeConfig cfg,
+              const std::string &policy_name, double load_x,
+              double rate_rps, int n_requests, int verify_n)
+{
+    RenderService service(slot, cfg);
+    std::vector<std::future<RenderResponse>> pending;
+    pending.reserve(n_requests);
+
+    Timer wall;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < n_requests; ++i) {
+        const auto due =
+            t0
+            + std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(i / rate_rps));
+        std::this_thread::sleep_until(due);
+        pending.push_back(
+            service.submit(path[static_cast<size_t>(i) % path.size()]));
+    }
+
+    PointResult r;
+    r.policy = policy_name;
+    r.load_x = load_x;
+    r.requests = n_requests;
+    r.offered_rps = rate_rps;
+
+    // Every future must resolve — the no-hang contract. Keep only the
+    // images needed for the bitwise check; verification renders run
+    // after timing so they don't pollute goodput.
+    std::vector<std::pair<size_t, Image>> to_verify;
+    for (int i = 0; i < n_requests; ++i) {
+        if (pending[i].wait_for(std::chrono::seconds(60))
+            != std::future_status::ready) {
+            ++r.hung;
+            continue;
+        }
+        RenderResponse resp = pending[i].get();
+        if (resp.ok()
+            && to_verify.size() < static_cast<size_t>(verify_n))
+            to_verify.emplace_back(static_cast<size_t>(i) % path.size(),
+                                   std::move(resp.image));
+    }
+    r.elapsed_s = wall.seconds();
+    service.stop();
+
+    ServeStats stats = service.stats();
+    r.admitted = stats.requests;
+    r.shed_queue_full = stats.shed_queue_full;
+    r.shed_deadline = stats.shed_deadline;
+    r.goodput_rps =
+        r.elapsed_s > 0
+            ? static_cast<double>(r.admitted) / r.elapsed_s
+            : 0;
+    r.shed_fraction =
+        stats.submitted > 0
+            ? static_cast<double>(stats.shed_queue_full
+                                  + stats.shed_deadline)
+                  / static_cast<double>(stats.submitted)
+            : 0;
+    r.p50_ms = stats.p50_ms;
+    r.p99_ms = stats.p99_ms;
+    r.mean_batch = stats.mean_batch;
+
+    r.bitwise_checked = !to_verify.empty();
+    for (const auto &v : to_verify) {
+        auto subset = frustumCull(model, path[v.first]);
+        Image direct =
+            renderForward(model, path[v.first], subset, cfg.render)
+                .image;
+        if (!(direct.data() == v.second.data()))
+            r.bitwise_identical = false;
+    }
+    return r;
+}
+
+CaseResult
+runCase(const OverloadCase &c)
+{
+    SceneSpec spec = SceneSpec::byName(c.scene);
+    GaussianModel model = generateSceneGaussians(spec, c.n_gaussians);
+    std::vector<Camera> path =
+        generateCameraPath(spec, 48, c.width, c.height);
+
+    RenderConfig render;
+    render.sh_degree = c.sh_degree;
+
+    CaseResult r;
+    r.cfg = c;
+
+    // Direct per-view reference (sizes the deadline below).
+    RenderArena arena;
+    {
+        for (int v = 0; v < 4; ++v) {
+            auto s = frustumCull(model, path[v]);
+            renderForward(model, path[v], s, render, arena);
+        }
+        Timer t;
+        const int reps = 8;
+        for (int v = 0; v < reps; ++v) {
+            auto s = frustumCull(model, path[v]);
+            renderForward(model, path[v], s, render, arena);
+        }
+        r.direct_ms_per_view = t.millis() / reps;
+    }
+
+    SnapshotSlot slot;
+    slot.publish(model, 0);
+    measureCapacity(slot, render, path, c.capacity_requests, r);
+
+    // The overload-hardened configuration: short queue + deadline +
+    // Reject. The deadline (in queue-wait terms) is what bounds
+    // admitted p99 under overload; the queue bound is what keeps the
+    // shed path cheap.
+    ServeConfig reject_cfg;
+    reject_cfg.workers = 1;
+    reject_cfg.max_batch = 4;
+    reject_cfg.queue_capacity = 6;
+    reject_cfg.render = render;
+    reject_cfg.admission.shed = ShedPolicy::Reject;
+    reject_cfg.admission.deadline_s =
+        6.0 * r.direct_ms_per_view / 1e3;
+
+    const int verify_n = 12;
+    for (double x : {1.0, 2.0, 4.0}) {
+        const int n = static_cast<int>(c.requests_per_x * x);
+        r.points.push_back(driveOpenLoop(
+            slot, model, path, reject_cfg, "reject", x,
+            x * r.capacity_rps, n, verify_n));
+    }
+
+    // Blocking baseline: the pre-admission-control service — submit
+    // blocks only at a far-away capacity bound, requests queue without
+    // deadline. p99 then scales with how LONG the overload lasts, which
+    // the short/long pair makes visible.
+    ServeConfig block_cfg = reject_cfg;
+    block_cfg.admission = AdmissionConfig{};    // Block, no deadline
+    block_cfg.queue_capacity = 1u << 20;
+    r.baseline_short = driveOpenLoop(slot, model, path, block_cfg,
+                                     "block", 2.0, 2.0 * r.capacity_rps,
+                                     c.requests_per_x, verify_n);
+    r.baseline_long = driveOpenLoop(slot, model, path, block_cfg,
+                                    "block", 2.0, 2.0 * r.capacity_rps,
+                                    3 * c.requests_per_x, verify_n);
+    return r;
+}
+
+void
+writePoint(std::ofstream &f, const PointResult &p, const char *indent)
+{
+    f << indent << "{\"policy\": \"" << p.policy << "\""
+      << ", \"load_x\": " << p.load_x
+      << ", \"requests\": " << p.requests
+      << ", \"offered_rps\": " << p.offered_rps
+      << ", \"goodput_rps\": " << p.goodput_rps
+      << ", \"admitted\": " << p.admitted
+      << ", \"shed_queue_full\": " << p.shed_queue_full
+      << ", \"shed_deadline\": " << p.shed_deadline
+      << ", \"shed_fraction\": " << p.shed_fraction
+      << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
+      << ", \"mean_batch\": " << p.mean_batch
+      << ", \"elapsed_s\": " << p.elapsed_s
+      << ", \"hung_requests\": " << p.hung << "}";
+}
+
+void
+writeJson(const std::string &path, const std::vector<CaseResult> &results,
+          bool smoke, int total_hung, bool all_identical)
+{
+    std::ofstream f(path);
+    f << "{\n  \"bench\": \"overload\",\n  \"smoke\": "
+      << (smoke ? "true" : "false") << ",\n";
+    bench::writeJsonContext(f);
+    f << "  \"hung_requests\": " << total_hung << ",\n"
+      << "  \"admitted_bitwise_identical\": "
+      << (all_identical ? "true" : "false") << ",\n";
+    f << "  \"cases\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const CaseResult &r = results[i];
+        const PointResult *p1 = r.rejectAt(1.0);
+        const PointResult *p2 = r.rejectAt(2.0);
+        const double p99_ratio_2x =
+            (p1 && p2 && p1->p99_ms > 0) ? p2->p99_ms / p1->p99_ms : 0;
+        const double goodput_frac_2x =
+            (p2 && r.capacity_rps > 0)
+                ? p2->goodput_rps / r.capacity_rps
+                : 0;
+        const double baseline_growth =
+            r.baseline_short.p99_ms > 0
+                ? r.baseline_long.p99_ms / r.baseline_short.p99_ms
+                : 0;
+        f << "    {\"name\": \"" << r.cfg.name << "\""
+          << ", \"scene\": \"" << r.cfg.scene << "\""
+          << ", \"gaussians\": " << r.cfg.n_gaussians
+          << ", \"width\": " << r.cfg.width
+          << ", \"height\": " << r.cfg.height
+          << ", \"sh_degree\": " << r.cfg.sh_degree
+          << ", \"direct_ms_per_view\": " << r.direct_ms_per_view
+          << ", \"capacity_rps\": " << r.capacity_rps
+          << ", \"capacity_p99_ms\": " << r.capacity_p99_ms
+          << ",\n     \"points\": [\n";
+        for (size_t s = 0; s < r.points.size(); ++s) {
+            writePoint(f, r.points[s], "       ");
+            f << (s + 1 < r.points.size() ? "," : "") << "\n";
+        }
+        f << "     ],\n     \"baseline_short\": ";
+        writePoint(f, r.baseline_short, "");
+        f << ",\n     \"baseline_long\": ";
+        writePoint(f, r.baseline_long, "");
+        f << ",\n     \"admitted_p99_ratio_2x\": " << p99_ratio_2x
+          << ",\n     \"goodput_frac_of_capacity_2x\": "
+          << goodput_frac_2x
+          << ",\n     \"baseline_p99_growth\": " << baseline_growth
+          << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_overload.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--smoke")
+            smoke = true;
+        else if (arg == "--out" && i + 1 < argc)
+            out_path = argv[++i];
+        else {
+            std::cerr << "usage: micro_overload [--smoke] [--out FILE]\n";
+            return 2;
+        }
+    }
+
+    std::vector<OverloadCase> cases;
+    if (smoke) {
+        cases = {{"smoke", "BigCity", 20000, 96, 54, 1, 48, 48}};
+    } else {
+        cases = {{"small", "BigCity", 100000, 160, 90, 2, 96, 240},
+                 {"medium", "BigCity", 300000, 192, 108, 2, 64, 120}};
+    }
+
+    std::cout
+        << "=== micro_overload: open-loop overload behavior ===\n"
+        << bench::contextLine()
+        << " (1 serve worker, reject: queue=8 + deadline; block: "
+           "unbounded)\n\n";
+    Table table({"Case", "Policy", "Load", "Offered", "Goodput",
+                 "Shed%", "p50 ms", "p99 ms", "Hung"});
+    std::vector<CaseResult> results;
+    int total_hung = 0;
+    bool all_identical = true;
+    for (const OverloadCase &c : cases) {
+        CaseResult r = runCase(c);
+        std::cout << "[" << r.cfg.name << "] direct "
+                  << Table::fmt(r.direct_ms_per_view, 2)
+                  << " ms/view, capacity "
+                  << Table::fmt(r.capacity_rps, 1) << " req/s (p99 "
+                  << Table::fmt(r.capacity_p99_ms, 1) << " ms)\n";
+        auto add_row = [&](const PointResult &p) {
+            total_hung += p.hung;
+            all_identical = all_identical
+                            && (!p.bitwise_checked || p.bitwise_identical);
+            table.addRow({r.cfg.name, p.policy,
+                          Table::fmt(p.load_x, 0) + "x",
+                          Table::fmt(p.offered_rps, 1),
+                          Table::fmt(p.goodput_rps, 1),
+                          Table::fmt(p.shed_fraction * 100.0, 1),
+                          Table::fmt(p.p50_ms, 1),
+                          Table::fmt(p.p99_ms, 1),
+                          std::to_string(p.hung)});
+        };
+        for (const PointResult &p : r.points)
+            add_row(p);
+        add_row(r.baseline_short);
+        add_row(r.baseline_long);
+        results.push_back(std::move(r));
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    for (const CaseResult &r : results) {
+        const PointResult *p1 = r.rejectAt(1.0);
+        const PointResult *p2 = r.rejectAt(2.0);
+        if (p1 && p2 && p1->p99_ms > 0 && r.capacity_rps > 0)
+            std::cout << "[" << r.cfg.name
+                      << "] reject@2x: p99 "
+                      << Table::fmt(p2->p99_ms / p1->p99_ms, 2)
+                      << "x of 1x-load p99, goodput "
+                      << Table::fmt(
+                             p2->goodput_rps / r.capacity_rps * 100.0, 1)
+                      << "% of capacity; block baseline p99 grows "
+                      << Table::fmt(r.baseline_long.p99_ms
+                                        / r.baseline_short.p99_ms,
+                                    2)
+                      << "x when the run is 3x longer\n";
+    }
+
+    writeJson(out_path, results, smoke, total_hung, all_identical);
+    std::cout << "\nwrote " << out_path << "\n";
+    if (total_hung > 0) {
+        std::cerr << "FAIL: " << total_hung
+                  << " requests never resolved\n";
+        return 1;
+    }
+    if (!all_identical) {
+        std::cerr << "FAIL: admitted frames differ from direct renders\n";
+        return 1;
+    }
+    return 0;
+}

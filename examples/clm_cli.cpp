@@ -11,7 +11,8 @@
  *
  *   clm_cli serve [--scene NAME] [--system ...] [--steps N]
  *                 [--clients N] [--requests N] [--max-batch N]
- *                 [--shards N]
+ *                 [--shards N] [--shed block|reject|drop-oldest]
+ *                 [--deadline-ms N] [--queue N]
  *
  * The serve subcommand trains briefly, then keeps training in the
  * background while N synthetic clients walk the scene's camera path and
@@ -22,6 +23,13 @@
  * additionally carved into N spatial shards and each request's frustum
  * is routed against the shard AABBs, rendering only the shards it can
  * see — frames stay bitwise identical to unsharded serving.
+ *
+ * --shed selects the admission policy (default from CLM_SHED, else
+ * block) and --deadline-ms bounds how stale a queued request may get
+ * before it is shed at dequeue. Clients submit through the seeded
+ * RetryPolicy, so shed responses degrade to deterministic
+ * backoff-and-retry instead of errors; per-client retry totals are
+ * reported next to the service's shed counters.
  */
 
 #include <atomic>
@@ -35,6 +43,8 @@
 #include "core/clm.hpp"
 #include "gaussian/io.hpp"
 #include "serve/render_service.hpp"
+#include "serve/retry.hpp"
+#include "util/env.hpp"
 #include "util/logging.hpp"
 #include "train/clm_trainer.hpp"
 
@@ -57,6 +67,28 @@ parseSystem(const std::string &name)
               " (expected clm|baseline|enhanced|naive)");
 }
 
+ShedPolicy
+parseShed(const std::string &name)
+{
+    if (name == "block")
+        return ShedPolicy::Block;
+    if (name == "reject")
+        return ShedPolicy::Reject;
+    if (name == "drop-oldest")
+        return ShedPolicy::DropOldest;
+    CLM_FATAL("unknown shed policy: ", name,
+              " (expected block|reject|drop-oldest)");
+}
+
+/** --shed default: CLM_SHED env var, else "block". */
+std::string
+defaultShed()
+{
+    static const char *const kChoices[] = {"block", "reject",
+                                           "drop-oldest"};
+    return envChoice("CLM_SHED", kChoices, 3, "block");
+}
+
 [[noreturn]] void
 usage(const char *argv0)
 {
@@ -68,7 +100,8 @@ usage(const char *argv0)
         "[--render FILE]\n"
         "       %s serve [--scene NAME] [--system ...] [--steps N]\n"
         "          [--clients N] [--requests N] [--max-batch N]\n"
-        "          [--shards N]\n"
+        "          [--shards N] [--shed block|reject|drop-oldest]\n"
+        "          [--deadline-ms N] [--queue N]\n"
         "scenes: Bicycle Rubble Alameda Ithaca BigCity\n",
         argv0, argv0);
     std::exit(2);
@@ -82,7 +115,8 @@ usage(const char *argv0)
  */
 int
 runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
-         int max_batch, int shards)
+         int max_batch, int shards, ShedPolicy shed, double deadline_ms,
+         int queue_capacity)
 {
     std::printf("[serve] warm-up: %d training steps...\n", warmup_steps);
     session.train(warmup_steps);
@@ -93,6 +127,11 @@ runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
     serve_config.workers = 1;
     serve_config.max_batch = max_batch;
     serve_config.render = session.config().train.render;
+    if (queue_capacity > 0)
+        serve_config.queue_capacity =
+            static_cast<size_t>(queue_capacity);
+    serve_config.admission.shed = shed;
+    serve_config.admission.deadline_s = deadline_ms / 1e3;
     // Sharded mode carves every published snapshot into spatial shards
     // and frustum-routes each request; unsharded serves the whole
     // model. Frames are bitwise identical either way.
@@ -120,19 +159,28 @@ runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
         "[serve] %d clients, %d total requests, max_batch=%d, training "
         "in the background...\n",
         n_clients, n_requests, max_batch);
+    // Clients go through the seeded RetryPolicy: a shed or throttled
+    // response becomes a deterministic capped-backoff retry, never an
+    // error surfaced to the caller.
     std::atomic<int> budget{n_requests};
+    RetryPolicy retry;
+    std::vector<RetryStats> client_retries(
+        static_cast<size_t>(n_clients));
+    std::atomic<uint64_t> gave_up_total{0};
     std::vector<std::thread> clients;
     for (int c = 0; c < n_clients; ++c) {
         clients.emplace_back([&, c] {
             size_t pos = static_cast<size_t>(c) * session.viewCount()
                        / static_cast<size_t>(n_clients);
+            RetryStats &rs = client_retries[static_cast<size_t>(c)];
             while (budget.fetch_sub(1) > 0) {
-                RenderResponse resp =
-                    service
-                        .submit(session.camera(pos % session.viewCount()))
-                        .get();
+                RenderResponse resp = submitWithRetry(
+                    service, session.camera(pos % session.viewCount()),
+                    /*client_id=*/static_cast<uint64_t>(c) + 1, retry,
+                    /*request_key=*/pos, &rs);
+                if (!resp.ok())
+                    gave_up_total.fetch_add(1);
                 ++pos;
-                (void)resp;
             }
         });
     }
@@ -150,6 +198,23 @@ runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
     std::printf("[serve] throughput %.1f req/s, latency p50 %.1f ms, "
                 "p99 %.1f ms\n",
                 stats.requests_per_s, stats.p50_ms, stats.p99_ms);
+    uint64_t retries = 0, backoffs_us = 0;
+    for (const RetryStats &rs : client_retries) {
+        retries += rs.retries;
+        backoffs_us += static_cast<uint64_t>(rs.backoff_s * 1e6);
+    }
+    std::printf(
+        "[serve] admission: %llu submitted, %llu shed (queue-full "
+        "%llu, deadline %llu), %llu throttled, %llu retries "
+        "(%.1f ms backoff), %llu gave up\n",
+        static_cast<unsigned long long>(stats.submitted),
+        static_cast<unsigned long long>(stats.shed_queue_full
+                                        + stats.shed_deadline),
+        static_cast<unsigned long long>(stats.shed_queue_full),
+        static_cast<unsigned long long>(stats.shed_deadline),
+        static_cast<unsigned long long>(stats.throttled_client),
+        static_cast<unsigned long long>(retries), backoffs_us / 1e3,
+        static_cast<unsigned long long>(gave_up_total.load()));
     if (stats.sharded_requests > 0)
         std::printf("[serve] frustum routing: %.2f/%d shards rendered "
                     "per request (%.0f%% pruned)\n",
@@ -186,6 +251,9 @@ main(int argc, char **argv)
     int requests = 64;
     int max_batch = 4;
     int shards = 0;
+    std::string shed_name = defaultShed();
+    double deadline_ms = 0;
+    int queue_capacity = 0;
 
     int argi = 1;
     if (argi < argc && !std::strcmp(argv[argi], "serve")) {
@@ -228,6 +296,12 @@ main(int argc, char **argv)
             max_batch = std::atoi(need_value("--max-batch").c_str());
         else if (serve_mode && !std::strcmp(argv[i], "--shards"))
             shards = std::atoi(need_value("--shards").c_str());
+        else if (serve_mode && !std::strcmp(argv[i], "--shed"))
+            shed_name = need_value("--shed");
+        else if (serve_mode && !std::strcmp(argv[i], "--deadline-ms"))
+            deadline_ms = std::atof(need_value("--deadline-ms").c_str());
+        else if (serve_mode && !std::strcmp(argv[i], "--queue"))
+            queue_capacity = std::atoi(need_value("--queue").c_str());
         else
             usage(argv[0]);
     }
@@ -252,7 +326,8 @@ main(int argc, char **argv)
 
     if (serve_mode)
         return runServe(session, steps, clients, requests, max_batch,
-                        shards);
+                        shards, parseShed(shed_name), deadline_ms,
+                        queue_capacity);
 
     double psnr0 = session.evaluatePsnr();
     int done = 0;

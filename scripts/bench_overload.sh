@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Build and run the overload micro-benchmark, emitting
+# BENCH_overload.json in the repo root: open-loop arrivals at 1x/2x/4x
+# of measured closed-loop capacity against (a) the overload-hardened
+# admission configuration (ShedPolicy::Reject, short queue, per-request
+# deadline) and (b) the blocking baseline (unbounded queue, no
+# deadline). Records goodput, shed fraction, and admitted p50/p99 per
+# load point, plus the baseline's p99 growth between a short and a
+# 3x-longer run at the same 2x overload.
+#
+# Invariants the binary itself enforces (non-zero exit on violation):
+#   - hung_requests == 0: every submitted future resolves.
+#   - admitted_bitwise_identical == true: admitted frames match direct
+#     renderForward output bit-for-bit — shedding changes WHICH
+#     requests render, never WHAT a render produces.
+#
+# Worker threads default to CLM_THREADS=2 (one serve worker plus the
+# render pool needs a second core for the open-loop driver not to
+# starve the schedule); export CLM_THREADS to override.
+#
+# Uses the shared build-release/ tree so it never flips the cached
+# build type of the default build/ directory that verify.sh uses.
+#
+# Usage: scripts/bench_overload.sh [--smoke]
+#   --smoke   tiny single-case run (CI "builds and runs" gate)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+export CLM_THREADS="${CLM_THREADS:-2}"
+
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j"$JOBS" --target micro_overload
+./build-release/micro_overload "$@" --out BENCH_overload.json

@@ -9,25 +9,22 @@
 #include "shard/shard_renderer.hpp"
 #include "shard/sharded_snapshot.hpp"
 #include "util/logging.hpp"
+#include "util/mix.hpp"
 
 namespace clm {
 
-namespace {
-
-/** SplitMix64: the standard 64-bit finalizer. Used to make reservoir
- *  sampling a pure function of (seed, observation index) — see
- *  ServeStats — instead of a shared-RNG draw whose order would depend
- *  on worker-thread interleaving. */
-uint64_t
-splitmix64(uint64_t x)
+const char *
+serveStatusName(ServeStatus s)
 {
-    x += 0x9e3779b97f4a7c15ull;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
+    switch (s) {
+    case ServeStatus::Ok: return "ok";
+    case ServeStatus::ShedQueueFull: return "shed_queue_full";
+    case ServeStatus::ShedDeadline: return "shed_deadline";
+    case ServeStatus::RejectedShutdown: return "rejected_shutdown";
+    case ServeStatus::ThrottledClient: return "throttled_client";
+    }
+    return "unknown";
 }
-
-} // namespace
 
 uint64_t
 latencyReservoirSlot(uint64_t seed, uint64_t index)
@@ -66,20 +63,102 @@ RenderService::startWorkers()
 
 RenderService::~RenderService() { stop(); }
 
+void
+RenderService::failRequest(PendingRequest &req, ServeStatus status)
+{
+    RenderResponse resp;
+    resp.status = status;
+    resp.request_id = req.id;
+    resp.client_id = req.client_id;
+    resp.queue_s = clock_.seconds() - req.enqueue_s;
+    req.reply.set_value(std::move(resp));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    switch (status) {
+    case ServeStatus::ShedQueueFull: ++shed_queue_full_; break;
+    case ServeStatus::ShedDeadline: ++shed_deadline_; break;
+    case ServeStatus::RejectedShutdown: ++rejected_shutdown_; break;
+    case ServeStatus::ThrottledClient: ++throttled_client_; break;
+    case ServeStatus::Ok: break;    // not a failure; never passed here
+    }
+}
+
+bool
+RenderService::admitClient(uint64_t client_id)
+{
+    const AdmissionConfig &adm = config_.admission;
+    const double now = clock_.seconds();
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    auto emplaced =
+        buckets_.try_emplace(client_id, TokenBucket{adm.client_burst, now});
+    TokenBucket &bucket = emplaced.first->second;
+    if (!emplaced.second && adm.client_rate > 0)
+        bucket.tokens =
+            std::min(adm.client_burst,
+                     bucket.tokens
+                         + (now - bucket.refill_s) * adm.client_rate);
+    bucket.refill_s = now;
+    if (bucket.tokens >= 1.0) {
+        bucket.tokens -= 1.0;
+        return true;
+    }
+    return false;
+}
+
 std::future<RenderResponse>
-RenderService::submit(const Camera &camera)
+RenderService::submit(const Camera &camera, uint64_t client_id)
 {
     uint64_t id;
     {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         id = next_id_++;
+        ++submitted_;
     }
-    PendingRequest req{camera, id, clock_.seconds(), {}};
+    PendingRequest req{camera, id, client_id, clock_.seconds(), 0, {}};
+    if (config_.admission.deadline_s > 0)
+        req.deadline_s = req.enqueue_s + config_.admission.deadline_s;
     std::future<RenderResponse> fut = req.reply.get_future();
-    // If the queue was already closed the request is dropped and the
-    // future fails with broken_promise — submitting after stop() is a
-    // caller error, but never a hang.
-    queue_.push(std::move(req));
+
+    // Fairness gate first: a throttled client never consumes queue
+    // space another client could have used.
+    if (config_.admission.client_burst > 0 && !admitClient(client_id)) {
+        failRequest(req, ServeStatus::ThrottledClient);
+        return fut;
+    }
+    // Fault injection (tests): the admission path sees a saturated
+    // queue regardless of actual occupancy.
+    if (config_.faults != nullptr
+        && config_.faults->fires(FaultPoint::AdmitSaturate)) {
+        failRequest(req, ServeStatus::ShedQueueFull);
+        return fut;
+    }
+
+    QueuePush result = QueuePush::Closed;
+    switch (config_.admission.shed) {
+    case ShedPolicy::Block:
+        if (config_.admission.block_timeout_s > 0)
+            result = queue_.pushFor(req, config_.admission.block_timeout_s);
+        else
+            result =
+                queue_.push(req) ? QueuePush::Ok : QueuePush::Closed;
+        break;
+    case ShedPolicy::Reject:
+        result = queue_.tryPush(req);
+        break;
+    case ShedPolicy::DropOldest: {
+        std::vector<PendingRequest> evicted;
+        result = queue_.pushDropOldest(req, evicted);
+        for (PendingRequest &old : evicted)
+            failRequest(old, ServeStatus::ShedQueueFull);
+        break;
+    }
+    }
+    // Every non-enqueued request is fulfilled with an explicit status:
+    // never a hang, never a broken promise — submit-after-stop()
+    // included.
+    if (result == QueuePush::Full)
+        failRequest(req, ServeStatus::ShedQueueFull);
+    else if (result == QueuePush::Closed)
+        failRequest(req, ServeStatus::RejectedShutdown);
     return fut;
 }
 
@@ -98,16 +177,47 @@ RenderService::stop()
     workers_.clear();
 }
 
+bool
+RenderService::admitBatch(std::vector<PendingRequest> &batch,
+                          std::vector<PendingRequest> &expired)
+{
+    const size_t cap = static_cast<size_t>(config_.max_batch);
+    bool alive;
+    if (config_.admission.deadline_s > 0) {
+        alive = queue_.popBatchFiltered(
+            batch, cap,
+            [this](const PendingRequest &r) {
+                return r.deadline_s > 0 && clock_.seconds() > r.deadline_s;
+            },
+            expired);
+    } else {
+        expired.clear();
+        alive = queue_.popBatch(batch, cap);
+    }
+    if (!alive)
+        return false;
+    for (PendingRequest &r : expired)
+        failRequest(r, ServeStatus::ShedDeadline);
+    return true;
+}
+
 void
 RenderService::workerLoop()
 {
     std::vector<PendingRequest> batch;
+    std::vector<PendingRequest> expired;
     BatchRenderArena arena;
     std::vector<Camera> cams;
     std::vector<std::vector<uint32_t>> subsets;
     std::vector<double> latencies;
 
-    while (queue_.popBatch(batch, config_.max_batch)) {
+    while (true) {
+        if (config_.faults != nullptr)
+            config_.faults->inject(FaultPoint::WorkerStall);
+        if (!admitBatch(batch, expired))
+            break;
+        if (batch.empty())
+            continue;    // everything queued had expired
         std::shared_ptr<const ModelSnapshot> snap = snapshots_->acquire();
         CLM_ASSERT(snap != nullptr,
                    "RenderService: render requested before the first "
@@ -120,6 +230,7 @@ RenderService::workerLoop()
             RenderResponse resp;
             resp.image = std::move(image);
             resp.request_id = batch[v].id;
+            resp.client_id = batch[v].client_id;
             resp.snapshot_version = snap->version;
             resp.snapshot_hash = snap->param_hash;
             resp.train_step = snap->train_step;
@@ -168,12 +279,19 @@ void
 RenderService::shardedWorkerLoop()
 {
     std::vector<PendingRequest> batch;
+    std::vector<PendingRequest> expired;
     ShardRenderArena arena;
     std::vector<double> latencies;
     ShardRouter router;
     uint64_t router_version = 0;    //!< Base version router was built on.
 
-    while (queue_.popBatch(batch, config_.max_batch)) {
+    while (true) {
+        if (config_.faults != nullptr)
+            config_.faults->inject(FaultPoint::WorkerStall);
+        if (!admitBatch(batch, expired))
+            break;
+        if (batch.empty())
+            continue;    // everything queued had expired
         std::shared_ptr<const ShardedSnapshot> snap = sharded_->acquire();
         CLM_ASSERT(snap != nullptr,
                    "RenderService: render requested before the first "
@@ -204,6 +322,7 @@ RenderService::shardedWorkerLoop()
             RenderResponse resp;
             resp.image = out.image;
             resp.request_id = batch[v].id;
+            resp.client_id = batch[v].client_id;
             resp.snapshot_version = snap->base->version;
             resp.snapshot_hash = snap->base->param_hash;
             resp.train_step = snap->base->train_step;
@@ -271,6 +390,11 @@ RenderService::stats() const
         std::lock_guard<std::mutex> lock(stats_mutex_);
         s.requests = done_requests_;
         s.batches = done_batches_;
+        s.submitted = submitted_;
+        s.shed_queue_full = shed_queue_full_;
+        s.shed_deadline = shed_deadline_;
+        s.rejected_shutdown = rejected_shutdown_;
+        s.throttled_client = throttled_client_;
         s.min_snapshot_version = min_version_;
         s.max_snapshot_version = max_version_;
         s.sharded_requests = sharded_requests_;
@@ -279,6 +403,7 @@ RenderService::stats() const
         lat = latencies_s_;
         max_latency_s = max_latency_s_;
     }
+    s.queue_depth = queue_.size();
     s.elapsed_s = clock_.seconds();
     if (s.batches > 0)
         s.mean_batch =

@@ -24,10 +24,23 @@
  * the per-request working set, and responses/stats report how many
  * shards the router pruned.
  *
+ * Overload is a first-class input, not an error path: every submit()
+ * resolves to a RenderResponse with an explicit ServeStatus — never a
+ * hang, never a broken promise. AdmissionConfig picks the shed policy
+ * (Block preserves the original backpressure-by-blocking behavior;
+ * Reject sheds on a full queue; DropOldest evicts the stalest queued
+ * request to admit the newest), an optional per-request deadline
+ * (expired requests are swept out at dequeue time and failed fast
+ * without rendering), and per-client token-bucket fairness keyed by
+ * the client id passed to submit(). Shedding changes *which* requests
+ * render, never *what* a render produces: admitted frames stay bitwise
+ * identical to direct renderForward calls.
+ *
  * Throughput and latency are reported through ServeStats (request/batch
- * counters plus p50/p99 latency percentiles, in the spirit of the
- * sim/metrics counters); bench/micro_serve.cpp records them in
- * BENCH_serve.json.
+ * counters, p50/p99 latency percentiles of *admitted* requests, shed/
+ * throttle counters, and a queue-depth gauge); bench/micro_serve.cpp
+ * and bench/micro_overload.cpp record them in BENCH_serve.json /
+ * BENCH_overload.json.
  */
 
 #ifndef CLM_SERVE_RENDER_SERVICE_HPP
@@ -37,6 +50,7 @@
 #include <future>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "render/batch.hpp"
@@ -44,12 +58,58 @@
 #include "render/image.hpp"
 #include "render/rasterizer.hpp"
 #include "serve/snapshot.hpp"
+#include "util/fault.hpp"
 #include "util/mpmc_queue.hpp"
 #include "util/timer.hpp"
 
 namespace clm {
 
 class ShardedSnapshotSlot;
+
+/** Outcome of one submitted request (RenderResponse::status). */
+enum class ServeStatus : int
+{
+    Ok = 0,               //!< Rendered; image/provenance fields valid.
+    ShedQueueFull = 1,    //!< Shed at admission: queue at capacity.
+    ShedDeadline = 2,     //!< Expired in queue past its deadline.
+    RejectedShutdown = 3, //!< Submitted after stop(); nothing rendered.
+    ThrottledClient = 4,  //!< Client token bucket empty.
+};
+
+/** Stable lowercase name ("ok", "shed_queue_full", ...). */
+const char *serveStatusName(ServeStatus s);
+
+/** What submit() does when the request queue is at capacity. */
+enum class ShedPolicy : int
+{
+    Block = 0,      //!< Block the caller until space (backpressure).
+    Reject = 1,     //!< Fail the new request with ShedQueueFull.
+    DropOldest = 2, //!< Evict the stalest queued request, admit new.
+};
+
+/**
+ * Admission control (ServeConfig::admission). Defaults reproduce the
+ * historical behavior exactly: block on a full queue, no deadlines, no
+ * per-client throttling.
+ */
+struct AdmissionConfig
+{
+    ShedPolicy shed = ShedPolicy::Block;
+    /** Per-request deadline in seconds from submit to *render start*
+     *  (checked when a worker dequeues; a request already being
+     *  rendered is never cancelled). 0 disables deadlines. */
+    double deadline_s = 0;
+    /** Block policy only: give up with ShedQueueFull after waiting
+     *  this long for queue space. 0 blocks indefinitely. */
+    double block_timeout_s = 0;
+    /** Per-client token bucket: capacity in requests. 0 disables
+     *  throttling. Each admitted request costs one token. */
+    double client_burst = 0;
+    /** Token refill rate in requests/second (0 = no refill: exactly
+     *  the first client_burst requests per client are admitted — the
+     *  deterministic configuration the fairness tests use). */
+    double client_rate = 0;
+};
 
 /** Serving configuration. */
 struct ServeConfig
@@ -71,13 +131,25 @@ struct ServeConfig
      *  sample is a pure function of this seed, so percentile estimates
      *  are reproducible run-to-run for a fixed request schedule. */
     uint64_t latency_seed = 0x5e12e;
+    /** Overload policy: shed/deadline/fairness (see AdmissionConfig). */
+    AdmissionConfig admission;
+    /** Fault injection, tests only (util/fault.hpp): may stall workers
+     *  at the pop loop and force admission-path saturation. Must
+     *  outlive the service. Null in production. */
+    FaultInjector *faults = nullptr;
 };
 
 /** One served frame plus its provenance and accounting. */
 struct RenderResponse
 {
+    /** Admission outcome. Only Ok responses carry a rendered image;
+     *  shed/rejected/throttled responses report id, status and
+     *  queue_s (time spent queued before shedding, 0 if never
+     *  admitted) with an empty image. */
+    ServeStatus status = ServeStatus::Ok;
     Image image;
     uint64_t request_id = 0;
+    uint64_t client_id = 0;          //!< Fairness key from submit().
     uint64_t snapshot_version = 0;   //!< ModelSnapshot::version rendered.
     uint64_t snapshot_hash = 0;      //!< ModelSnapshot::param_hash.
     int train_step = 0;              //!< Trainer step of that snapshot.
@@ -89,24 +161,38 @@ struct RenderResponse
     int shards_total = 0;            //!< Shards in the served snapshot.
     int shards_selected = 0;         //!< Shards the router kept.
     /// @}
+
+    bool ok() const { return status == ServeStatus::Ok; }
 };
 
 /** Aggregate serving counters (see stats()). */
 struct ServeStats
 {
-    uint64_t requests = 0;           //!< Responses completed.
+    uint64_t requests = 0;           //!< Responses rendered (Ok).
     uint64_t batches = 0;            //!< Coalesced batches rendered.
     double mean_batch = 0;           //!< requests / batches.
     double elapsed_s = 0;            //!< Since service start.
     double requests_per_s = 0;       //!< requests / elapsed.
+    /** @name Admission-control counters (see AdmissionConfig)
+     * submitted = requests + every shed/rejected/throttled outcome;
+     * no request ever goes unaccounted.
+     */
+    /// @{
+    uint64_t submitted = 0;          //!< submit() calls, any outcome.
+    uint64_t shed_queue_full = 0;    //!< ShedQueueFull responses.
+    uint64_t shed_deadline = 0;      //!< ShedDeadline responses.
+    uint64_t rejected_shutdown = 0;  //!< RejectedShutdown responses.
+    uint64_t throttled_client = 0;   //!< ThrottledClient responses.
+    size_t queue_depth = 0;          //!< Gauge: queued right now.
+    /// @}
     /** Latency percentiles/mean/max come from a bounded uniform
-     *  reservoir sample of the per-request latencies (the counters are
-     *  exact), so a long-running service never accumulates unbounded
-     *  per-request state. Reservoir membership is decided by a
-     *  deterministic hash of (ServeConfig::latency_seed, observation
-     *  index) — not a shared RNG whose draw order would depend on
-     *  worker interleaving — so the sampled index set is reproducible
-     *  run-to-run. */
+     *  reservoir sample of the per-request latencies of *admitted*
+     *  (rendered) requests (the counters are exact), so a long-running
+     *  service never accumulates unbounded per-request state.
+     *  Reservoir membership is decided by a deterministic hash of
+     *  (ServeConfig::latency_seed, observation index) — not a shared
+     *  RNG whose draw order would depend on worker interleaving — so
+     *  the sampled index set is reproducible run-to-run. */
     double p50_ms = 0;               //!< Median request latency.
     double p99_ms = 0;               //!< Tail request latency.
     double mean_ms = 0;
@@ -164,15 +250,27 @@ class RenderService
     RenderService &operator=(const RenderService &) = delete;
 
     /**
-     * Enqueue a view request; blocks while the queue is at capacity.
-     * The future resolves when a worker has rendered the frame (or
-     * fails with broken_promise if the service stops first... it does
-     * not: stop() drains the queue before joining).
+     * Enqueue a view request under the configured admission policy
+     * (@p client_id keys per-client fairness; callers without a notion
+     * of clients can leave it 0). The returned future ALWAYS resolves
+     * to a RenderResponse — never a hang past the policy's blocking
+     * window, never a std::future_error: an admitted request resolves
+     * with status Ok when a worker has rendered it; a shed, throttled,
+     * expired, or submitted-after-stop() request resolves immediately
+     * (or at dequeue, for deadline expiry) with the matching non-Ok
+     * status and an empty image. Block policy blocks the *caller*
+     * while the queue is at capacity (bounded by
+     * AdmissionConfig::block_timeout_s when set) — that is its
+     * backpressure contract — but the future it returns still always
+     * resolves.
      */
-    std::future<RenderResponse> submit(const Camera &camera);
+    std::future<RenderResponse> submit(const Camera &camera,
+                                       uint64_t client_id = 0);
 
     /** Close the queue, drain pending requests, join the workers.
-     *  Idempotent; also run by the destructor. */
+     *  Idempotent; also run by the destructor. Requests already queued
+     *  are still rendered (deadline sweeping applies); submits that
+     *  arrive after close resolve with RejectedShutdown. */
     void stop();
 
     /** Aggregate counters since construction (callable any time). */
@@ -185,12 +283,31 @@ class RenderService
     {
         Camera camera;
         uint64_t id = 0;
+        uint64_t client_id = 0;
         double enqueue_s = 0;
+        double deadline_s = 0;    //!< Absolute (clock_); 0 = none.
         std::promise<RenderResponse> reply;
+    };
+
+    /** Tokens-available state of one client's bucket. */
+    struct TokenBucket
+    {
+        double tokens = 0;
+        double refill_s = 0;    //!< Last refill timestamp (clock_).
     };
 
     void workerLoop();
     void shardedWorkerLoop();
+    /** Admission front half shared by both worker loops: pop a batch,
+     *  failing deadline-expired requests fast. False = queue drained
+     *  and closed. */
+    bool admitBatch(std::vector<PendingRequest> &batch,
+                    std::vector<PendingRequest> &expired);
+    /** Fulfill @p req with a non-Ok @p status (empty image) and bump
+     *  the matching counter. */
+    void failRequest(PendingRequest &req, ServeStatus status);
+    /** Token-bucket check; true admits (and debits) the client. */
+    bool admitClient(uint64_t client_id);
     void recordBatch(size_t batch_size, const double *latencies_s,
                      uint64_t snapshot_version,
                      uint64_t shards_selected_sum = 0,
@@ -206,6 +323,9 @@ class RenderService
     bool stopped_ = false;
     std::mutex stop_mutex_;
 
+    std::mutex admission_mutex_;    //!< Guards buckets_.
+    std::unordered_map<uint64_t, TokenBucket> buckets_;
+
     /** Reservoir size for latency percentiles: plenty for stable
      *  p50/p99 while bounding the service's per-request state. */
     static constexpr size_t kLatencyReservoir = 4096;
@@ -214,6 +334,11 @@ class RenderService
     uint64_t next_id_ = 1;
     uint64_t done_requests_ = 0;
     uint64_t done_batches_ = 0;
+    uint64_t submitted_ = 0;
+    uint64_t shed_queue_full_ = 0;
+    uint64_t shed_deadline_ = 0;
+    uint64_t rejected_shutdown_ = 0;
+    uint64_t throttled_client_ = 0;
     uint64_t min_version_ = 0;
     uint64_t max_version_ = 0;
     uint64_t latency_count_ = 0;     //!< Latencies ever observed.

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/fault.hpp"
+
 namespace clm {
 
 namespace {
@@ -64,9 +66,29 @@ SnapshotSlot::publish(const GaussianModel &model, int train_step)
     buf->train_step = train_step;
     buf->param_hash = hashModelParams(buf->model);
 
+    // Fault injection (tests): a slow/stalled publication. Readers are
+    // unaffected structurally — they keep acquiring the previous
+    // snapshot until the swap below.
+    if (FaultInjector *f = faultInjector())
+        f->inject(FaultPoint::PublishDelay);
+
     std::lock_guard<std::mutex> lock(mutex_);
     spare_ = std::move(current_);
     current_ = std::move(buf);
+}
+
+void
+SnapshotSlot::setFaultInjector(FaultInjector *faults)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    faults_ = faults;
+}
+
+FaultInjector *
+SnapshotSlot::faultInjector() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return faults_;
 }
 
 std::shared_ptr<const ModelSnapshot>

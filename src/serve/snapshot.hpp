@@ -25,6 +25,8 @@
 
 namespace clm {
 
+class FaultInjector;
+
 /** One immutable published model state. */
 struct ModelSnapshot
 {
@@ -60,8 +62,18 @@ class SnapshotSlot
     /** Version of the current snapshot (0 before the first publish). */
     uint64_t version() const;
 
+    /** Fault injection, tests only: publish() runs the PublishDelay
+     *  point (util/fault.hpp) after the model copy, *before* the swap
+     *  that makes the new snapshot current — readers keep serving the
+     *  previous snapshot for the duration. @p faults must outlive the
+     *  slot (or be reset to null first); null disables. */
+    void setFaultInjector(FaultInjector *faults);
+
   private:
+    FaultInjector *faultInjector() const;
+
     mutable std::mutex mutex_;
+    FaultInjector *faults_ = nullptr;
     std::shared_ptr<const ModelSnapshot> current_;
     /** Retired snapshot kept for buffer reuse (double buffering). */
     std::shared_ptr<const ModelSnapshot> spare_;

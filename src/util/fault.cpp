@@ -1,0 +1,127 @@
+#include "util/fault.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/mix.hpp"
+
+namespace clm {
+
+const char *
+faultPointName(FaultPoint p)
+{
+    switch (p) {
+    case FaultPoint::WorkerStall: return "worker_stall";
+    case FaultPoint::PublishDelay: return "publish_delay";
+    case FaultPoint::AdmitSaturate: return "admit_saturate";
+    }
+    return "unknown";
+}
+
+bool
+FaultInjector::decide(const FaultSpec &spec, uint64_t index,
+                      FaultPoint point)
+{
+    if (spec.every_n > 0)
+        return index % spec.every_n == 0;
+    if (spec.probability > 0) {
+        const uint64_t draw = splitmix64(
+            plan_.seed ^ (static_cast<uint64_t>(point) << 56) ^ index);
+        return mixToUnit(draw) < spec.probability;
+    }
+    return false;
+}
+
+bool
+FaultInjector::fires(FaultPoint point)
+{
+    const int i = static_cast<int>(point);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (disabled_)
+        return false;
+    const FaultSpec &spec = plan_.points[i];
+    const uint64_t index = occurrences_[i]++;
+    if (spec.max_fires >= 0
+        && fires_[i] >= static_cast<uint64_t>(spec.max_fires))
+        return false;
+    if (!decide(spec, index, point))
+        return false;
+    ++fires_[i];
+    return true;
+}
+
+bool
+FaultInjector::inject(FaultPoint point)
+{
+    const int i = static_cast<int>(point);
+    double stall_ms = 0;
+    bool hold = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (disabled_)
+            return false;
+        const FaultSpec &spec = plan_.points[i];
+        const uint64_t index = occurrences_[i]++;
+        if (spec.max_fires >= 0
+            && fires_[i] >= static_cast<uint64_t>(spec.max_fires))
+            return false;
+        if (!decide(spec, index, point))
+            return false;
+        ++fires_[i];
+        stall_ms = spec.stall_ms;
+        hold = spec.hold;
+    }
+    if (hold) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        released_cv_.wait(lock,
+                          [&] { return released_[i] || disabled_; });
+    } else if (stall_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(stall_ms));
+    }
+    return true;
+}
+
+void
+FaultInjector::release(FaultPoint point)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        released_[static_cast<int>(point)] = true;
+    }
+    released_cv_.notify_all();
+}
+
+void
+FaultInjector::disable()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        disabled_ = true;
+    }
+    released_cv_.notify_all();
+}
+
+void
+FaultInjector::enable()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    disabled_ = false;
+    released_.fill(false);
+}
+
+uint64_t
+FaultInjector::occurrences(FaultPoint point) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return occurrences_[static_cast<int>(point)];
+}
+
+uint64_t
+FaultInjector::fireCount(FaultPoint point) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fires_[static_cast<int>(point)];
+}
+
+} // namespace clm

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Seeded fault injection for the serving stack — tests only. A
+ * FaultPlan names *where* faults may fire (FaultPoint), *when* (every
+ * Nth occurrence, or a seeded per-occurrence probability), and *what*
+ * (a timed stall, or an indefinite hold released by the test), and a
+ * FaultInjector executes it. Firing decisions are a pure function of
+ * (seed, point, occurrence index) via splitmix64 — no shared RNG whose
+ * draw order would depend on thread interleaving — so a fixed plan
+ * over a fixed request schedule reproduces the same fault sequence
+ * run-to-run, which is what makes shed-set determinism testable.
+ *
+ * Wiring: ServeConfig::faults covers the service-side points (stalling
+ * a worker at the top of its pop loop, forcing the admission path to
+ * treat the queue as saturated); SnapshotSlot::setFaultInjector covers
+ * delayed snapshot publication. Production code never constructs one —
+ * a null injector is zero-cost (one pointer test per site).
+ */
+
+#ifndef CLM_UTIL_FAULT_HPP
+#define CLM_UTIL_FAULT_HPP
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace clm {
+
+/** Injection sites understood by the serving stack. */
+enum class FaultPoint : int
+{
+    WorkerStall = 0,     //!< Top of a RenderService worker's pop loop.
+    PublishDelay = 1,    //!< Inside SnapshotSlot::publish, before swap.
+    AdmitSaturate = 2,   //!< submit() treats the queue as full (shed).
+};
+constexpr int kFaultPoints = 3;
+
+/** Name for logs/tests ("worker_stall", ...). */
+const char *faultPointName(FaultPoint p);
+
+/** When and how one FaultPoint fires (all disabled by default). */
+struct FaultSpec
+{
+    /** Fire on occurrences where index % every_n == 0 (1 = always).
+     *  0 disables the modulo trigger. */
+    uint32_t every_n = 0;
+    /** Else fire when the seeded per-occurrence draw is < probability.
+     *  Deterministic: splitmix64(seed ^ point ^ index) mapped to
+     *  [0, 1). */
+    double probability = 0;
+    /** Cap on total fires at this point (-1 = unlimited). */
+    int64_t max_fires = -1;
+    /** Timed stall per fire, in milliseconds (ignored if hold). */
+    double stall_ms = 0;
+    /** Instead of sleeping, block the firing thread until the test
+     *  calls release(point) / releaseAll() — the deterministic way to
+     *  pin a worker while a test builds queue state. */
+    bool hold = false;
+};
+
+/** The full plan: a seed plus one spec per injection site. */
+struct FaultPlan
+{
+    uint64_t seed = 0xfa017;
+    std::array<FaultSpec, kFaultPoints> points;
+
+    FaultSpec &at(FaultPoint p) { return points[static_cast<int>(p)]; }
+    const FaultSpec &
+    at(FaultPoint p) const
+    {
+        return points[static_cast<int>(p)];
+    }
+};
+
+/**
+ * Executes a FaultPlan. Thread-safe: any number of threads may hit any
+ * point concurrently; each point keeps its own occurrence counter.
+ * releaseAll() (also run on destruction and disable()) unblocks every
+ * held thread, so a test that stalls a worker can never wedge the
+ * joinery behind it.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan) : plan_(plan) {}
+    ~FaultInjector() { disable(); }
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /**
+     * Record one occurrence of @p point and decide (deterministically)
+     * whether it fires, WITHOUT executing the fault. Use this at sites
+     * that implement the fault themselves (e.g. the admission path
+     * translating AdmitSaturate into a shed status).
+     */
+    bool fires(FaultPoint point);
+
+    /**
+     * Record one occurrence and, if it fires, execute the fault: sleep
+     * spec.stall_ms, or block until release when spec.hold is set.
+     * Returns true when the fault fired.
+     */
+    bool inject(FaultPoint point);
+
+    /** Unblock threads currently held at @p point. */
+    void release(FaultPoint point);
+
+    /** Unblock everything and stop firing (idempotent). */
+    void disable();
+
+    /** Re-arm after disable(); held-release latches are cleared. */
+    void enable();
+
+    /** Occurrences seen at @p point so far. */
+    uint64_t occurrences(FaultPoint point) const;
+
+    /** Fires executed at @p point so far. */
+    uint64_t fireCount(FaultPoint point) const;
+
+  private:
+    bool decide(const FaultSpec &spec, uint64_t index, FaultPoint point);
+
+    FaultPlan plan_;
+    mutable std::mutex mutex_;
+    std::condition_variable released_cv_;
+    std::array<uint64_t, kFaultPoints> occurrences_{};
+    std::array<uint64_t, kFaultPoints> fires_{};
+    std::array<bool, kFaultPoints> released_{};    //!< Hold latches.
+    bool disabled_ = false;
+};
+
+} // namespace clm
+
+#endif // CLM_UTIL_FAULT_HPP

@@ -5,11 +5,24 @@
  * batch pops so a consumer can drain up to N items in one wakeup, which
  * is what lets the render service coalesce queued view requests into
  * multi-view batches without any artificial batching delay.
+ *
+ * Beyond the blocking push() there are admission-control intakes: a
+ * non-blocking tryPush() (reject-on-full), a timed pushFor() (bounded
+ * blocking), and pushDropOldest() (evict the head to make room) — the
+ * three shed policies of ServeConfig::admission map onto them. Every
+ * intake reports Ok/Full/Closed explicitly and *never consumes the item
+ * unless it was enqueued*, so a caller holding a promise inside the
+ * item can still fulfill it with a shed/rejected status instead of
+ * dropping it. popBatchFiltered() is the deadline-aware pop: expired
+ * items are swept out of the queue (all of them, not just the batch
+ * cap) and handed back separately so the consumer can fail them fast
+ * without rendering.
  */
 
 #ifndef CLM_UTIL_MPMC_QUEUE_HPP
 #define CLM_UTIL_MPMC_QUEUE_HPP
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -18,6 +31,14 @@
 #include <vector>
 
 namespace clm {
+
+/** Result of a queue intake attempt (see MpmcQueue). */
+enum class QueuePush
+{
+    Ok,        //!< Item enqueued (moved from).
+    Full,      //!< Queue at capacity; item untouched.
+    Closed,    //!< Queue closed; item untouched.
+};
 
 /** See file comment. T must be movable. */
 template <typename T>
@@ -29,10 +50,11 @@ class MpmcQueue
 
     /**
      * Enqueue one item; blocks while the queue is at capacity.
-     * @return false when the queue was closed (the item is dropped).
+     * @return false when the queue was closed (the item is NOT consumed;
+     * the caller keeps ownership and can fail it explicitly).
      */
     bool
-    push(T item)
+    push(T &item)
     {
         std::unique_lock<std::mutex> lock(mutex_);
         not_full_.wait(lock, [&] {
@@ -44,6 +66,77 @@ class MpmcQueue
         lock.unlock();
         not_empty_.notify_one();
         return true;
+    }
+
+    /** Rvalue convenience for callers that don't need the item back. */
+    bool
+    push(T &&item)
+    {
+        T moved = std::move(item);
+        return push(moved);
+    }
+
+    /**
+     * Non-blocking enqueue: @p item is moved from only on Ok. Full and
+     * Closed leave it untouched so the caller can shed it explicitly.
+     */
+    QueuePush
+    tryPush(T &item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (closed_)
+            return QueuePush::Closed;
+        if (items_.size() >= capacity_)
+            return QueuePush::Full;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return QueuePush::Ok;
+    }
+
+    /**
+     * Timed enqueue: block up to @p timeout_s seconds for space, then
+     * give up with Full. Same ownership contract as tryPush().
+     */
+    QueuePush
+    pushFor(T &item, double timeout_s)
+    {
+        const auto deadline =
+            std::chrono::steady_clock::now()
+            + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(timeout_s));
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!not_full_.wait_until(lock, deadline, [&] {
+                return closed_ || items_.size() < capacity_;
+            }))
+            return QueuePush::Full;
+        if (closed_)
+            return QueuePush::Closed;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return QueuePush::Ok;
+    }
+
+    /**
+     * Enqueue, evicting from the *head* (oldest items) to make room
+     * when full. Evicted items are appended to @p evicted so the caller
+     * can fail their promises; never returns Full.
+     */
+    QueuePush
+    pushDropOldest(T &item, std::vector<T> &evicted)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (closed_)
+            return QueuePush::Closed;
+        while (items_.size() >= capacity_ && !items_.empty()) {
+            evicted.push_back(std::move(items_.front()));
+            items_.pop_front();
+        }
+        items_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return QueuePush::Ok;
     }
 
     /**
@@ -59,13 +152,61 @@ class MpmcQueue
         std::unique_lock<std::mutex> lock(mutex_);
         not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
         if (items_.empty())
-            return false;    // closed and drained
+            return false;    // closed and drained — nothing was removed
         while (!items_.empty() && out.size() < max_items) {
             out.push_back(std::move(items_.front()));
             items_.pop_front();
         }
         lock.unlock();
+        // Only notify producers when items were actually removed — a
+        // closed-and-drained wakeup frees no capacity.
         not_full_.notify_all();
+        return true;
+    }
+
+    /**
+     * Deadline-aware batch pop: like popBatch(), but items for which
+     * @p expired returns true are swept into @p expired_out instead of
+     * @p out — ALL of them, front to back, not just the batch cap, so a
+     * consumer can fail every already-dead request in one wakeup. Both
+     * vectors are cleared first. Blocks until something is queued or
+     * the queue closes.
+     * @return false only when closed and fully drained; true otherwise
+     * (note @p out may be empty when everything queued had expired).
+     */
+    template <typename ExpiredPred>
+    bool
+    popBatchFiltered(std::vector<T> &out, size_t max_items,
+                     ExpiredPred &&expired, std::vector<T> &expired_out)
+    {
+        out.clear();
+        expired_out.clear();
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false;    // closed and drained
+        while (!items_.empty() && out.size() < max_items) {
+            if (expired(items_.front()))
+                expired_out.push_back(std::move(items_.front()));
+            else
+                out.push_back(std::move(items_.front()));
+            items_.pop_front();
+        }
+        // Keep sweeping the remainder for expired items (they would
+        // only age further waiting for the next wakeup); fresh items
+        // beyond the cap stay queued.
+        for (auto it = items_.begin(); it != items_.end();) {
+            if (expired(*it)) {
+                expired_out.push_back(std::move(*it));
+                it = items_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        const bool removed = !out.empty() || !expired_out.empty();
+        lock.unlock();
+        if (removed)
+            not_full_.notify_all();
         return true;
     }
 

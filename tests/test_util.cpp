@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -288,6 +290,149 @@ TEST(MpmcQueue, ManyProducersOneConsumer)
     std::sort(got.begin(), got.end());
     for (int i = 0; i < kProducers * kPerProducer; ++i)
         EXPECT_EQ(got[i], i);
+}
+
+TEST(MpmcQueue, TryPushRejectsWithoutConsumingTheItem)
+{
+    MpmcQueue<std::unique_ptr<int>> q(2);
+    auto a = std::make_unique<int>(1);
+    auto b = std::make_unique<int>(2);
+    auto c = std::make_unique<int>(3);
+    EXPECT_EQ(q.tryPush(a), QueuePush::Ok);
+    EXPECT_EQ(a, nullptr);    // consumed on Ok
+    EXPECT_EQ(q.tryPush(b), QueuePush::Ok);
+    EXPECT_EQ(q.tryPush(c), QueuePush::Full);
+    ASSERT_NE(c, nullptr);    // NOT consumed on Full
+    EXPECT_EQ(*c, 3);
+    q.close();
+    EXPECT_EQ(q.tryPush(c), QueuePush::Closed);
+    ASSERT_NE(c, nullptr);    // NOT consumed on Closed either
+}
+
+TEST(MpmcQueue, PushForTimesOutOnFullAndSucceedsWhenDrained)
+{
+    MpmcQueue<int> q(1);
+    int v = 7;
+    EXPECT_EQ(q.pushFor(v, 0.01), QueuePush::Ok);
+    v = 8;
+    EXPECT_EQ(q.pushFor(v, 0.01), QueuePush::Full);    // timed out
+    EXPECT_EQ(v, 8);
+    // A consumer frees space while a timed push waits.
+    std::thread consumer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        std::vector<int> batch;
+        EXPECT_TRUE(q.popBatch(batch, 1));
+        EXPECT_EQ(batch, (std::vector<int>{7}));
+    });
+    EXPECT_EQ(q.pushFor(v, 5.0), QueuePush::Ok);
+    consumer.join();
+    std::vector<int> batch;
+    EXPECT_TRUE(q.popBatch(batch, 1));
+    EXPECT_EQ(batch, (std::vector<int>{8}));
+}
+
+TEST(MpmcQueue, PushDropOldestEvictsFromTheHead)
+{
+    MpmcQueue<int> q(3);
+    std::vector<int> evicted;
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(q.push(i));
+    int v = 3;
+    EXPECT_EQ(q.pushDropOldest(v, evicted), QueuePush::Ok);
+    EXPECT_EQ(evicted, (std::vector<int>{0}));    // oldest out
+    v = 4;
+    EXPECT_EQ(q.pushDropOldest(v, evicted), QueuePush::Ok);
+    EXPECT_EQ(evicted, (std::vector<int>{0, 1}));    // appended
+    std::vector<int> batch;
+    EXPECT_TRUE(q.popBatch(batch, 8));
+    EXPECT_EQ(batch, (std::vector<int>{2, 3, 4}));
+    q.close();
+    v = 5;
+    EXPECT_EQ(q.pushDropOldest(v, evicted), QueuePush::Closed);
+    EXPECT_EQ(evicted.size(), 2u);    // close evicts nothing
+}
+
+TEST(MpmcQueue, PopBatchFilteredSweepsAllExpiredItems)
+{
+    MpmcQueue<int> q(16);
+    // 0..9 queued; odd values "expired". Cap of 3 applies to FRESH
+    // items only; every expired item is swept out in one pop.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(q.push(i));
+    std::vector<int> out, expired;
+    EXPECT_TRUE(q.popBatchFiltered(
+        out, 3, [](int v) { return v % 2 == 1; }, expired));
+    EXPECT_EQ(out, (std::vector<int>{0, 2, 4}));
+    EXPECT_EQ(expired, (std::vector<int>{1, 3, 5, 7, 9}));
+    EXPECT_EQ(q.size(), 2u);    // 6, 8 still queued
+    EXPECT_TRUE(q.popBatchFiltered(
+        out, 3, [](int v) { return v % 2 == 1; }, expired));
+    EXPECT_EQ(out, (std::vector<int>{6, 8}));
+    EXPECT_TRUE(expired.empty());
+
+    // All-expired wakeup: returns true with an empty fresh batch (the
+    // consumer loops again) — not the closed-and-drained false.
+    EXPECT_TRUE(q.push(11));
+    EXPECT_TRUE(q.popBatchFiltered(
+        out, 3, [](int v) { return v % 2 == 1; }, expired));
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(expired, (std::vector<int>{11}));
+    q.close();
+    EXPECT_FALSE(q.popBatchFiltered(
+        out, 3, [](int v) { return v % 2 == 1; }, expired));
+}
+
+/**
+ * Satellite regression (close/push/pop races): producers blocking on a
+ * full queue while a consumer drains and a third thread closes
+ * mid-stream. Every item reported Ok by its push must be popped exactly
+ * once, every push after close must fail without consuming, and nothing
+ * may deadlock — this also exercises the notify-only-when-items-were-
+ * removed fix (a closed-and-drained popBatch frees no capacity and must
+ * not need to notify producers for the test to terminate).
+ */
+TEST(MpmcQueue, CloseWhileProducersBlockedAndConsumerDraining)
+{
+    for (int round = 0; round < 8; ++round) {
+        MpmcQueue<int> q(4);
+        constexpr int kProducers = 4;
+        constexpr int kPerProducer = 64;
+        std::array<std::atomic<int>, kProducers> pushed_ok{};
+        std::vector<std::thread> producers;
+        for (int p = 0; p < kProducers; ++p)
+            producers.emplace_back([&, p] {
+                for (int i = 0; i < kPerProducer; ++i) {
+                    int v = p * kPerProducer + i;
+                    if (!q.push(v))
+                        break;    // closed: stop producing
+                    pushed_ok[p].fetch_add(1);
+                }
+            });
+        std::atomic<int> popped{0};
+        std::thread consumer([&] {
+            std::vector<int> batch;
+            while (q.popBatch(batch, 3))
+                popped.fetch_add(static_cast<int>(batch.size()));
+        });
+        // Let the system churn briefly, then slam the door.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        q.close();
+        for (auto &t : producers)
+            t.join();
+        consumer.join();
+        int ok = 0;
+        for (int p = 0; p < kProducers; ++p)
+            ok += pushed_ok[p].load();
+        EXPECT_EQ(popped.load(), ok) << "round " << round;
+        EXPECT_EQ(q.size(), 0u);
+        // Closed queue: every intake fails and leaves the item alone.
+        int v = -1;
+        EXPECT_FALSE(q.push(v));
+        EXPECT_EQ(q.tryPush(v), QueuePush::Closed);
+        std::vector<int> evicted;
+        EXPECT_EQ(q.pushDropOldest(v, evicted), QueuePush::Closed);
+        EXPECT_EQ(q.pushFor(v, 0.001), QueuePush::Closed);
+    }
 }
 
 } // namespace
