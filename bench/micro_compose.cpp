@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Composed-serving micro-benchmark: requests/sec and p50/p99 latency of
+ * the RenderService across the batch x shards grid {1,4} x {1,8} on a
+ * city-scale synthetic model with a single render worker. The corners:
+ *
+ *   batch=1, shards=1  view-at-a-time unsharded serving (the baseline)
+ *   batch=4, shards=1  fused multi-view batching alone (PR 4)
+ *   batch=1, shards=8  frustum-routed sharding alone (PR 5)
+ *   batch=4, shards=8  the COMPOSED pipeline (shard/shard_batch.hpp):
+ *                      union routing, one fused cull/precompute/sort
+ *                      per union shard, per-view k-way merges
+ *
+ * The headline number is composed_speedup — the composed corner's
+ * req/s over the view-at-a-time unsharded baseline — since both
+ * amortizations (routing prunes the working set, batching pays the
+ * per-Gaussian stages once per batch instead of once per view) stack
+ * on the same request stream.
+ *
+ * Before timing, every grid point re-renders probe batches offline and
+ * verifies the served pipeline bitwise against sequential unsharded
+ * renderForward via FNV-1a hashes over (image, final_t, n_contrib) —
+ * under the dispatched kernel table AND the forced scalar table, so
+ * the exactness claim is checked in SIMD and scalar flavors.
+ *
+ * Load model: N closed-loop synthetic clients walk the scene's camera
+ * path from staggered offsets (the micro_serve/micro_shard protocol,
+ * so the three JSONs are comparable).
+ *
+ * Prints a table and emits BENCH_compose.json (scripts/bench_compose.sh)
+ * with the machine/build context block.
+ *
+ * Usage: micro_compose [--smoke] [--out FILE.json]
+ */
+
+#include <atomic>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "math/simd_backend.hpp"
+#include "render/batch.hpp"
+#include "render/culling.hpp"
+#include "render/rasterizer.hpp"
+#include "render/simd_kernels.hpp"
+#include "serve/render_service.hpp"
+#include "serve/snapshot.hpp"
+#include "shard/router.hpp"
+#include "shard/shard_batch.hpp"
+#include "shard/sharded_snapshot.hpp"
+
+using namespace clm;
+
+namespace {
+
+struct ComposeCase
+{
+    std::string name;
+    std::string scene;
+    size_t n_gaussians;
+    int width, height;
+    int sh_degree;
+    int clients;
+    int requests;         //!< Per grid point.
+    int probe_batches;    //!< Offline batches checked for bit identity.
+};
+
+struct GridPoint
+{
+    int batch = 1;     //!< ServeConfig::max_batch.
+    int shards = 1;    //!< 1 = unsharded SnapshotSlot service.
+    double rps = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    double mean_batch = 0;           //!< Realized requests/batch.
+    double mean_batch_shards = 0;    //!< Realized union shards/batch.
+    bool bitwise_identical = false;  //!< Dispatched AND scalar tables.
+};
+
+struct CaseResult
+{
+    ComposeCase cfg;
+    int views = 0;
+    size_t mean_subset = 0;
+    std::vector<GridPoint> grid;
+
+    const GridPoint *find(int batch, int shards) const
+    {
+        for (const GridPoint &p : grid)
+            if (p.batch == batch && p.shards == shards)
+                return &p;
+        return nullptr;
+    }
+    /** Composed corner vs view-at-a-time unsharded baseline. */
+    double composedSpeedup() const
+    {
+        const GridPoint *base = find(1, 1);
+        const GridPoint *comp = find(4, 8);
+        return base && comp && base->rps > 0 ? comp->rps / base->rps : 0;
+    }
+};
+
+/** FNV-1a over the per-view outputs the exactness gate names. */
+uint64_t
+hashOutput(const RenderOutput &out)
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const void *data, size_t bytes) {
+        const unsigned char *c = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < bytes; ++i) {
+            h ^= c[i];
+            h *= 1099511628211ull;
+        }
+    };
+    mix(out.image.data().data(), out.image.data().size() * sizeof(float));
+    mix(out.final_t.data(), out.final_t.size() * sizeof(float));
+    mix(out.n_contrib.data(), out.n_contrib.size() * sizeof(uint32_t));
+    return h;
+}
+
+/** Hash of the sequential unsharded reference frame for @p cam. */
+uint64_t
+referenceHash(const GaussianModel &model, const Camera &cam,
+              const RenderConfig &render, RenderArena &arena)
+{
+    return hashOutput(
+        renderForward(model, cam, frustumCull(model, cam), render, arena));
+}
+
+/** Fused unsharded batch vs per-view renderForward, one config. */
+bool
+verifyFusedUnsharded(const GaussianModel &model,
+                     const std::vector<Camera> &cams,
+                     const RenderConfig &render)
+{
+    BatchRenderArena ba;
+    std::vector<std::vector<uint32_t>> subsets;
+    frustumCullBatch(model, cams, ba.cull, subsets, render.parallel);
+    renderForwardBatch(model, cams, subsets, render, ba);
+    RenderArena ref;
+    for (size_t v = 0; v < cams.size(); ++v)
+        if (hashOutput(ba.views[v].out)
+            != referenceHash(model, cams[v], render, ref))
+            return false;
+    return true;
+}
+
+/** Composed sharded batch vs per-view renderForward, one config. */
+bool
+verifyComposedSharded(const GaussianModel &model,
+                      const ShardedSnapshot &snap,
+                      const std::vector<Camera> &cams,
+                      const RenderConfig &render)
+{
+    ShardRouter router(snap);
+    ShardBatchRenderArena arena;
+    renderForwardBatchSharded(snap, router, cams, render, arena,
+                              snap.base->version);
+    RenderArena ref;
+    for (size_t v = 0; v < cams.size(); ++v)
+        if (hashOutput(arena.views[v].out)
+            != referenceHash(model, cams[v], render, ref))
+            return false;
+    return true;
+}
+
+/** Run the point's pipeline offline on probe batches under the
+ *  dispatched kernel table and the forced scalar table; both must
+ *  match their same-config sequential unsharded references. */
+bool
+verifyPoint(const GaussianModel &model, const ShardedSnapshot *snap,
+            const std::vector<Camera> &path, int batch, int probe_batches,
+            const RenderConfig &render)
+{
+    RenderConfig scalar = render;
+    scalar.kernels = renderKernelsFor(SimdBackend::kScalar);
+    for (int b = 0; b < probe_batches; ++b) {
+        std::vector<Camera> cams;
+        for (int i = 0; i < batch; ++i)
+            cams.push_back(path[(b * batch + i) % path.size()]);
+        for (const RenderConfig *cfg :
+             {&render, static_cast<const RenderConfig *>(&scalar)}) {
+            bool ok = snap != nullptr
+                          ? verifyComposedSharded(model, *snap, cams, *cfg)
+                          : verifyFusedUnsharded(model, cams, *cfg);
+            if (!ok)
+                return false;
+        }
+    }
+    return true;
+}
+
+/** Closed-loop clients from staggered path offsets (micro_serve
+ *  protocol); fills the point's throughput/latency/composition stats. */
+void
+driveLoad(RenderService &service, const std::vector<Camera> &path,
+          int n_clients, int n_requests, GridPoint &p)
+{
+    std::atomic<int> budget{n_requests};
+    Timer wall;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < n_clients; ++c) {
+        clients.emplace_back([&, c] {
+            size_t pos = static_cast<size_t>(c) * path.size()
+                       / static_cast<size_t>(n_clients);
+            while (budget.fetch_sub(1) > 0) {
+                service.submit(path[pos % path.size()]).get();
+                ++pos;
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    const double elapsed = wall.seconds();
+    service.stop();    // join before reading stats (last batch counted)
+    ServeStats stats = service.stats();
+
+    p.rps = elapsed > 0 ? stats.requests / elapsed : 0.0;
+    p.p50_ms = stats.p50_ms;
+    p.p99_ms = stats.p99_ms;
+    p.mean_batch = stats.mean_batch;
+    p.mean_batch_shards = stats.mean_batch_shards;
+}
+
+CaseResult
+runCase(const ComposeCase &c)
+{
+    SceneSpec spec = SceneSpec::byName(c.scene);
+    GaussianModel model = generateSceneGaussians(spec, c.n_gaussians);
+    const int n_views = 48;
+    std::vector<Camera> path =
+        generateCameraPath(spec, n_views, c.width, c.height);
+
+    RenderConfig render;
+    render.sh_degree = c.sh_degree;
+
+    CaseResult r;
+    r.cfg = c;
+    r.views = n_views;
+
+    // Warm-up + mean working-set size (context for the speedups).
+    {
+        RenderArena arena;
+        size_t subset_sum = 0;
+        const int reps = 4;
+        for (int v = 0; v < reps; ++v) {
+            auto s = frustumCull(model, path[v]);
+            subset_sum += s.size();
+            renderForward(model, path[v], s, render, arena);
+        }
+        r.mean_subset = subset_sum / reps;
+    }
+
+    auto base = std::make_shared<ModelSnapshot>();
+    base->model = model;
+    base->version = 1;
+    base->param_hash = hashModelParams(model);
+
+    SnapshotSlot flat_slot;
+    flat_slot.publish(model, 0);
+
+    for (int shards : {1, 8}) {
+        // One sharded slot per K, shared by both batch points so the
+        // partition/carve cost is paid once.
+        ShardedSnapshotSlot sharded_slot(shards);
+        if (shards > 1)
+            sharded_slot.publish(base);
+        std::shared_ptr<const ShardedSnapshot> snap =
+            shards > 1 ? sharded_slot.acquire() : nullptr;
+
+        for (int batch : {1, 4}) {
+            GridPoint p;
+            p.batch = batch;
+            p.shards = shards;
+            p.bitwise_identical =
+                verifyPoint(model, snap.get(), path, batch,
+                            c.probe_batches, render);
+
+            ServeConfig cfg;
+            cfg.workers = 1;
+            cfg.max_batch = batch;
+            cfg.render = render;
+            if (shards > 1) {
+                RenderService service(sharded_slot, cfg);
+                driveLoad(service, path, c.clients, c.requests, p);
+            } else {
+                RenderService service(flat_slot, cfg);
+                driveLoad(service, path, c.clients, c.requests, p);
+            }
+            r.grid.push_back(std::move(p));
+        }
+    }
+    return r;
+}
+
+void
+writeJson(const std::string &path, const std::vector<CaseResult> &results,
+          bool smoke)
+{
+    std::ofstream f(path);
+    f << "{\n  \"bench\": \"compose\",\n  \"smoke\": "
+      << (smoke ? "true" : "false") << ",\n";
+    bench::writeJsonContext(f);
+    f << "  \"cases\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const CaseResult &r = results[i];
+        f << "    {\"name\": \"" << r.cfg.name << "\""
+          << ", \"scene\": \"" << r.cfg.scene << "\""
+          << ", \"gaussians\": " << r.cfg.n_gaussians
+          << ", \"width\": " << r.cfg.width
+          << ", \"height\": " << r.cfg.height
+          << ", \"sh_degree\": " << r.cfg.sh_degree
+          << ", \"views\": " << r.views
+          << ", \"mean_subset\": " << r.mean_subset
+          << ", \"clients\": " << r.cfg.clients
+          << ", \"requests\": " << r.cfg.requests
+          << ", \"composed_speedup\": " << r.composedSpeedup()
+          << ",\n     \"grid\": [\n";
+        for (size_t g = 0; g < r.grid.size(); ++g) {
+            const GridPoint &p = r.grid[g];
+            f << "       {\"batch\": " << p.batch
+              << ", \"shards\": " << p.shards
+              << ", \"rps\": " << p.rps
+              << ", \"p50_ms\": " << p.p50_ms
+              << ", \"p99_ms\": " << p.p99_ms
+              << ", \"mean_batch\": " << p.mean_batch
+              << ", \"mean_batch_shards\": " << p.mean_batch_shards
+              << ", \"bitwise_identical\": "
+              << (p.bitwise_identical ? "true" : "false") << "}"
+              << (g + 1 < r.grid.size() ? "," : "") << "\n";
+        }
+        f << "     ]}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_compose.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--smoke")
+            smoke = true;
+        else if (arg == "--out" && i + 1 < argc)
+            out_path = argv[++i];
+        else {
+            std::cerr << "usage: micro_compose [--smoke] [--out FILE]\n";
+            return 2;
+        }
+    }
+
+    // City-scale models with camera paths that see only part of the
+    // scene per view — the regime where routing bounds the working set
+    // and batching amortizes what's left.
+    std::vector<ComposeCase> cases;
+    if (smoke) {
+        cases = {{"smoke", "BigCity", 20000, 96, 54, 1, 4, 24, 1}};
+    } else {
+        cases = {{"small", "BigCity", 150000, 128, 72, 2, 8, 96, 2},
+                 {"medium", "BigCity", 400000, 160, 90, 2, 8, 64, 1}};
+    }
+
+    std::cout << "=== micro_compose: batched x sharded serving grid ===\n"
+              << bench::contextLine() << " (1 serve worker)\n\n";
+    Table table({"Case", "Gaussians", "WxH", "Batch", "Shards", "Req/s",
+                 "p50 ms", "p99 ms", "MeanB", "UShards", "Bitwise"});
+    std::vector<CaseResult> results;
+    bool all_identical = true;
+    for (const ComposeCase &c : cases) {
+        CaseResult r = runCase(c);
+        for (const GridPoint &p : r.grid) {
+            all_identical = all_identical && p.bitwise_identical;
+            table.addRow(
+                {r.cfg.name, std::to_string(r.cfg.n_gaussians),
+                 std::to_string(c.width) + "x" + std::to_string(c.height),
+                 std::to_string(p.batch), std::to_string(p.shards),
+                 Table::fmt(p.rps, 1), Table::fmt(p.p50_ms, 1),
+                 Table::fmt(p.p99_ms, 1), Table::fmt(p.mean_batch, 2),
+                 Table::fmt(p.mean_batch_shards, 2),
+                 p.bitwise_identical ? "yes" : "NO"});
+        }
+        std::cout << "[" << r.cfg.name << "] composed (batch=4, K=8) vs "
+                  << "view-at-a-time unsharded: "
+                  << Table::fmt(r.composedSpeedup(), 2) << "x req/s"
+                  << " (subset " << r.mean_subset << ")\n";
+        results.push_back(std::move(r));
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+
+    writeJson(out_path, results, smoke);
+    std::cout << "\nwrote " << out_path << "\n";
+    if (!all_identical) {
+        std::cerr << "FAIL: composed frames differ from sequential "
+                     "unsharded renders\n";
+        return 1;
+    }
+    return 0;
+}

@@ -29,6 +29,7 @@
 #include "gaussian/adam.hpp"
 #include "math/simd_backend.hpp"
 #include "render/arena.hpp"
+#include "render/batch.hpp"
 #include "render/culling.hpp"
 #include "render/loss.hpp"
 #include "render/rasterizer.hpp"
@@ -49,6 +50,9 @@ struct BenchCase
     std::string name;
     size_t n_gaussians;
     int width, height;
+    /** "bicycle" (orbit) or "bigcity" (aerial flythrough — the serving
+     *  scene, at serving resolution: the cull-dense composed regime). */
+    const char *scene = "bicycle";
 };
 
 /** One forced-kernel-table rerun of the forward + backward pass. */
@@ -58,6 +62,21 @@ struct BackendResult
     double raster_bwd_ms = 0;
     bool forward_identical = true;     //!< Image bits vs first backend.
     bool backward_identical = true;    //!< Gradient bits vs first backend.
+};
+
+/** One kernel-table flavor of the fused-vs-sequential backward race. */
+struct BatchBwdResult
+{
+    const char *table = "";         //!< "dispatch", "sse2", "scalar".
+    double seq_bwd_ms = 0;          //!< Sum of per-view renderBackward.
+    double fused_bwd_ms = 0;        //!< One renderBackwardBatch call.
+    bool batched_identical = true;  //!< Fused grads == sequential grads.
+    bool parallel_identical = true; //!< Fused parallel == fused serial.
+
+    double speedup() const
+    {
+        return fused_bwd_ms > 0 ? seq_bwd_ms / fused_bwd_ms : 0;
+    }
 };
 
 struct BenchResult
@@ -81,6 +100,16 @@ struct BenchResult
     double loss_ref_bwd_ms = 0;
     /** Forced-backend reruns (every table this CPU supports). */
     std::vector<BackendResult> backends;
+    /** Fused multi-view backward (renderBackwardBatch, batch=4) vs the
+     *  sequential per-view backward loop, per kernel-table flavor. */
+    int batch_views = 0;
+    std::vector<BatchBwdResult> batch_bwd;
+
+    /** Headline fused-backward speedup (default-dispatch flavor). */
+    double batchBwdSpeedup() const
+    {
+        return batch_bwd.empty() ? 0 : batch_bwd.front().speedup();
+    }
 
     double lossSpeedup() const
     {
@@ -117,12 +146,117 @@ gradHash(const GaussianGrads &g)
     return h;
 }
 
+/**
+ * Fused multi-view backward vs the sequential per-view loop: the same
+ * 4-view batch run (a) as four cull/forward/loss/backward passes with
+ * the per-view renderBackward timed, and (b) as one batched cull + one
+ * retained-staging renderForwardBatch + ONE renderBackwardBatch (the
+ * trainer's fused_batch path), timed on the fused backward alone. Run
+ * per kernel-table flavor (runtime dispatch, forced sse2 when the CPU
+ * has it, forced scalar); each flavor also checks the two determinism
+ * claims — fused gradients bitwise equal to the sequential loop's, and
+ * a serial (parallel=false) fused rerun bitwise equal to the parallel
+ * one.
+ */
+void
+runBatchBackward(const SceneSpec &spec, const GaussianModel &gt_model,
+                 const GaussianModel &model, const BenchCase &cfg,
+                 const RenderConfig &render, const LossConfig &loss_cfg,
+                 int reps, BenchResult &r)
+{
+    const int B = 4;
+    r.batch_views = B;
+    std::vector<Camera> cams =
+        generateCameraPath(spec, B, cfg.width, cfg.height);
+    RenderArena arena;
+    LossScratch scratch;
+    std::vector<Image> gts(B);
+    for (int v = 0; v < B; ++v)
+        gts[v] = renderForward(gt_model, cams[v],
+                               frustumCull(gt_model, cams[v]), render,
+                               arena)
+                     .image;
+
+    GaussianGrads seq_grads, fused_grads, serial_grads;
+    seq_grads.resize(model.size());
+    fused_grads.resize(model.size());
+    BatchRenderArena ba;
+    std::vector<Image> d_images(B);
+    Image d_image;
+    std::vector<std::vector<uint32_t>> subsets;
+
+    auto runFused = [&](const RenderConfig &rc, GaussianGrads &grads) {
+        grads.zero();
+        frustumCullBatch(model, cams, ba.cull, subsets, rc.parallel);
+        ba.retain_staging = true;
+        renderForwardBatch(model, cams, subsets, rc, ba);
+        for (int v = 0; v < B; ++v)
+            computeLoss(ba.views[v].out.image, gts[v], &d_images[v],
+                        loss_cfg, scratch);
+        Timer t;
+        renderBackwardBatch(model, cams, rc, d_images, grads, ba);
+        return t.millis();
+    };
+
+    struct Flavor
+    {
+        const char *name;
+        const RenderKernels *kern;
+    };
+    std::vector<Flavor> flavors = {{"dispatch", nullptr}};
+    if (const RenderKernels *k = renderKernelsFor(SimdBackend::kSse2))
+        flavors.push_back({"sse2", k});
+    flavors.push_back({"scalar", renderKernelsFor(SimdBackend::kScalar)});
+
+    for (const Flavor &fl : flavors) {
+        RenderConfig rc = render;
+        rc.kernels = fl.kern;
+        BatchBwdResult b;
+        b.table = fl.name;
+        for (int rep = 0; rep <= reps; ++rep) {
+            // Sequential reference: per-view loop, backward timed.
+            seq_grads.zero();
+            double seq_ms = 0;
+            for (int v = 0; v < B; ++v) {
+                auto subset = frustumCull(model, cams[v]);
+                const RenderOutput &out =
+                    renderForward(model, cams[v], subset, rc, arena);
+                computeLoss(out.image, gts[v], &d_image, loss_cfg,
+                            scratch);
+                Timer t;
+                renderBackward(model, cams[v], rc, out, d_image,
+                               seq_grads, arena);
+                seq_ms += t.millis();
+            }
+            const double fused_ms = runFused(rc, fused_grads);
+            if (rep > 0) {    // rep 0 is the untimed warm-up
+                b.seq_bwd_ms += seq_ms;
+                b.fused_bwd_ms += fused_ms;
+            }
+        }
+        b.seq_bwd_ms /= reps;
+        b.fused_bwd_ms /= reps;
+        b.batched_identical =
+            gradHash(seq_grads) == gradHash(fused_grads);
+
+        RenderConfig serial = rc;
+        serial.parallel = false;
+        serial_grads.resize(model.size());
+        runFused(serial, serial_grads);
+        b.parallel_identical =
+            gradHash(fused_grads) == gradHash(serial_grads);
+        r.batch_bwd.push_back(b);
+    }
+}
+
 /** Run one config; reps adapt to hit ~min_seconds of stepping. */
 BenchResult
 runCase(const BenchCase &cfg, double min_seconds, int max_reps,
         bool with_ref)
 {
-    SceneSpec spec = SceneSpec::bicycle();
+    SceneSpec spec = std::string(cfg.scene) == "bigcity"
+                         ? SceneSpec::bigCity()
+                         : SceneSpec::bicycle();
     GaussianModel gt_model = generateGroundTruth(spec, cfg.n_gaussians);
     Camera cam = generateCameraPath(spec, 2, cfg.width, cfg.height)[0];
 
@@ -250,6 +384,9 @@ runCase(const BenchCase &cfg, double min_seconds, int max_reps,
             r.backends.push_back(b);
         }
     }
+
+    runBatchBackward(spec, gt_model, model, cfg, render, loss_cfg,
+                     max_reps > 1 ? 3 : 1, r);
     return r;
 }
 
@@ -265,6 +402,7 @@ writeJson(const std::string &path, const std::vector<BenchResult> &results,
     for (size_t i = 0; i < results.size(); ++i) {
         const BenchResult &r = results[i];
         f << "    {\"name\": \"" << r.cfg.name << "\""
+          << ", \"scene\": \"" << r.cfg.scene << "\""
           << ", \"gaussians\": " << r.cfg.n_gaussians
           << ", \"subset\": " << r.subset
           << ", \"width\": " << r.cfg.width
@@ -294,8 +432,22 @@ writeJson(const std::string &path, const std::vector<BenchResult> &results,
         f << "}, \"forward_bitwise_identical\": "
           << (fwd_same ? "true" : "false")
           << ", \"backward_bitwise_identical\": "
-          << (bwd_same ? "true" : "false") << "}"
-          << (i + 1 < results.size() ? "," : "") << "\n";
+          << (bwd_same ? "true" : "false")
+          << ",\n     \"batch_views\": " << r.batch_views
+          << ", \"fused_backward_speedup\": " << r.batchBwdSpeedup()
+          << ", \"backward_batch\": [";
+        for (size_t b = 0; b < r.batch_bwd.size(); ++b) {
+            const BatchBwdResult &bb = r.batch_bwd[b];
+            f << (b ? ", " : "") << "{\"table\": \"" << bb.table << "\""
+              << ", \"seq_bwd_ms\": " << bb.seq_bwd_ms
+              << ", \"fused_bwd_ms\": " << bb.fused_bwd_ms
+              << ", \"speedup\": " << bb.speedup()
+              << ", \"batched_bitwise_identical\": "
+              << (bb.batched_identical ? "true" : "false")
+              << ", \"parallel_bitwise_identical\": "
+              << (bb.parallel_identical ? "true" : "false") << "}";
+        }
+        f << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     f << "  ]\n}\n";
 }
@@ -336,7 +488,12 @@ main(int argc, char **argv)
         // BENCH_rasterizer.json points.
         cases = {{"small", 4000, 320, 180},
                  {"medium", 16000, 640, 360},
-                 {"large", 64000, 960, 540}};
+                 {"large", 64000, 960, 540},
+                 // The composed-serving regime: the BENCH_compose scene
+                 // at serving resolution — a big model behind small
+                 // frames, where cull/stage overheads (not pixel work)
+                 // carry the step.
+                 {"dense", 400000, 160, 90, "bigcity"}};
         min_seconds = 1.0;
         max_reps = 20;
     }
@@ -373,6 +530,21 @@ main(int argc, char **argv)
             std::cout << "  " << b.name << "="
                       << Table::fmt(b.raster_bwd_ms, 2)
                       << (b.forward_identical && b.backward_identical
+                              ? ""
+                              : " [BITS DIFFER]");
+        std::cout << "\n";
+    }
+
+    std::cout << "\nfused multi-view backward (batch=4) vs sequential "
+                 "per-view loop (ms, bitwise batched==seq / par==ser):\n";
+    for (const BenchResult &r : results) {
+        std::cout << "  " << r.cfg.name << ":";
+        for (const BatchBwdResult &b : r.batch_bwd)
+            std::cout << "  " << b.table << " seq="
+                      << Table::fmt(b.seq_bwd_ms, 2)
+                      << " fused=" << Table::fmt(b.fused_bwd_ms, 2) << " ("
+                      << Table::fmt(b.speedup(), 2) << "x)"
+                      << (b.batched_identical && b.parallel_identical
                               ? ""
                               : " [BITS DIFFER]");
         std::cout << "\n";

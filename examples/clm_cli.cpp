@@ -220,6 +220,14 @@ runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
                     "per request (%.0f%% pruned)\n",
                     stats.mean_shards_selected, shards,
                     stats.mean_shard_frac_pruned * 100.0);
+    std::printf("[serve] batch occupancy:");
+    for (size_t k = 0; k < stats.batch_occupancy.size(); ++k)
+        std::printf(" %zux%llu", k + 1,
+                    static_cast<unsigned long long>(
+                        stats.batch_occupancy[k]));
+    if (stats.mean_batch_shards > 0)
+        std::printf(" (mean %.2f shards/batch)", stats.mean_batch_shards);
+    std::printf("\n");
     std::printf(
         "[serve] snapshots served: versions %llu..%llu (training "
         "advanced the model %llu times mid-serve)\n",

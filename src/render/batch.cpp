@@ -185,6 +185,11 @@ BatchRenderArena::footprintBytes() const
     bytes += (opacity.capacity() + power_cut.capacity()) * sizeof(float);
     bytes += binning.bytes();
     bytes += fused_vals.capacity() * sizeof(uint32_t);
+    for (const auto &g : grad8_scratch)
+        bytes += g.capacity() * sizeof(float);
+    bytes += (chain_offsets.capacity() + chain_fill.capacity())
+           * sizeof(size_t);
+    bytes += chain_pairs.capacity() * sizeof(uint64_t);
     return bytes;
 }
 
@@ -441,6 +446,13 @@ renderForwardBatch(const GaussianModel &model,
         chunk_target =
             std::max<size_t>(1, (total_tiles + want - 1) / want);
     }
+    // Retained-staging mode (training): one stage slot per TILE, with
+    // the SoA mirrors the SIMD backward replay reads, so
+    // renderBackwardBatch replays from the forward's staging instead of
+    // re-staging every tile. Staging is pure data movement — the
+    // composited pixels cannot change.
+    if (ba.retain_staging)
+        chunk_target = 1;
     std::vector<ChunkTask> tasks;
     for (size_t v = 0; v < B; ++v) {
         const size_t n_tiles = grids[v].tileCount();
@@ -462,7 +474,8 @@ renderForwardBatch(const GaussianModel &model,
         RenderArena &av = ba.views[task.view];
         detail::compositeTileRange(cfg, grids[task.view], av.alpha_cut,
                                    av.row_k, av.stages[task.stage],
-                                   task.t0, task.t1, av.out);
+                                   task.t0, task.t1, av.out,
+                                   /*stage_soa=*/ba.retain_staging);
     };
     if (cfg.parallel && tasks.size() > 1) {
         ThreadPool::global().parallelFor(

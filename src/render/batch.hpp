@@ -134,6 +134,19 @@ class BatchRenderArena
     /** Per-view arenas; resized on demand by renderForwardBatch. */
     std::vector<RenderArena> views;
 
+    /**
+     * Retained-staging mode (set BEFORE renderForwardBatch; training
+     * callers enable it, serving callers leave it off): the forward
+     * composite uses one stage slot per TILE instead of per worker
+     * chunk and also fills the SoA mirrors SIMD backward replay reads,
+     * so renderBackwardBatch can replay every tile from the forward's
+     * staging instead of re-staging it — each tile is staged ONCE per
+     * training step instead of twice. Pure data movement either way:
+     * forward pixels and backward gradients are bitwise unchanged.
+     * Costs memory proportional to the batch's total intersections.
+     */
+    bool retain_staging = false;
+
     /** @name Fused-pass scratch (contents are garbage between calls) */
     /// @{
     BatchCullScratch cull;
@@ -145,6 +158,22 @@ class BatchRenderArena
     std::vector<float> power_cut;     //!< Per-union-entry alpha cut.
     BinningScratch binning;           //!< Fused key/offset scratch.
     std::vector<uint32_t> fused_vals; //!< One sorted buffer, all views.
+    /// @}
+
+    /** @name Fused-backward scratch (renderBackwardBatch) */
+    /// @{
+    /** Per (view, chunk) replay task: its private 8-lane gradient
+     *  partial buffer, kept all-zero between tiles (the flush re-zeroes
+     *  the block it reads while it is cache-hot), so the per-tile cold
+     *  memset of the sequential backward disappears. */
+    std::vector<std::vector<float>> grad8_scratch;
+    /** Union-entry CSR over the batch: chain_offsets[u] ..
+     *  chain_offsets[u+1] index chain_pairs, each (view << 32 | subset
+     *  position), views ascending — the per-model-row accumulation
+     *  order of the sequential per-view chain. */
+    std::vector<size_t> chain_offsets;
+    std::vector<size_t> chain_fill;
+    std::vector<uint64_t> chain_pairs;
     /// @}
 
     /** Stage breakdown of the last renderForwardBatch() call. */
@@ -166,6 +195,44 @@ void renderForwardBatch(const GaussianModel &model,
                         const std::vector<std::vector<uint32_t>> &subsets,
                         const RenderConfig &config,
                         BatchRenderArena &arena);
+
+/**
+ * Fused multi-view backward: back-propagate every view of the batch
+ * last rendered by renderForwardBatch() into @p arena (the forward
+ * activation, union map and per-view cut arrays it left behind are the
+ * replay inputs — call this with the SAME model, cameras and config,
+ * before the next forward into the arena). Gradients accumulate into
+ * @p out exactly as the sequential per-view loop
+ *
+ *     for v: renderBackward(model, cameras[v], config,
+ *                           arena.views[v].out, d_images[v], out)
+ *
+ * would produce them, bit for bit, under any dispatch backend and any
+ * parallel split:
+ *
+ *  - Each view's tiles replay in the sequential pass's fixed chunk
+ *    partition through the same kernels, with per-view per-chunk
+ *    gradient partials reduced in the same fixed chunk order and the
+ *    same fixed-lane-order SIMD reduction.
+ *  - The projection chain then runs once per batch over the union of
+ *    the views' subsets: distinct union entries touch distinct model
+ *    rows (parallel-safe), and within a union entry the per-view
+ *    contributions accumulate in ascending view order — the exact
+ *    accumulation order of the sequential loop.
+ *
+ * What makes it faster than the sequential loop on one core: with
+ * retain_staging the per-tile staging already happened in the forward
+ * (staged once per step, not twice), and the 8-lane partial buffers
+ * stay zero between tiles so the sequential pass's per-tile cold
+ * memset is gone. With a thread pool it additionally schedules all
+ * (view, chunk) replay tasks as one list (cross-view parallelism, one
+ * barrier instead of one per view).
+ */
+void renderBackwardBatch(const GaussianModel &model,
+                         const std::vector<Camera> &cameras,
+                         const RenderConfig &config,
+                         const std::vector<Image> &d_images,
+                         GaussianGrads &out, BatchRenderArena &arena);
 
 } // namespace clm
 

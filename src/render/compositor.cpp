@@ -143,7 +143,7 @@ void
 compositeTileRange(const RenderConfig &cfg, const TileGrid &grid,
                    const std::vector<float> &alpha_cut,
                    const std::vector<float> &row_k, TileStage &stage,
-                   size_t t0, size_t t1, RenderOutput &out)
+                   size_t t0, size_t t1, RenderOutput &out, bool stage_soa)
 {
     const int w = grid.width;
     const int h = grid.height;
@@ -173,7 +173,9 @@ compositeTileRange(const RenderConfig &cfg, const TileGrid &grid,
             continue;
         }
         stage.stageFrom(out.projected, out.isect_vals, range, alpha_cut,
-                        row_k, /*for_backward=*/false);
+                        row_k, /*for_backward=*/false,
+                        /*stage_soa=*/stage_soa && cfg.use_simd
+                            && len < kSimdMaxStagedEntries);
         if (cfg.use_simd && len < kSimdMaxStagedEntries) {
             // SIMD path: the runtime-dispatched per-ISA kernel (or the
             // table cfg.kernels forces). The kernel body is the former

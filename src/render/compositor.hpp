@@ -30,11 +30,18 @@ namespace detail {
  * background directly. Tiles touch disjoint pixels, so any parallel
  * split over tile ranges produces identical results; @p stage is the
  * calling worker's private staging scratch.
+ *
+ * @p stage_soa additionally fills the stage's SoA mirrors for tiles the
+ * backward replay would SIMD-batch (cfg.use_simd and the staged-entry
+ * bound) — the retained-staging mode of renderForwardBatch, which lets
+ * renderBackwardBatch replay each tile without re-staging it. Staging
+ * is pure data movement, so the composited pixels are unchanged.
  */
 void compositeTileRange(const RenderConfig &cfg, const TileGrid &grid,
                         const std::vector<float> &alpha_cut,
                         const std::vector<float> &row_k, TileStage &stage,
-                        size_t t0, size_t t1, RenderOutput &out);
+                        size_t t0, size_t t1, RenderOutput &out,
+                        bool stage_soa = false);
 
 } // namespace detail
 

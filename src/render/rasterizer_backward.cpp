@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "render/arena.hpp"
+#include "render/batch.hpp"
 #include "render/rasterizer.hpp"
 #include "render/simd_kernels.hpp"
 #include "util/logging.hpp"
@@ -325,6 +326,248 @@ renderBackward(const GaussianModel &model, const Camera &camera,
         ThreadPool::global().parallelFor(n, chain);
     else
         chain(0, n);
+}
+
+void
+renderBackwardBatch(const GaussianModel &model,
+                    const std::vector<Camera> &cameras,
+                    const RenderConfig &cfg,
+                    const std::vector<Image> &d_images, GaussianGrads &out,
+                    BatchRenderArena &ba)
+{
+    const size_t B = cameras.size();
+    CLM_ASSERT(B >= 1, "empty backward batch");
+    CLM_ASSERT(d_images.size() == B, "one loss-gradient image per view");
+    CLM_ASSERT(ba.views.size() >= B && ba.slots.size() == B,
+               "renderBackwardBatch must follow renderForwardBatch on "
+               "the same arena");
+    CLM_ASSERT(out.size() == model.size(),
+               "gradient buffer must cover the full model");
+
+    const float alpha_min = cfg.alpha_min;
+    const Vec3 background = cfg.background;
+    const RenderKernels &kern =
+        cfg.kernels ? *cfg.kernels : renderKernels();
+    const size_t threads = ThreadPool::global().threads();
+
+    // Per-view setup, replicating the sequential pass exactly: the cut
+    // arrays (already in place from the forward into this arena — the
+    // same guard renderBackward uses), and the FIXED per-view chunk
+    // partition its reduction order is defined over.
+    struct Task
+    {
+        uint32_t view;
+        uint32_t chunk;
+        uint32_t t0, t1;
+    };
+    std::vector<Task> tasks;
+    for (size_t v = 0; v < B; ++v) {
+        RenderArena &av = ba.views[v];
+        const RenderOutput &fwd = av.out;
+        const size_t n = fwd.projected.size();
+        CLM_ASSERT(ba.slots[v].size() == n,
+                   "arena union map does not match the forward batch");
+        CLM_ASSERT(d_images[v].width() == cameras[v].width()
+                       && d_images[v].height() == cameras[v].height(),
+                   "d_image size mismatch");
+        if (av.cuts_alpha_min != cfg.alpha_min
+            || av.alpha_cut.size() != n) {
+            computeAlphaCutPowers(fwd.projected, cfg.alpha_min,
+                                  cfg.parallel, av.alpha_cut, av.row_k);
+            av.cuts_alpha_min = cfg.alpha_min;
+        }
+        const size_t n_tiles = fwd.tile_ranges.size();
+        const size_t n_chunks = std::max<size_t>(
+            1, std::min<size_t>(n_tiles, threads));
+        const size_t tiles_per_chunk =
+            n_tiles == 0 ? 0 : (n_tiles + n_chunks - 1) / n_chunks;
+        av.grad_partials.resize(n_chunks);
+        if (ba.retain_staging) {
+            CLM_ASSERT(av.stages.size() >= n_tiles,
+                       "retained staging missing — render the batch "
+                       "with retain_staging set first");
+        } else if (av.stages.size() < n_chunks) {
+            av.stages.resize(n_chunks);
+        }
+        for (size_t c = 0; c < n_chunks; ++c) {
+            const size_t t0 = c * tiles_per_chunk;
+            const size_t t1 = std::min(t0 + tiles_per_chunk, n_tiles);
+            tasks.push_back({static_cast<uint32_t>(v),
+                             static_cast<uint32_t>(c),
+                             static_cast<uint32_t>(t0),
+                             static_cast<uint32_t>(t1)});
+        }
+    }
+    ba.grad8_scratch.resize(tasks.size());
+
+    // --- 1. Replay: every (view, chunk) task runs the sequential
+    // pass's per-chunk body — same tiles, same staged inputs, same
+    // kernels, same flush order — as ONE task list (cross-view
+    // parallelism). With retained staging the tile is already staged;
+    // the 8-lane partial buffer is kept all-zero between tiles by the
+    // flush, replacing the sequential pass's per-tile cold memset.
+    auto run_task = [&](size_t ti) {
+        const Task &task = tasks[ti];
+        RenderArena &av = ba.views[task.view];
+        const RenderOutput &fwd = av.out;
+        const Image &d_image = d_images[task.view];
+        const int w = cameras[task.view].width();
+        const int h = cameras[task.view].height();
+        std::vector<ProjectionGrads> &acc = av.grad_partials[task.chunk];
+        acc.assign(fwd.projected.size(), ProjectionGrads{});
+        std::vector<float> &g8 = ba.grad8_scratch[ti];
+        for (size_t t = task.t0; t < task.t1; ++t) {
+            const TileRange range = fwd.tile_ranges[t];
+            const size_t len = range.size();
+            if (len == 0)
+                continue;
+            const bool simd_batch =
+                cfg.use_simd && len < kSimdMaxStagedEntries;
+            TileStage &stage =
+                av.stages[ba.retain_staging ? t : task.chunk];
+            if (!ba.retain_staging) {
+                stage.stageFrom(fwd.projected, fwd.isect_vals, range,
+                                av.alpha_cut, av.row_k,
+                                /*for_backward=*/!simd_batch,
+                                /*stage_soa=*/simd_batch);
+            } else if (!simd_batch) {
+                // Forward staging carries hot/color; the scalar replay
+                // additionally accumulates into stage.grads.
+                stage.grads.assign(len, ProjectionGrads{});
+            }
+
+            const int ty = static_cast<int>(t) / fwd.tiles_x;
+            const int tx = static_cast<int>(t) % fwd.tiles_x;
+            const int px0 = tx * cfg.tile_size;
+            const int py0 = ty * cfg.tile_size;
+            const int px1 = std::min(px0 + cfg.tile_size, w);
+            const int py1 = std::min(py0 + cfg.tile_size, h);
+
+            if (simd_batch) {
+                const size_t need =
+                    len * static_cast<size_t>(kG8Comps) * 8;
+                // Growth zero-fills; the existing prefix is zero by the
+                // flush invariant below.
+                if (g8.size() < need)
+                    g8.resize(need, 0.0f);
+                BackwardTileArgs args;
+                args.mean_x = stage.soa_mean_x.data();
+                args.mean_y = stage.soa_mean_y.data();
+                args.conic_a = stage.soa_conic_a.data();
+                args.conic_b = stage.soa_conic_b.data();
+                args.conic_c = stage.soa_conic_c.data();
+                args.power_cut = stage.soa_power_cut.data();
+                args.row_k = stage.soa_row_k.data();
+                args.opacity = stage.soa_opacity.data();
+                args.color_r = stage.soa_color_r.data();
+                args.color_g = stage.soa_color_g.data();
+                args.color_b = stage.soa_color_b.data();
+                args.len = len;
+                args.px0 = px0;
+                args.px1 = px1;
+                args.py0 = py0;
+                args.py1 = py1;
+                args.width = w;
+                args.alpha_min = alpha_min;
+                args.background = background;
+                args.final_t = fwd.final_t.data();
+                args.n_contrib = fwd.n_contrib.data();
+                args.d_image = d_image.data().data();
+                args.grad8 = g8.data();
+                kern.backward_tile(args);
+
+                // Flush in staged order with the fixed lane reduction,
+                // re-zeroing each block while it is cache-hot (the
+                // all-zero-between-tiles invariant).
+                for (size_t j = 0; j < len; ++j) {
+                    float *blk =
+                        g8.data()
+                        + j * static_cast<size_t>(kG8Comps) * 8;
+                    accumulate(acc[fwd.isect_vals[range.begin + j]],
+                               reduceLanes(blk));
+                    std::memset(blk, 0,
+                                static_cast<size_t>(kG8Comps) * 8
+                                    * sizeof(float));
+                }
+            } else {
+                backwardTileScalar(stage, fwd, d_image, px0, px1, py0,
+                                   py1, w, alpha_min, background);
+                for (size_t j = 0; j < len; ++j)
+                    accumulate(acc[fwd.isect_vals[range.begin + j]],
+                               stage.grads[j]);
+            }
+        }
+    };
+    if (cfg.parallel && tasks.size() > 1) {
+        ThreadPool::global().parallelFor(
+            tasks.size(), [&](size_t begin, size_t end) {
+                for (size_t ti = begin; ti < end; ++ti)
+                    run_task(ti);
+            });
+    } else {
+        for (size_t ti = 0; ti < tasks.size(); ++ti)
+            run_task(ti);
+    }
+
+    // --- 2. Per-view reduction in chunk order — element-wise over
+    // (view, entry), so any parallel split is the same arithmetic.
+    for (size_t v = 0; v < B; ++v) {
+        RenderArena &av = ba.views[v];
+        const size_t n = av.out.projected.size();
+        av.grads.resize(n);
+        poolForRange(n, cfg.parallel, kMinParallelSubset,
+                     [&](size_t begin, size_t end) {
+                         for (size_t s = begin; s < end; ++s) {
+                             ProjectionGrads g{};
+                             for (const auto &partial : av.grad_partials)
+                                 accumulate(g, partial[s]);
+                             av.grads[s] = g;
+                         }
+                     });
+    }
+
+    // --- 3. Projection chain, once per batch over the union of the
+    // views' subsets. Distinct union entries touch distinct model rows
+    // (parallel-safe); within an entry the per-view contributions
+    // accumulate in ascending view order — exactly the sequential
+    // loop's per-row accumulation order.
+    const size_t n_union = ba.union_indices.size();
+    ba.chain_offsets.assign(n_union + 1, 0);
+    size_t total_pairs = 0;
+    for (size_t v = 0; v < B; ++v) {
+        for (uint32_t u : ba.slots[v])
+            ++ba.chain_offsets[u + 1];
+        total_pairs += ba.slots[v].size();
+    }
+    for (size_t u = 0; u < n_union; ++u)
+        ba.chain_offsets[u + 1] += ba.chain_offsets[u];
+    ba.chain_pairs.resize(total_pairs);
+    ba.chain_fill.assign(ba.chain_offsets.begin(),
+                         ba.chain_offsets.end() - 1);
+    for (size_t v = 0; v < B; ++v) {
+        const std::vector<uint32_t> &slots = ba.slots[v];
+        for (size_t s = 0; s < slots.size(); ++s)
+            ba.chain_pairs[ba.chain_fill[slots[s]]++] =
+                (static_cast<uint64_t>(v) << 32) | s;
+    }
+    poolForRange(
+        n_union, cfg.parallel, kMinParallelSubset,
+        [&](size_t begin, size_t end) {
+            for (size_t u = begin; u < end; ++u) {
+                for (size_t e = ba.chain_offsets[u];
+                     e < ba.chain_offsets[u + 1]; ++e) {
+                    const uint64_t pair = ba.chain_pairs[e];
+                    const size_t v = static_cast<size_t>(pair >> 32);
+                    const size_t s =
+                        static_cast<size_t>(pair & 0xffffffffu);
+                    const RenderArena &av = ba.views[v];
+                    projectGaussianBackward(model, cameras[v],
+                                            cfg.sh_degree,
+                                            av.out.projected[s],
+                                            av.grads[s], out);
+                }
+            }
+        });
 }
 
 } // namespace clm

@@ -6,6 +6,7 @@
 #include "math/stats.hpp"
 #include "render/culling.hpp"
 #include "shard/router.hpp"
+#include "shard/shard_batch.hpp"
 #include "shard/shard_renderer.hpp"
 #include "shard/sharded_snapshot.hpp"
 #include "util/logging.hpp"
@@ -281,6 +282,9 @@ RenderService::shardedWorkerLoop()
     std::vector<PendingRequest> batch;
     std::vector<PendingRequest> expired;
     ShardRenderArena arena;
+    ShardBatchRenderArena batch_arena;
+    std::vector<Camera> cams;
+    std::vector<uint32_t> union_scratch;
     std::vector<double> latencies;
     ShardRouter router;
     uint64_t router_version = 0;    //!< Base version router was built on.
@@ -306,38 +310,83 @@ RenderService::shardedWorkerLoop()
         latencies.resize(n);
         uint64_t selected_sum = 0;
         uint64_t total_sum = 0;
+        uint64_t union_shards = 0;
 
-        // Requests render view-at-a-time: routing is per-frustum, so a
-        // coalesced batch still pays one render per request here (the
-        // fused multi-view pass composes with sharding at the next
-        // scale-out rung).
-        for (size_t v = 0; v < n; ++v) {
+        if (config_.fused_batch && n > 1) {
+            // Composed pipeline (shard/shard_batch.hpp): per-view
+            // routing unioned, one fused cull/precompute/sort per union
+            // shard — the cull stage cached per (snapshot version,
+            // shard id) across wakeups — then the exact per-view k-way
+            // merges. Frames are bitwise identical to the
+            // view-at-a-time path below.
             const double t0 = clock_.seconds();
-            router.route(batch[v].camera.frustum(), arena.route);
-            const RenderOutput &out = renderForwardSharded(
-                *snap, arena.route, batch[v].camera, config_.render,
-                arena);
+            cams.clear();
+            for (const PendingRequest &r : batch)
+                cams.push_back(r.camera);
+            renderForwardBatchSharded(*snap, router, cams,
+                                      config_.render, batch_arena,
+                                      snap->base->version);
             const double render_s = clock_.seconds() - t0;
+            union_shards = batch_arena.union_shards.size();
+            for (size_t v = 0; v < n; ++v) {
+                RenderResponse resp;
+                resp.image = batch_arena.views[v].out.image;
+                resp.request_id = batch[v].id;
+                resp.client_id = batch[v].client_id;
+                resp.snapshot_version = snap->base->version;
+                resp.snapshot_hash = snap->base->param_hash;
+                resp.train_step = snap->base->train_step;
+                resp.batch_size = static_cast<int>(n);
+                resp.queue_s = t0 - batch[v].enqueue_s;
+                resp.render_s = render_s;
+                resp.shards_total = static_cast<int>(snap->shardCount());
+                resp.shards_selected =
+                    static_cast<int>(batch_arena.routes[v].size());
+                selected_sum += batch_arena.routes[v].size();
+                total_sum += snap->shardCount();
+                latencies[v] = clock_.seconds() - batch[v].enqueue_s;
+                batch[v].reply.set_value(std::move(resp));
+            }
+        } else {
+            // View-at-a-time: route + render each request alone (also
+            // the max_batch=1 / fused_batch=off bench baseline).
+            union_scratch.clear();
+            for (size_t v = 0; v < n; ++v) {
+                const double t0 = clock_.seconds();
+                router.route(batch[v].camera.frustum(), arena.route);
+                const RenderOutput &out = renderForwardSharded(
+                    *snap, arena.route, batch[v].camera, config_.render,
+                    arena);
+                const double render_s = clock_.seconds() - t0;
 
-            RenderResponse resp;
-            resp.image = out.image;
-            resp.request_id = batch[v].id;
-            resp.client_id = batch[v].client_id;
-            resp.snapshot_version = snap->base->version;
-            resp.snapshot_hash = snap->base->param_hash;
-            resp.train_step = snap->base->train_step;
-            resp.batch_size = static_cast<int>(n);
-            resp.queue_s = t0 - batch[v].enqueue_s;
-            resp.render_s = render_s;
-            resp.shards_total = static_cast<int>(snap->shardCount());
-            resp.shards_selected = static_cast<int>(arena.route.size());
-            selected_sum += arena.route.size();
-            total_sum += snap->shardCount();
-            latencies[v] = clock_.seconds() - batch[v].enqueue_s;
-            batch[v].reply.set_value(std::move(resp));
+                RenderResponse resp;
+                resp.image = out.image;
+                resp.request_id = batch[v].id;
+                resp.client_id = batch[v].client_id;
+                resp.snapshot_version = snap->base->version;
+                resp.snapshot_hash = snap->base->param_hash;
+                resp.train_step = snap->base->train_step;
+                resp.batch_size = static_cast<int>(n);
+                resp.queue_s = t0 - batch[v].enqueue_s;
+                resp.render_s = render_s;
+                resp.shards_total = static_cast<int>(snap->shardCount());
+                resp.shards_selected =
+                    static_cast<int>(arena.route.size());
+                selected_sum += arena.route.size();
+                total_sum += snap->shardCount();
+                union_scratch.insert(union_scratch.end(),
+                                     arena.route.begin(),
+                                     arena.route.end());
+                latencies[v] = clock_.seconds() - batch[v].enqueue_s;
+                batch[v].reply.set_value(std::move(resp));
+            }
+            std::sort(union_scratch.begin(), union_scratch.end());
+            union_shards = static_cast<uint64_t>(
+                std::unique(union_scratch.begin(), union_scratch.end())
+                - union_scratch.begin());
         }
         recordBatch(n, latencies.data(), snap->base->version,
-                    selected_sum, total_sum);
+                    selected_sum, total_sum, union_shards);
     }
 }
 
@@ -345,11 +394,15 @@ void
 RenderService::recordBatch(size_t batch_size, const double *latencies_s,
                            uint64_t snapshot_version,
                            uint64_t shards_selected_sum,
-                           uint64_t shards_total_sum)
+                           uint64_t shards_total_sum,
+                           uint64_t union_shards)
 {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     done_requests_ += batch_size;
     done_batches_ += 1;
+    if (batch_occupancy_.size() < batch_size)
+        batch_occupancy_.resize(batch_size, 0);
+    ++batch_occupancy_[batch_size - 1];
     for (size_t v = 0; v < batch_size; ++v) {
         // Algorithm-R uniform reservoir. The replacement slot for the
         // i-th observation is splitmix64(seed, i) % i — a pure function
@@ -376,6 +429,8 @@ RenderService::recordBatch(size_t batch_size, const double *latencies_s,
         sharded_requests_ += batch_size;
         shards_selected_sum_ += shards_selected_sum;
         shards_total_sum_ += shards_total_sum;
+        ++sharded_batches_;
+        batch_union_shards_sum_ += union_shards;
     }
 }
 
@@ -398,6 +453,11 @@ RenderService::stats() const
         s.min_snapshot_version = min_version_;
         s.max_snapshot_version = max_version_;
         s.sharded_requests = sharded_requests_;
+        s.batch_occupancy = batch_occupancy_;
+        if (sharded_batches_ > 0)
+            s.mean_batch_shards =
+                static_cast<double>(batch_union_shards_sum_)
+                / static_cast<double>(sharded_batches_);
         sel_sum = shards_selected_sum_;
         tot_sum = shards_total_sum_;
         lat = latencies_s_;

@@ -20,9 +20,14 @@
  * each request's frustum is routed against the spatial shard AABBs
  * (shard/router.hpp) and only the selected shards are rendered through
  * the exact per-shard/k-way-merge pipeline (shard/shard_renderer.hpp).
- * Frames stay bitwise identical to unsharded serving; routing bounds
- * the per-request working set, and responses/stats report how many
- * shards the router pruned.
+ * Coalesced batches of 2+ requests render through the COMPOSED pipeline
+ * (shard/shard_batch.hpp): per-view routing unioned, one fused
+ * cull/precompute/sort per union shard — with the cull stage cached per
+ * (snapshot version, shard id) across wakeups — then per-view k-way
+ * merges. Frames stay bitwise identical to unsharded serving either
+ * way; routing bounds the working set, and responses/stats report how
+ * many shards the router pruned plus per-batch composition stats
+ * (ServeStats::batch_occupancy / mean_batch_shards).
  *
  * Overload is a first-class input, not an error path: every submit()
  * resolves to a RenderResponse with an explicit ServeStatus — never a
@@ -208,6 +213,18 @@ struct ServeStats
     double mean_shards_selected = 0; //!< Mean shards rendered/request.
     double mean_shard_frac_pruned = 0;   //!< Mean pruned fraction.
     /// @}
+    /** @name Batch-composition counters
+     * How well coalescing is working: batch_occupancy[k] counts the
+     * wakeups that rendered a batch of k+1 requests (sized to the
+     * largest batch seen), and mean_batch_shards is the mean number of
+     * DISTINCT shards a coalesced batch touched per wakeup (sharded
+     * mode only, 0 otherwise) — the union the composed pipeline
+     * renders, as opposed to mean_shards_selected's per-request view.
+     */
+    /// @{
+    std::vector<uint64_t> batch_occupancy;
+    double mean_batch_shards = 0;
+    /// @}
 };
 
 /**
@@ -311,7 +328,8 @@ class RenderService
     void recordBatch(size_t batch_size, const double *latencies_s,
                      uint64_t snapshot_version,
                      uint64_t shards_selected_sum = 0,
-                     uint64_t shards_total_sum = 0);
+                     uint64_t shards_total_sum = 0,
+                     uint64_t union_shards = 0);
     void startWorkers();
 
     ServeConfig config_;
@@ -347,6 +365,9 @@ class RenderService
     uint64_t shards_selected_sum_ = 0;   //!< Sharded-mode accumulators.
     uint64_t shards_total_sum_ = 0;
     uint64_t sharded_requests_ = 0;
+    std::vector<uint64_t> batch_occupancy_;  //!< [k] = batches of k+1.
+    uint64_t batch_union_shards_sum_ = 0;    //!< Sum of per-batch unions.
+    uint64_t sharded_batches_ = 0;
 };
 
 } // namespace clm

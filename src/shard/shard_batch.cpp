@@ -1,0 +1,548 @@
+#include "shard/shard_batch.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "render/binning.hpp"
+#include "render/compositor.hpp"
+#include "render/projection.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace clm {
+
+namespace {
+
+/** Run @p body over [0, n), through the pool when worthwhile (the
+ *  shared poolForRange policy with the single-view pipeline's
+ *  per-subset-entry threshold). */
+template <typename Body>
+void
+forRange(size_t n, bool parallel, const Body &body)
+{
+    poolForRange(n, parallel, kMinParallelSubset, body);
+}
+
+/**
+ * The PR-4 fused batch stages over ONE shard's routed views: union of
+ * the routed subsets, shared per-union-entry precompute, flat
+ * projection (footprint index rewritten to the global Gaussian index),
+ * and one fused binning + radix sort whose per-view slices are exactly
+ * the stable (tile << 32 | depth) sorts buildTileIntersections() would
+ * produce per (shard, view). Tile ranges are recorded ABSOLUTE into the
+ * shard's one sorted buffer — the per-view merge reads the runs in
+ * place, no carve copy.
+ *
+ * This mirrors renderForwardBatch() stage for stage (same expressions,
+ * same key layout, same insertion order) so the per-(shard, view) runs
+ * are bit-for-bit what the unsharded fused pass — and hence sequential
+ * renderForward — would sort for that shard's rows.
+ */
+void
+runShardFusedStages(const ModelShard &shard,
+                    const std::vector<TileGrid> &grids,
+                    const RenderConfig &cfg,
+                    ShardBatchRenderArena::ShardScratch &sh)
+{
+    const size_t B = sh.route_views.size();
+    const std::vector<std::vector<uint32_t>> &subsets = sh.subsets;
+    const GaussianModel &model = shard.model;
+
+    // Union of the routed views' subsets (ascending k-way merge) plus
+    // each entry's union slot — renderForwardBatch() stage 1.
+    sh.union_local.clear();
+    sh.slots.resize(B);
+    std::vector<size_t> cur(B, 0);
+    size_t total = 0;
+    for (size_t v = 0; v < B; ++v) {
+        sh.slots[v].resize(subsets[v].size());
+        total += subsets[v].size();
+    }
+    for (;;) {
+        uint32_t next = std::numeric_limits<uint32_t>::max();
+        bool any = false;
+        for (size_t v = 0; v < B; ++v) {
+            if (cur[v] < subsets[v].size()) {
+                any = true;
+                next = std::min(next, subsets[v][cur[v]]);
+            }
+        }
+        if (!any)
+            break;
+        const uint32_t slot = static_cast<uint32_t>(sh.union_local.size());
+        sh.union_local.push_back(next);
+        for (size_t v = 0; v < B; ++v) {
+            if (cur[v] < subsets[v].size() && subsets[v][cur[v]] == next) {
+                sh.slots[v][cur[v]] = slot;
+                ++cur[v];
+                CLM_ASSERT(cur[v] >= subsets[v].size()
+                               || subsets[v][cur[v]] > next,
+                           "shard subsets must be ascending and unique");
+            }
+        }
+    }
+
+    // Per-union-entry precompute — pure per-row functions, so sharing
+    // them across the routed views is bitwise neutral (stage 2).
+    const size_t n_union = sh.union_local.size();
+    sh.sigma.resize(n_union);
+    sh.opacity.resize(n_union);
+    sh.power_cut.resize(n_union);
+    forRange(n_union, cfg.parallel, [&](size_t begin, size_t end) {
+        for (size_t u = begin; u < end; ++u) {
+            const size_t i = sh.union_local[u];
+            sh.sigma[u] = model.covariance(i);
+            const float op = model.worldOpacity(i);
+            sh.opacity[u] = op;
+            sh.power_cut[u] =
+                op > 0.0f ? alphaCutPower(op, cfg.alpha_min) : 0.0f;
+        }
+    });
+
+    // Projection: one flat pass over every (routed view, entry) pair
+    // (stage 3), with the footprint index rewritten to the GLOBAL
+    // Gaussian index — exactly what renderForwardSharded does, so the
+    // per-view global merge sees ascending disjoint global lists.
+    std::vector<size_t> prefix(B + 1, 0);
+    sh.projected.resize(B);
+    sh.global_pos.resize(B);
+    for (size_t v = 0; v < B; ++v) {
+        prefix[v + 1] = prefix[v] + subsets[v].size();
+        sh.projected[v].resize(subsets[v].size());
+        sh.global_pos[v].resize(subsets[v].size());
+    }
+    auto viewOf = [&](size_t f) {
+        size_t v = 0;
+        while (v + 1 < B && prefix[v + 1] <= f)
+            ++v;
+        return v;
+    };
+    forRange(total, cfg.parallel, [&](size_t begin, size_t end) {
+        size_t v = viewOf(begin);
+        for (size_t f = begin; f < end; ++f) {
+            while (v + 1 < B && prefix[v + 1] <= f)
+                ++v;
+            const size_t s = f - prefix[v];
+            const uint32_t local = subsets[v][s];
+            ProjectedGaussian p = projectGaussianPre(
+                model, local, sh.cams[v], cfg.sh_degree,
+                sh.sigma[sh.slots[v][s]], sh.opacity[sh.slots[v][s]]);
+            p.index = shard.global_indices[local];
+            sh.projected[v][s] = p;
+        }
+    });
+
+    // Fused binning (stage 4): ONE flat key buffer across the routed
+    // views — keys are (view-offset tile id << 32 | depth bits), values
+    // are view-LOCAL subset positions — sorted by one stable radix
+    // sort. View slices use per-ROUTED-view tile offsets over the
+    // views' own grids.
+    std::vector<size_t> tile_base(B + 1, 0);
+    for (size_t v = 0; v < B; ++v)
+        tile_base[v + 1] =
+            tile_base[v] + grids[sh.route_views[v]].tileCount();
+    const size_t total_tiles = tile_base[B];
+    CLM_ASSERT(total_tiles <= std::numeric_limits<uint32_t>::max(),
+               "shard batch tile count overflows the 32-bit key field");
+
+    BinningScratch &bs = sh.binning;
+    bs.spans.resize(total);
+    bs.offsets.assign(total + 1, 0);
+    forRange(total, cfg.parallel, [&](size_t begin, size_t end) {
+        size_t v = viewOf(begin);
+        for (size_t f = begin; f < end; ++f) {
+            while (v + 1 < B && prefix[v + 1] <= f)
+                ++v;
+            const size_t s = f - prefix[v];
+            const TileGrid &grid = grids[sh.route_views[v]];
+            const ProjectedGaussian &p = sh.projected[v][s];
+            TileSpan span = computeTileSpan(p, grid, cfg.alpha_min,
+                                            cfg.exact_tile_bounds);
+            bs.spans[f] = span;
+            uint32_t touched = 0;
+            for (int ty = span.y0; ty <= span.y1; ++ty)
+                for (int tx = span.x0; tx <= span.x1; ++tx)
+                    if (tileOverlaps(p, span, tx, ty, grid))
+                        ++touched;
+            bs.offsets[f + 1] = touched;
+        }
+    });
+    for (size_t f = 0; f < total; ++f)
+        bs.offsets[f + 1] += bs.offsets[f];
+    const size_t total_isect = bs.offsets[total];
+    CLM_ASSERT(total_isect <= std::numeric_limits<uint32_t>::max(),
+               "shard batch intersections overflow 32-bit ranges");
+
+    bs.keys.resize(total_isect);
+    sh.fused_vals.resize(total_isect);
+    forRange(total, cfg.parallel, [&](size_t begin, size_t end) {
+        size_t v = viewOf(begin);
+        for (size_t f = begin; f < end; ++f) {
+            while (v + 1 < B && prefix[v + 1] <= f)
+                ++v;
+            const TileSpan &span = bs.spans[f];
+            if (span.empty())
+                continue;
+            const size_t s = f - prefix[v];
+            const TileGrid &grid = grids[sh.route_views[v]];
+            const ProjectedGaussian &p = sh.projected[v][s];
+            const uint64_t depth = depthBits(p.depth);
+            size_t o = bs.offsets[f];
+            for (int ty = span.y0; ty <= span.y1; ++ty)
+                for (int tx = span.x0; tx <= span.x1; ++tx) {
+                    if (!tileOverlaps(p, span, tx, ty, grid))
+                        continue;
+                    const uint64_t tile =
+                        tile_base[v]
+                        + static_cast<uint64_t>(ty) * grid.tiles_x + tx;
+                    bs.keys[o] = (tile << 32) | depth;
+                    sh.fused_vals[o] = static_cast<uint32_t>(s);
+                    ++o;
+                }
+        }
+    });
+
+    const int key_bits =
+        32
+        + bitWidth(total_tiles > 0
+                       ? static_cast<uint32_t>(total_tiles - 1)
+                       : 0u);
+    radixSortPairs(bs.keys, sh.fused_vals, bs.keys_tmp, bs.vals_tmp,
+                   key_bits, cfg.parallel, &bs.hist);
+
+    // Record each routed view's tile ranges ABSOLUTE into the one
+    // sorted buffer — the per-view tile merge reads the runs in place.
+    size_t e = 0;
+    sh.tile_ranges.resize(B);
+    for (size_t v = 0; v < B; ++v) {
+        const TileGrid &grid = grids[sh.route_views[v]];
+        const size_t n_tiles = grid.tileCount();
+        sh.tile_ranges[v].resize(n_tiles);
+        for (size_t t = 0; t < n_tiles; ++t) {
+            TileRange r;
+            r.begin = static_cast<uint32_t>(e);
+            const uint64_t vtile = tile_base[v] + t;
+            while (e < total_isect && (bs.keys[e] >> 32) == vtile)
+                ++e;
+            r.end = static_cast<uint32_t>(e);
+            sh.tile_ranges[v][t] = r;
+        }
+    }
+    CLM_ASSERT(e == total_isect,
+               "unclaimed intersections past the shard batch tile grid");
+}
+
+} // namespace
+
+size_t
+ShardBatchRenderArena::ShardScratch::bytes() const
+{
+    size_t b = cull.bytes();
+    b += route_views.capacity() * sizeof(uint32_t);
+    b += cams.capacity() * sizeof(Camera);
+    for (const auto &s : subsets)
+        b += s.capacity() * sizeof(uint32_t);
+    for (const auto &s : slots)
+        b += s.capacity() * sizeof(uint32_t);
+    b += union_local.capacity() * sizeof(uint32_t);
+    b += sigma.capacity() * sizeof(Mat3);
+    b += (opacity.capacity() + power_cut.capacity()) * sizeof(float);
+    for (const auto &p : projected)
+        b += p.capacity() * sizeof(ProjectedGaussian);
+    for (const auto &g : global_pos)
+        b += g.capacity() * sizeof(uint32_t);
+    for (const auto &t : tile_ranges)
+        b += t.capacity() * sizeof(TileRange);
+    b += binning.bytes();
+    b += fused_vals.capacity() * sizeof(uint32_t);
+    return b;
+}
+
+size_t
+ShardBatchRenderArena::footprintBytes() const
+{
+    size_t b = 0;
+    for (const RenderArena &a : views)
+        b += a.footprintBytes();
+    for (const auto &r : routes)
+        b += r.capacity() * sizeof(uint32_t);
+    b += union_shards.capacity() * sizeof(uint32_t);
+    for (const ShardScratch &s : shards)
+        b += s.bytes();
+    for (const auto &p : view_parts)
+        b += p.capacity() * sizeof(std::pair<uint32_t, uint32_t>);
+    for (const auto &d : depth_bits)
+        b += d.capacity() * sizeof(uint32_t);
+    b += merge_cursors.capacity() * sizeof(size_t);
+    return b;
+}
+
+void
+renderForwardBatchSharded(const ShardedSnapshot &snapshot,
+                          const ShardRouter &router,
+                          const std::vector<Camera> &cameras,
+                          const RenderConfig &cfg,
+                          ShardBatchRenderArena &arena,
+                          uint64_t snapshot_version)
+{
+    const size_t B = cameras.size();
+    CLM_ASSERT(B >= 1, "empty render batch");
+    CLM_ASSERT(cfg.tile_size > 0, "bad tile size");
+    const size_t K = snapshot.shardCount();
+    CLM_ASSERT(router.shardCount() == K, "router/snapshot shard mismatch");
+    CLM_ASSERT(K < 0xFFFFu, "shard count overflows the cull cache key");
+
+    Timer stage_timer;
+
+    // --- 1. Route every view, union the selections. The per-shard-id
+    // scratch slots persist across calls so the (version, shard) cull
+    // cache keeps hitting as the routed set changes between wakeups.
+    if (arena.views.size() < B)
+        arena.views.resize(B);
+    if (arena.shards.size() < K)
+        arena.shards.resize(K);
+    arena.routes.resize(B);
+    arena.view_parts.resize(B);
+    arena.depth_bits.resize(B);
+    arena.union_shards.clear();
+    for (size_t v = 0; v < B; ++v) {
+        router.route(cameras[v].frustum(), arena.routes[v]);
+        arena.view_parts[v].clear();
+    }
+    for (size_t s = 0; s < K; ++s) {
+        arena.shards[s].route_views.clear();
+        arena.shards[s].cams.clear();
+    }
+    for (size_t v = 0; v < B; ++v)
+        for (uint32_t s : arena.routes[v]) {
+            ShardBatchRenderArena::ShardScratch &sh = arena.shards[s];
+            if (sh.route_views.empty())
+                arena.union_shards.push_back(s);
+            arena.view_parts[v].push_back(
+                {s, static_cast<uint32_t>(sh.route_views.size())});
+            sh.route_views.push_back(static_cast<uint32_t>(v));
+            sh.cams.push_back(cameras[v]);
+        }
+    std::sort(arena.union_shards.begin(), arena.union_shards.end());
+    // view_parts rows are ascending by shard id because each route is;
+    // union_shards needed the sort (discovery order follows views).
+
+    // Per-view grids + output activation buffers.
+    std::vector<TileGrid> grids(B);
+    for (size_t v = 0; v < B; ++v) {
+        const Camera &cam = cameras[v];
+        grids[v] =
+            TileGrid::forImage(cam.width(), cam.height(), cfg.tile_size);
+        RenderOutput &out = arena.views[v].out;
+        out.image.resetUnfilled(cam.width(), cam.height());
+        out.final_t.resize(cam.pixels());
+        out.n_contrib.resize(cam.pixels());
+        out.tiles_x = grids[v].tiles_x;
+        out.tiles_y = grids[v].tiles_y;
+    }
+
+    // --- 2. Per union shard: fused cull over the routed views (with
+    // the snapshot-scoped cache), then the fused batch stages.
+    for (uint32_t s : arena.union_shards) {
+        ShardBatchRenderArena::ShardScratch &sh = arena.shards[s];
+        const ModelShard &shard = snapshot.shards[s];
+        const uint64_t key =
+            snapshot_version != 0 ? shardCullCacheKey(snapshot_version, s)
+                                  : 0;
+        frustumCullBatch(shard.model, sh.cams, sh.cull, sh.subsets,
+                         cfg.parallel, key);
+    }
+    arena.stage_times.precompute_s = stage_timer.seconds();
+    stage_timer.reset();
+    for (uint32_t s : arena.union_shards)
+        runShardFusedStages(snapshot.shards[s], grids, cfg,
+                            arena.shards[s]);
+    arena.stage_times.project_s = stage_timer.seconds();
+    stage_timer.reset();
+
+    // --- 3. Per-view assembly, exactly as renderForwardSharded: global
+    // subset k-way merge of the view's shard parts (ascending disjoint
+    // global index lists), cuts + depth keys, then a per-tile k-way
+    // merge of the per-shard sorted runs keyed (depth_bits, global
+    // position) — the unique stable sort of the unsharded keys.
+    for (size_t v = 0; v < B; ++v) {
+        const auto &parts = arena.view_parts[v];
+        const size_t S = parts.size();
+        RenderArena &av = arena.views[v];
+        RenderOutput &out = av.out;
+
+        size_t total = 0;
+        for (const auto &pt : parts)
+            total += arena.shards[pt.first].subsets[pt.second].size();
+        CLM_ASSERT(total <= std::numeric_limits<uint32_t>::max(),
+                   "composed subset overflows 32-bit positions");
+        out.projected.resize(total);
+        av.alpha_cut.resize(total);
+        av.row_k.resize(total);
+        av.cuts_alpha_min = cfg.alpha_min;
+
+        std::vector<size_t> &cur = arena.merge_cursors;
+        cur.assign(S, 0);
+        for (size_t gp = 0; gp < total; ++gp) {
+            size_t pick = S;
+            uint32_t best = std::numeric_limits<uint32_t>::max();
+            for (size_t s = 0; s < S; ++s) {
+                const ShardBatchRenderArena::ShardScratch &sh =
+                    arena.shards[parts[s].first];
+                const uint32_t vi = parts[s].second;
+                if (cur[s] >= sh.subsets[vi].size())
+                    continue;
+                const uint32_t g = sh.projected[vi][cur[s]].index;
+                if (pick == S || g < best) {
+                    pick = s;
+                    best = g;
+                }
+            }
+            CLM_ASSERT(pick < S, "composed global merge ran dry early");
+            ShardBatchRenderArena::ShardScratch &sh =
+                arena.shards[parts[pick].first];
+            const uint32_t vi = parts[pick].second;
+            sh.global_pos[vi][cur[pick]] = static_cast<uint32_t>(gp);
+            const ProjectedGaussian &p = sh.projected[vi][cur[pick]];
+            out.projected[gp] = p;
+            // Compositing cuts: gather the shared alpha-cut threshold,
+            // the same expressions as computeAlphaCutPowers bit for bit
+            // (the gather idiom of renderForwardBatch).
+            av.alpha_cut[gp] =
+                p.opacity > 0.0f
+                    ? sh.power_cut[sh.slots[vi][cur[pick]]]
+                    : 0.0f;
+            ++cur[pick];
+        }
+        std::vector<uint32_t> &dbits = arena.depth_bits[v];
+        dbits.resize(total);
+        forRange(total, cfg.parallel, [&](size_t begin, size_t end) {
+            for (size_t gp = begin; gp < end; ++gp) {
+                av.row_k[gp] = rowCurvature(out.projected[gp]);
+                dbits[gp] = depthBits(out.projected[gp].depth);
+            }
+        });
+
+        const size_t n_tiles = grids[v].tileCount();
+        out.tile_ranges.resize(n_tiles);
+        size_t total_isect = 0;
+        for (size_t t = 0; t < n_tiles; ++t) {
+            TileRange r;
+            r.begin = static_cast<uint32_t>(total_isect);
+            for (const auto &pt : parts)
+                total_isect += arena.shards[pt.first]
+                                   .tile_ranges[pt.second][t]
+                                   .size();
+            CLM_ASSERT(total_isect
+                           <= std::numeric_limits<uint32_t>::max(),
+                       "composed intersections overflow 32-bit ranges");
+            r.end = static_cast<uint32_t>(total_isect);
+            out.tile_ranges[t] = r;
+        }
+        out.isect_vals.resize(total_isect);
+
+        auto merge_tiles = [&](size_t t0, size_t t1) {
+            std::vector<uint32_t> heads(S);
+            for (size_t t = t0; t < t1; ++t) {
+                uint32_t o = out.tile_ranges[t].begin;
+                for (size_t s = 0; s < S; ++s)
+                    heads[s] = arena.shards[parts[s].first]
+                                   .tile_ranges[parts[s].second][t]
+                                   .begin;
+                while (o < out.tile_ranges[t].end) {
+                    size_t pick = S;
+                    uint64_t best = 0;
+                    for (size_t s = 0; s < S; ++s) {
+                        const ShardBatchRenderArena::ShardScratch &sh =
+                            arena.shards[parts[s].first];
+                        const uint32_t vi = parts[s].second;
+                        if (heads[s] >= sh.tile_ranges[vi][t].end)
+                            continue;
+                        const uint32_t gp =
+                            sh.global_pos[vi]
+                                         [sh.fused_vals[heads[s]]];
+                        const uint64_t key =
+                            (static_cast<uint64_t>(dbits[gp]) << 32)
+                            | gp;
+                        if (pick == S || key < best) {
+                            pick = s;
+                            best = key;
+                        }
+                    }
+                    CLM_ASSERT(pick < S,
+                               "composed tile merge ran dry early");
+                    out.isect_vals[o++] = static_cast<uint32_t>(best);
+                    ++heads[pick];
+                }
+            }
+        };
+        if (cfg.parallel && n_tiles > 1
+            && total_isect >= kMinParallelSubset)
+            ThreadPool::global().parallelFor(
+                n_tiles, [&](size_t begin, size_t end) {
+                    merge_tiles(begin, end);
+                });
+        else
+            merge_tiles(0, n_tiles);
+    }
+    arena.stage_times.bin_s = stage_timer.seconds();
+    stage_timer.reset();
+
+    // --- 4. Composite: ONE task list spanning all views' tiles, the
+    // cross-view parallelism of renderForwardBatch. Tiles touch
+    // disjoint pixels and the kernels are the shared per-tile ones, so
+    // results do not depend on the split.
+    struct ChunkTask
+    {
+        uint32_t view;
+        uint32_t stage;
+        uint32_t t0, t1;
+    };
+    size_t total_tiles = 0;
+    for (size_t v = 0; v < B; ++v)
+        total_tiles += grids[v].tileCount();
+    size_t chunk_target = total_tiles;
+    if (cfg.parallel && total_tiles > 1) {
+        const size_t want =
+            static_cast<size_t>(ThreadPool::global().threads()) * 2;
+        chunk_target =
+            std::max<size_t>(1, (total_tiles + want - 1) / want);
+    }
+    std::vector<ChunkTask> tasks;
+    for (size_t v = 0; v < B; ++v) {
+        const size_t n_tiles = grids[v].tileCount();
+        const size_t n_chunks =
+            n_tiles == 0 ? 0
+                         : (n_tiles + chunk_target - 1) / chunk_target;
+        if (arena.views[v].stages.size() < n_chunks)
+            arena.views[v].stages.resize(n_chunks);
+        for (size_t c = 0; c < n_chunks; ++c) {
+            const size_t t0 = c * chunk_target;
+            const size_t t1 = std::min(t0 + chunk_target, n_tiles);
+            tasks.push_back({static_cast<uint32_t>(v),
+                             static_cast<uint32_t>(c),
+                             static_cast<uint32_t>(t0),
+                             static_cast<uint32_t>(t1)});
+        }
+    }
+    auto run_task = [&](const ChunkTask &task) {
+        RenderArena &av = arena.views[task.view];
+        detail::compositeTileRange(cfg, grids[task.view], av.alpha_cut,
+                                   av.row_k, av.stages[task.stage],
+                                   task.t0, task.t1, av.out);
+    };
+    if (cfg.parallel && tasks.size() > 1) {
+        ThreadPool::global().parallelFor(
+            tasks.size(), [&](size_t begin, size_t end) {
+                for (size_t t = begin; t < end; ++t)
+                    run_task(tasks[t]);
+            });
+    } else {
+        for (const ChunkTask &task : tasks)
+            run_task(task);
+    }
+    arena.stage_times.composite_s = stage_timer.seconds();
+}
+
+} // namespace clm

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Composed serving pipeline: sharded rendering × fused multi-view
+ * batching, stacked so both amortizations apply to the same request
+ * batch while every per-view frame stays *bitwise identical* to
+ * sequential unsharded renderForward().
+ *
+ * The composition routes each view's frustum through the ShardRouter
+ * and unions the per-view selections — the batch touches exactly the
+ * union of the shards any member view can see, never fewer (the
+ * union-routing conservation argument: a shard absent from the union is
+ * absent from EVERY view's selection, and by the router's per-view
+ * conservation argument all of its members fail that view's exact cull,
+ * so it contributes nothing to any frame). Each union shard then runs
+ * the PR-4 fused batch stages over the views routed to it:
+ *
+ *  - frustumCullBatch() over the compact shard model with the
+ *    snapshot-scoped SoA cull cache keyed (snapshot version, shard id),
+ *    so the shared per-Gaussian cull setup is rebuilt only when a new
+ *    snapshot is published — not per wakeup (see shardCullCacheKey).
+ *  - One union-of-subsets precompute per shard (3D covariance, world
+ *    opacity, alpha-cut power via the same expressions as
+ *    renderForwardBatch), reused by every routed view's
+ *    projectGaussianPre() — the per-Gaussian work is paid once per
+ *    (batch, shard), not once per (view, shard).
+ *  - One fused binning + ONE radix sort per shard across its routed
+ *    views (view-offset tile keys). A view's slice of the shard's
+ *    sorted buffer is exactly the stable (tile << 32 | depth) sort
+ *    buildTileIntersections() would produce for that (shard, view)
+ *    pair alone — the same per-shard runs renderForwardSharded feeds
+ *    its merge.
+ *
+ * Per view, the per-shard results are then assembled exactly as
+ * renderForwardSharded() does: global-subset k-way merge of the shards'
+ * ascending global index lists, then a per-tile k-way merge of the
+ * per-shard sorted runs keyed (depth_bits, global subset position) —
+ * which reconstructs the unique stable sort the unsharded radix sort
+ * produces (within a shard a run is sorted by (depth, local position)
+ * and local->global is monotone). Compositing runs the shared per-tile
+ * kernels over ONE task list spanning all views, exposing cross-view
+ * parallelism exactly like renderForwardBatch. Every stage is either a
+ * pure per-row function (bitwise equal by construction) or an exact
+ * order reconstruction, so the composed output is bit-for-bit the
+ * sequential unsharded frame — asserted per view, per K, in SIMD and
+ * scalar flavors by tests/test_compose.cpp.
+ */
+
+#ifndef CLM_SHARD_SHARD_BATCH_HPP
+#define CLM_SHARD_SHARD_BATCH_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "render/arena.hpp"
+#include "render/batch.hpp"
+#include "render/camera.hpp"
+#include "render/rasterizer.hpp"
+#include "shard/router.hpp"
+#include "shard/sharded_snapshot.hpp"
+
+namespace clm {
+
+/**
+ * Cache tag for a (snapshot version, shard id) pair, fed to
+ * frustumCullBatch()'s snapshot-scoped SoA cull cache. Distinct pairs
+ * map to distinct non-zero keys (shard id + 1 occupies the low 16 bits,
+ * so the key is non-zero even for version 0, which ModelSnapshot never
+ * publishes anyway). 16 bits bound the shard count at 65535 — ~4
+ * orders of magnitude above any configured K.
+ */
+inline uint64_t
+shardCullCacheKey(uint64_t snapshot_version, uint32_t shard_id)
+{
+    return (snapshot_version << 16) | (static_cast<uint64_t>(shard_id) + 1);
+}
+
+/**
+ * Scratch + outputs of the composed pipeline. Holds one RenderArena per
+ * view (view v's frame lands in views[v].out, exactly as if
+ * renderForward had rendered into that arena) plus per-SHARD-ID scratch
+ * whose cull stage persists across calls — the slot for shard s is
+ * always shards[s], not the s-th *selected* shard, so the
+ * (version, shard) cull cache keeps hitting even as the routed set
+ * changes between wakeups. Not thread-safe: one arena per concurrently
+ * serving worker.
+ */
+class ShardBatchRenderArena
+{
+  public:
+    /** Per-view arenas; resized on demand. */
+    std::vector<RenderArena> views;
+
+    /** @name Routing state of the last call */
+    /// @{
+    /** Per view: ShardRouter::route() selection (ascending). */
+    std::vector<std::vector<uint32_t>> routes;
+    /** Ascending union of the per-view selections. */
+    std::vector<uint32_t> union_shards;
+    /// @}
+
+    /** Per-shard fused-pass scratch. Only `cull` carries state between
+     *  calls (the snapshot-scoped cache); everything else is garbage. */
+    struct ShardScratch
+    {
+        BatchCullScratch cull;    //!< Persistent (version, shard) cache.
+        /** Batch views routed to this shard (ascending view indices). */
+        std::vector<uint32_t> route_views;
+        std::vector<Camera> cams; //!< Their cameras, same order.
+        /** Per routed view: local in-frustum indices (ascending). */
+        std::vector<std::vector<uint32_t>> subsets;
+        /** Per routed view: union slot of each subset entry. */
+        std::vector<std::vector<uint32_t>> slots;
+        std::vector<uint32_t> union_local; //!< Ascending subset union.
+        std::vector<Mat3> sigma;           //!< Per-union-entry covariance.
+        std::vector<float> opacity;        //!< Per-union-entry opacity.
+        std::vector<float> power_cut;      //!< Per-union-entry alpha cut.
+        /** Per routed view: projected footprints, index rewritten to
+         *  the GLOBAL Gaussian index (as renderForwardSharded does). */
+        std::vector<std::vector<ProjectedGaussian>> projected;
+        /** Per routed view: local subset position -> global (per-view)
+         *  subset position, filled by the per-view global merge. */
+        std::vector<std::vector<uint32_t>> global_pos;
+        /** Per routed view: tile ranges, ABSOLUTE into fused_vals. */
+        std::vector<std::vector<TileRange>> tile_ranges;
+        BinningScratch binning;            //!< Fused key/offset scratch.
+        std::vector<uint32_t> fused_vals;  //!< One sorted buffer/shard.
+
+        size_t bytes() const;
+    };
+    /** Indexed by shard id (resized to the snapshot's shard count). */
+    std::vector<ShardScratch> shards;
+
+    /** @name Per-view assembly scratch */
+    /// @{
+    /** Per view: its (shard id, routed-view slot) parts, ascending by
+     *  shard id. */
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> view_parts;
+    /** Per view: per-global-entry depth key for the tile merge. */
+    std::vector<std::vector<uint32_t>> depth_bits;
+    std::vector<size_t> merge_cursors;
+    /// @}
+
+    /** Stage breakdown of the last renderForwardBatchSharded() call. */
+    BatchStageTimes stage_times;
+
+    /** Approximate bytes held (all per-view arenas + all scratch). */
+    size_t footprintBytes() const;
+};
+
+/**
+ * Render every view of the batch through the composed sharded + fused
+ * pipeline (see file comment). Routing runs inside: per-view
+ * selections land in @p arena.routes and their union in
+ * @p arena.union_shards (for serving stats). Results land in
+ * @p arena.views[v].out and are bitwise identical to
+ * renderForward(base, cameras[v], frustumCull(base, cameras[v])) on the
+ * snapshot's base model.
+ *
+ * @param snapshot_version Non-zero enables the (version, shard id)
+ *        cull-stage cache (callers pass snapshot.base->version): each
+ *        shard's shared SoA cull stage is rebuilt only when the
+ *        published version changes. 0 rebuilds unconditionally.
+ */
+void renderForwardBatchSharded(const ShardedSnapshot &snapshot,
+                               const ShardRouter &router,
+                               const std::vector<Camera> &cameras,
+                               const RenderConfig &config,
+                               ShardBatchRenderArena &arena,
+                               uint64_t snapshot_version = 0);
+
+} // namespace clm
+
+#endif // CLM_SHARD_SHARD_BATCH_HPP

@@ -183,17 +183,48 @@ GpuOnlyTrainer::trainBatch(const std::vector<int> &view_ids)
     grads_.zero();
 
     std::vector<uint32_t> touched;
-    for (int v : view_ids) {
-        auto subset = frustumCull(model_, cameras_[v]);
-        stats.gaussians_rendered += subset.size();
-        stats.loss += renderAndBackprop(model_, v, subset, grads_);
-        touched.insert(touched.end(), subset.begin(), subset.end());
+    if (config_.fused_batch && view_ids.size() > 1) {
+        // Fused multi-view step: one batched cull, one fused forward
+        // with retained staging, one fused backward. Bitwise identical
+        // to the sequential loop below — per-view frames, gradients and
+        // the Adam subset (the union IS sort+unique of the concatenated
+        // subsets) all match, so the trajectory is unchanged.
+        const size_t B = view_ids.size();
+        RenderConfig render = activeRenderConfig();
+        std::vector<Camera> cams;
+        cams.reserve(B);
+        for (int v : view_ids)
+            cams.push_back(cameras_[v]);
+        std::vector<std::vector<uint32_t>> subsets;
+        frustumCullBatch(model_, cams, batch_arena_.cull, subsets,
+                         render.parallel);
+        batch_arena_.retain_staging = true;
+        renderForwardBatch(model_, cams, subsets, render, batch_arena_);
+        d_images_.resize(B);
+        for (size_t i = 0; i < B; ++i) {
+            stats.gaussians_rendered += subsets[i].size();
+            LossResult loss = computeLoss(
+                batch_arena_.views[i].out.image,
+                ground_truth_[view_ids[i]], &d_images_[i], config_.loss,
+                loss_scratch_);
+            stats.loss += loss.total;
+        }
+        renderBackwardBatch(model_, cams, render, d_images_, grads_,
+                            batch_arena_);
+        touched = batch_arena_.union_indices;
+    } else {
+        for (int v : view_ids) {
+            auto subset = frustumCull(model_, cameras_[v]);
+            stats.gaussians_rendered += subset.size();
+            stats.loss += renderAndBackprop(model_, v, subset, grads_);
+            touched.insert(touched.end(), subset.begin(), subset.end());
+        }
+        std::sort(touched.begin(), touched.end());
+        touched.erase(std::unique(touched.begin(), touched.end()),
+                      touched.end());
     }
     stats.loss /= view_ids.size();
 
-    std::sort(touched.begin(), touched.end());
-    touched.erase(std::unique(touched.begin(), touched.end()),
-                  touched.end());
     adam_.updateSubset(model_, grads_, touched);
     stats.adam_updated = touched.size();
     observeDensify(grads_);

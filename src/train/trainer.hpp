@@ -23,6 +23,7 @@
 #include "math/rng.hpp"
 #include "offload/planner.hpp"
 #include "render/arena.hpp"
+#include "render/batch.hpp"
 #include "render/camera.hpp"
 #include "render/loss.hpp"
 #include "render/rasterizer.hpp"
@@ -55,6 +56,15 @@ struct TrainConfig
      *  to serialize transfers onto the critical path (the naive trainer
      *  always runs without prefetch). */
     bool prefetch = true;
+    /** GPU-only trainer: run multi-view batches through the fused
+     *  forward/backward pair (renderForwardBatch + renderBackwardBatch,
+     *  render/batch.hpp) instead of view-at-a-time. The fused pair is
+     *  bitwise identical to the sequential loop — same per-view frames,
+     *  same gradients, same Adam subset — so the parameter trajectory
+     *  is unchanged; disable to force the view-at-a-time reference
+     *  path. Offloaded trainers ignore this (their microbatch
+     *  scheduling is inherently view-at-a-time). */
+    bool fused_batch = true;
     uint64_t seed = 42;
 };
 
@@ -198,6 +208,11 @@ class GpuOnlyTrainer : public Trainer
     void onModelResized() override { grads_.resize(model_.size()); }
 
     GaussianGrads grads_;
+
+    /** Fused-batch scratch (TrainConfig::fused_batch): batch arenas +
+     *  per-view loss gradients, reused across steps. */
+    BatchRenderArena batch_arena_;
+    std::vector<Image> d_images_;
 };
 
 /** Factory helpers for the quality harness and examples. */
