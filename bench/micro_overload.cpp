@@ -78,6 +78,13 @@ struct PointResult
     double shed_fraction = 0;
     double p50_ms = 0;
     double p99_ms = 0;
+    /** Latency decomposition (PR 9): where admitted requests spent
+     *  their time — queued vs rendering — from the registry's
+     *  log-bucket histograms (deterministic bucket-edge percentiles). */
+    double queue_wait_p50_ms = 0;
+    double queue_wait_p99_ms = 0;
+    double render_p50_ms = 0;
+    double render_p99_ms = 0;
     double mean_batch = 0;
     bool bitwise_checked = false;
     bool bitwise_identical = true;
@@ -210,6 +217,10 @@ driveOpenLoop(const SnapshotSlot &slot, const GaussianModel &model,
             : 0;
     r.p50_ms = stats.p50_ms;
     r.p99_ms = stats.p99_ms;
+    r.queue_wait_p50_ms = stats.queue_wait_p50_ms;
+    r.queue_wait_p99_ms = stats.queue_wait_p99_ms;
+    r.render_p50_ms = stats.render_p50_ms;
+    r.render_p99_ms = stats.render_p99_ms;
     r.mean_batch = stats.mean_batch;
 
     r.bitwise_checked = !to_verify.empty();
@@ -308,6 +319,10 @@ writePoint(std::ofstream &f, const PointResult &p, const char *indent)
       << ", \"shed_deadline\": " << p.shed_deadline
       << ", \"shed_fraction\": " << p.shed_fraction
       << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
+      << ", \"queue_wait_p50_ms\": " << p.queue_wait_p50_ms
+      << ", \"queue_wait_p99_ms\": " << p.queue_wait_p99_ms
+      << ", \"render_p50_ms\": " << p.render_p50_ms
+      << ", \"render_p99_ms\": " << p.render_p99_ms
       << ", \"mean_batch\": " << p.mean_batch
       << ", \"elapsed_s\": " << p.elapsed_s
       << ", \"hung_requests\": " << p.hung << "}";
@@ -446,6 +461,12 @@ main(int argc, char **argv)
                                         / r.baseline_short.p99_ms,
                                     2)
                       << "x when the run is 3x longer\n";
+        if (p2)
+            std::cout << "[" << r.cfg.name
+                      << "] reject@2x decomposition: queue-wait p99 "
+                      << Table::fmt(p2->queue_wait_p99_ms, 1)
+                      << " ms vs render p99 "
+                      << Table::fmt(p2->render_p99_ms, 1) << " ms\n";
     }
 
     writeJson(out_path, results, smoke, total_hung, all_identical);

@@ -12,7 +12,8 @@
  *   clm_cli serve [--scene NAME] [--system ...] [--steps N]
  *                 [--clients N] [--requests N] [--max-batch N]
  *                 [--shards N] [--shed block|reject|drop-oldest]
- *                 [--deadline-ms N] [--queue N]
+ *                 [--deadline-ms N] [--queue N] [--trace-out FILE]
+ *                 [--metrics-out FILE] [--metrics-every-ms N]
  *
  * The serve subcommand trains briefly, then keeps training in the
  * background while N synthetic clients walk the scene's camera path and
@@ -30,6 +31,14 @@
  * RetryPolicy, so shed responses degrade to deterministic
  * backoff-and-retry instead of errors; per-client retry totals are
  * reported next to the service's shed counters.
+ *
+ * Observability: --trace-out FILE (default: the CLM_TRACE env var)
+ * enables the span tracer for the whole serve run and dumps a Chrome
+ * trace-event JSON on exit (load it in Perfetto or chrome://tracing).
+ * --metrics-out FILE streams periodic JSON-lines snapshots of the
+ * unified metrics registry (serve.* counters and the queue-wait /
+ * render-time histograms, plus the offload trainers' stage timings)
+ * every --metrics-every-ms (default 100).
  */
 
 #include <atomic>
@@ -42,11 +51,14 @@
 
 #include "core/clm.hpp"
 #include "gaussian/io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/render_service.hpp"
 #include "serve/retry.hpp"
 #include "util/env.hpp"
 #include "util/logging.hpp"
 #include "train/clm_trainer.hpp"
+#include "train/naive_offload_trainer.hpp"
 
 namespace {
 
@@ -101,8 +113,10 @@ usage(const char *argv0)
         "       %s serve [--scene NAME] [--system ...] [--steps N]\n"
         "          [--clients N] [--requests N] [--max-batch N]\n"
         "          [--shards N] [--shed block|reject|drop-oldest]\n"
-        "          [--deadline-ms N] [--queue N]\n"
-        "scenes: Bicycle Rubble Alameda Ithaca BigCity\n",
+        "          [--deadline-ms N] [--queue N] [--trace-out FILE]\n"
+        "          [--metrics-out FILE] [--metrics-every-ms N]\n"
+        "scenes: Bicycle Rubble Alameda Ithaca BigCity\n"
+        "env: CLM_TRACE=FILE enables tracing (same as --trace-out)\n",
         argv0, argv0);
     std::exit(2);
 }
@@ -116,8 +130,23 @@ usage(const char *argv0)
 int
 runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
          int max_batch, int shards, ShedPolicy shed, double deadline_ms,
-         int queue_capacity)
+         int queue_capacity, const std::string &trace_path,
+         const std::string &metrics_path, double metrics_every_ms)
 {
+    // Tracing covers the whole run (warm-up training included) so the
+    // exported trace shows train.* spans next to the serve.* ones.
+    const bool tracing = !trace_path.empty();
+    if (tracing) {
+        Tracer::global().clear();
+        Tracer::enable(&Tracer::global());
+        std::printf("[obs] tracing enabled -> %s\n", trace_path.c_str());
+    }
+    // One registry for everything: the service reports through it
+    // (ServeConfig::metrics below) and the trainer's stage timings are
+    // exported into it at shutdown, so a single JSON-lines stream
+    // carries the full serve+train picture.
+    MetricsRegistry registry;
+
     std::printf("[serve] warm-up: %d training steps...\n", warmup_steps);
     session.train(warmup_steps);
     std::printf("[serve] PSNR after warm-up: %.2f dB\n",
@@ -132,6 +161,7 @@ runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
             static_cast<size_t>(queue_capacity);
     serve_config.admission.shed = shed;
     serve_config.admission.deadline_s = deadline_ms / 1e3;
+    serve_config.metrics = &registry;
     // Sharded mode carves every published snapshot into spatial shards
     // and frustum-routes each request; unsharded serves the whole
     // model. Frames are bitwise identical either way.
@@ -146,6 +176,16 @@ runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
             session.snapshots(), serve_config);
     }
     RenderService &service = *service_ptr;
+
+    std::unique_ptr<MetricsExporter> exporter;
+    if (!metrics_path.empty()) {
+        exporter = std::make_unique<MetricsExporter>(
+            registry, metrics_path,
+            metrics_every_ms > 0 ? metrics_every_ms : 100.0);
+        std::printf("[obs] metrics snapshots every %.0f ms -> %s\n",
+                    metrics_every_ms > 0 ? metrics_every_ms : 100.0,
+                    metrics_path.c_str());
+    }
 
     // Training continues while clients are served; every batch
     // republishes the snapshot the service renders from.
@@ -198,6 +238,10 @@ runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
     std::printf("[serve] throughput %.1f req/s, latency p50 %.1f ms, "
                 "p99 %.1f ms\n",
                 stats.requests_per_s, stats.p50_ms, stats.p99_ms);
+    std::printf("[serve] latency decomposition: queue-wait p50 %.1f / "
+                "p99 %.1f ms, render p50 %.1f / p99 %.1f ms\n",
+                stats.queue_wait_p50_ms, stats.queue_wait_p99_ms,
+                stats.render_p50_ms, stats.render_p99_ms);
     uint64_t retries = 0, backoffs_us = 0;
     for (const RetryStats &rs : client_retries) {
         retries += rs.retries;
@@ -237,6 +281,35 @@ runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
                                         - stats.min_snapshot_version));
     std::printf("[serve] PSNR after serving: %.2f dB\n",
                 session.evaluatePsnr());
+
+    // Offload trainers account their pipeline stages in StageTimings;
+    // fold them into the registry so the final metrics snapshot (and
+    // the exporter's last line) carries the training-side breakdown.
+    if (const auto *clm_trainer =
+            dynamic_cast<const ClmTrainer *>(&session.trainer()))
+        clm_trainer->stageTimings().exportTo(registry);
+    else if (const auto *naive =
+                 dynamic_cast<const NaiveOffloadTrainer *>(
+                     &session.trainer()))
+        naive->stageTimings().exportTo(registry);
+    if (exporter != nullptr) {
+        exporter->stop();
+        std::printf("[obs] metrics: %d snapshots -> %s\n",
+                    exporter->snapshots(), metrics_path.c_str());
+    }
+    if (tracing) {
+        // Workers and clients are joined: quiescent, safe to disable
+        // and export.
+        Tracer::enable(nullptr);
+        const TraceStats ts = Tracer::global().stats();
+        if (Tracer::global().writeChromeTraceFile(trace_path))
+            std::printf("[obs] trace: %llu spans (%llu dropped) from "
+                        "%llu threads -> %s\n",
+                        static_cast<unsigned long long>(ts.recorded),
+                        static_cast<unsigned long long>(ts.dropped),
+                        static_cast<unsigned long long>(ts.threads),
+                        trace_path.c_str());
+    }
     return 0;
 }
 
@@ -262,6 +335,9 @@ main(int argc, char **argv)
     std::string shed_name = defaultShed();
     double deadline_ms = 0;
     int queue_capacity = 0;
+    std::string trace_path = traceEnvPath();    // CLM_TRACE default
+    std::string metrics_path;
+    double metrics_every_ms = 0;
 
     int argi = 1;
     if (argi < argc && !std::strcmp(argv[argi], "serve")) {
@@ -310,6 +386,14 @@ main(int argc, char **argv)
             deadline_ms = std::atof(need_value("--deadline-ms").c_str());
         else if (serve_mode && !std::strcmp(argv[i], "--queue"))
             queue_capacity = std::atoi(need_value("--queue").c_str());
+        else if (serve_mode && !std::strcmp(argv[i], "--trace-out"))
+            trace_path = need_value("--trace-out");
+        else if (serve_mode && !std::strcmp(argv[i], "--metrics-out"))
+            metrics_path = need_value("--metrics-out");
+        else if (serve_mode
+                 && !std::strcmp(argv[i], "--metrics-every-ms"))
+            metrics_every_ms =
+                std::atof(need_value("--metrics-every-ms").c_str());
         else
             usage(argv[0]);
     }
@@ -332,10 +416,15 @@ main(int argc, char **argv)
                 scene_name.c_str(), systemName(config.system),
                 session.model().size(), session.viewCount(), steps);
 
-    if (serve_mode)
+    if (serve_mode) {
+        // --metrics-every-ms without an explicit path still streams.
+        if (metrics_path.empty() && metrics_every_ms > 0)
+            metrics_path = "metrics.jsonl";
         return runServe(session, steps, clients, requests, max_batch,
                         shards, parseShed(shed_name), deadline_ms,
-                        queue_capacity);
+                        queue_capacity, trace_path, metrics_path,
+                        metrics_every_ms);
+    }
 
     double psnr0 = session.evaluatePsnr();
     int done = 0;

@@ -39,8 +39,12 @@ EmpiricalCdf::at(double x) const
 double
 EmpiricalCdf::percentile(double p) const
 {
-    CLM_ASSERT(!sorted_.empty(), "percentile of empty CDF");
-    CLM_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    // Empty and single-sample reservoirs are answered here rather than
+    // asserted away: callers (ServeStats on a run that shed everything,
+    // bench warmups) legitimately hit both.
+    if (sorted_.empty())
+        return 0.0;
+    p = std::min(std::max(p, 0.0), 100.0);
     if (sorted_.size() == 1)
         return sorted_[0];
     double rank = (p / 100.0) * (sorted_.size() - 1);

@@ -45,7 +45,9 @@ class EmpiricalCdf
     /** Fraction of samples <= @p x, in [0, 1]. */
     double at(double x) const;
 
-    /** The p-th percentile (p in [0, 100]) via linear interpolation. */
+    /** The p-th percentile via linear interpolation. Total: an empty
+     *  CDF answers 0, a single sample answers that sample, and p is
+     *  clamped into [0, 100] — callers need not guard. */
     double percentile(double p) const;
 
     /**

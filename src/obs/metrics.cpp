@@ -1,0 +1,436 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace clm {
+
+namespace {
+
+uint64_t doubleBits(double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double bitsDouble(uint64_t bits)
+{
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+/** CAS-fold @p v into the double stored in @p slot via @p better. */
+template <typename Better>
+void atomicFoldDouble(std::atomic<uint64_t> &slot, double v, Better better)
+{
+    uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (better(v, bitsDouble(cur)) &&
+           !slot.compare_exchange_weak(cur, doubleBits(v),
+                                       std::memory_order_relaxed))
+    {}
+}
+
+/** Minimal JSON string escape (metric names are plain identifiers,
+ *  but don't trust that). */
+void writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s)
+    {
+        switch (c)
+        {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << ' ';
+            else
+                os << c;
+        }
+    }
+    os << '"';
+}
+
+/** JSON-safe finite double (JSON has no NaN/Inf literals). */
+void writeJsonDouble(std::ostream &os, double v)
+{
+    if (!std::isfinite(v))
+        os << 0;
+    else
+        os << v;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------------
+// Gauge
+
+void Gauge::set(double v)
+{
+    bits_.store(doubleBits(v), std::memory_order_relaxed);
+}
+
+double Gauge::value() const
+{
+    return bitsDouble(bits_.load(std::memory_order_relaxed));
+}
+
+// --------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(double lo, double hi, int per_octave)
+{
+    if (!(lo > 0))
+        lo = 1e-6;
+    if (!(hi > lo))
+        hi = lo * 2;
+    per_octave = std::max(1, per_octave);
+    lo_ = lo;
+    hi_ = hi;
+    per_octave_ = per_octave;
+
+    // Edge i caps bucket i: bucket 0 is (-inf, lo], then log-spaced
+    // sub-octave buckets up to the first edge >= hi; one extra
+    // unbounded overflow bucket follows the last edge. Edges are
+    // computed as lo * 2^(i/k) from integer i, NOT by repeated
+    // multiplication, so every instance with the same (lo, hi, k) has
+    // bitwise-identical edges.
+    edges_.push_back(lo);
+    for (int i = 1;; ++i)
+    {
+        const double edge = lo * std::exp2(static_cast<double>(i) / per_octave);
+        edges_.push_back(edge);
+        if (edge >= hi)
+            break;
+        CLM_ASSERT(edges_.size() < (1u << 16), "histogram bucket explosion");
+    }
+    n_buckets_ = edges_.size() + 1;
+    buckets_ = std::make_unique<std::atomic<uint64_t>[]>(n_buckets_);
+    for (size_t i = 0; i < n_buckets_; ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+    min_bits_.store(doubleBits(std::numeric_limits<double>::infinity()),
+                    std::memory_order_relaxed);
+    max_bits_.store(doubleBits(-std::numeric_limits<double>::infinity()),
+                    std::memory_order_relaxed);
+}
+
+size_t Histogram::bucketIndex(double v) const
+{
+    // First edge >= v caps v's bucket; past the last edge -> overflow.
+    const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+    return static_cast<size_t>(it - edges_.begin());
+}
+
+void Histogram::record(double v)
+{
+    if (std::isnan(v))
+    {
+        nan_dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // Fixed-point accumulation: integer adds commute, so sum() is
+    // independent of thread interleaving (a double accumulator is not).
+    const double clamped =
+        std::min(std::max(v, -1e12), 1e12);    // keep micro units in range
+    sum_micro_.fetch_add(static_cast<int64_t>(std::llround(clamped * 1e6)),
+                         std::memory_order_relaxed);
+    atomicFoldDouble(min_bits_, v, [](double a, double b) { return a < b; });
+    atomicFoldDouble(max_bits_, v, [](double a, double b) { return a > b; });
+}
+
+bool Histogram::sameGeometry(const Histogram &other) const
+{
+    return matchesGeometry(other.lo_, other.hi_, other.per_octave_);
+}
+
+bool Histogram::matchesGeometry(double lo, double hi, int per_octave) const
+{
+    // Mirror the constructor's argument clamping so matchesGeometry(a,
+    // b, c) agrees with sameGeometry(Histogram(a, b, c)).
+    if (!(lo > 0))
+        lo = 1e-6;
+    if (!(hi > lo))
+        hi = lo * 2;
+    per_octave = std::max(1, per_octave);
+    return lo_ == lo && hi_ == hi && per_octave_ == per_octave;
+}
+
+void Histogram::merge(const Histogram &other)
+{
+    CLM_ASSERT(sameGeometry(other), "histogram merge geometry mismatch");
+    for (size_t i = 0; i < n_buckets_; ++i)
+        buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    nan_dropped_.fetch_add(other.nan_dropped_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    sum_micro_.fetch_add(other.sum_micro_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    atomicFoldDouble(min_bits_, other.min(),
+                     [](double a, double b) { return a < b; });
+    atomicFoldDouble(max_bits_, other.max(),
+                     [](double a, double b) { return a > b; });
+}
+
+double Histogram::sum() const
+{
+    return static_cast<double>(sum_micro_.load(std::memory_order_relaxed)) *
+           1e-6;
+}
+
+double Histogram::mean() const
+{
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const
+{
+    const double v = bitsDouble(min_bits_.load(std::memory_order_relaxed));
+    return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::max() const
+{
+    const double v = bitsDouble(max_bits_.load(std::memory_order_relaxed));
+    return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::bucketUpperEdge(size_t i) const
+{
+    CLM_ASSERT(i < n_buckets_, "bucket index out of range");
+    // The overflow bucket has no static upper edge; report the exact
+    // max observed so percentile() never invents a value larger than
+    // anything recorded.
+    return i < edges_.size() ? edges_[i] : max();
+}
+
+double Histogram::percentile(double p) const
+{
+    const uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    p = std::min(std::max(p, 0.0), 100.0);
+    // Rank of the p-th percentile in the sorted multiset (nearest-rank
+    // definition, matching EmpiricalCdf): ceil(p/100 * n), >= 1.
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(n))));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < n_buckets_; ++i)
+    {
+        seen += buckets_[i].load(std::memory_order_relaxed);
+        if (seen >= rank)
+            return bucketUpperEdge(i);
+    }
+    return bucketUpperEdge(n_buckets_ - 1);
+}
+
+HistogramSnapshot Histogram::snapshot() const
+{
+    HistogramSnapshot s;
+    s.count = count();
+    s.sum = sum();
+    s.min = min();
+    s.max = max();
+    s.p50 = percentile(50);
+    s.p90 = percentile(90);
+    s.p99 = percentile(99);
+    for (size_t i = 0; i < n_buckets_; ++i)
+    {
+        const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+        if (c != 0)
+            s.buckets.emplace_back(bucketUpperEdge(i), c);
+    }
+    return s;
+}
+
+// --------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry &MetricsRegistry::global()
+{
+    static MetricsRegistry instance;
+    return instance;
+}
+
+Counter &MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &name, double lo,
+                                      double hi, int per_octave)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(lo, hi, per_octave);
+    else
+        CLM_ASSERT(slot->matchesGeometry(lo, hi, per_octave),
+                   "histogram '", name, "' re-registered with different geometry");
+    return *slot;
+}
+
+void MetricsRegistry::writeJsonLine(std::ostream &os, double ts_s) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\"ts_s\": ";
+    writeJsonDouble(os, ts_s);
+    os << ", \"counters\": {";
+    bool first = true;
+    for (const auto &kv : counters_)
+    {
+        if (!first)
+            os << ", ";
+        first = false;
+        writeJsonString(os, kv.first);
+        os << ": " << kv.second->value();
+    }
+    os << "}, \"gauges\": {";
+    first = true;
+    for (const auto &kv : gauges_)
+    {
+        if (!first)
+            os << ", ";
+        first = false;
+        writeJsonString(os, kv.first);
+        os << ": ";
+        writeJsonDouble(os, kv.second->value());
+    }
+    os << "}, \"histograms\": {";
+    first = true;
+    for (const auto &kv : histograms_)
+    {
+        if (!first)
+            os << ", ";
+        first = false;
+        const HistogramSnapshot s = kv.second->snapshot();
+        writeJsonString(os, kv.first);
+        os << ": {\"count\": " << s.count << ", \"mean\": ";
+        writeJsonDouble(os, s.count ? s.sum / static_cast<double>(s.count) : 0);
+        os << ", \"min\": ";
+        writeJsonDouble(os, s.min);
+        os << ", \"max\": ";
+        writeJsonDouble(os, s.max);
+        os << ", \"p50\": ";
+        writeJsonDouble(os, s.p50);
+        os << ", \"p90\": ";
+        writeJsonDouble(os, s.p90);
+        os << ", \"p99\": ";
+        writeJsonDouble(os, s.p99);
+        os << ", \"buckets\": [";
+        for (size_t i = 0; i < s.buckets.size(); ++i)
+        {
+            if (i)
+                os << ", ";
+            os << '[';
+            writeJsonDouble(os, s.buckets[i].first);
+            os << ", " << s.buckets[i].second << ']';
+        }
+        os << "]}";
+    }
+    os << "}}\n";
+}
+
+std::vector<std::string> MetricsRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    for (const auto &kv : counters_)
+        out.push_back(kv.first);
+    for (const auto &kv : gauges_)
+        out.push_back(kv.first);
+    for (const auto &kv : histograms_)
+        out.push_back(kv.first);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+// --------------------------------------------------------------------------
+// MetricsExporter
+
+MetricsExporter::MetricsExporter(const MetricsRegistry &registry,
+                                 std::string path, double period_ms)
+    : registry_(registry),
+      out_(path),
+      period_ms_(std::max(1.0, period_ms)),
+      epoch_(std::chrono::steady_clock::now())
+{
+    if (!out_)
+        warn("metrics exporter: cannot open '", path, "'");
+    thread_ = std::thread([this] { loop(); });
+}
+
+MetricsExporter::~MetricsExporter()
+{
+    stop();
+}
+
+void MetricsExporter::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopped_ = true;
+    }
+}
+
+void MetricsExporter::loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;)
+    {
+        const bool stop_now = cv_.wait_for(
+            lock,
+            std::chrono::microseconds(static_cast<int64_t>(period_ms_ * 1e3)),
+            [this] { return stopping_; });
+        if (out_)
+        {
+            const double ts_s =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              epoch_)
+                    .count();
+            registry_.writeJsonLine(out_, ts_s);
+            out_.flush();
+            snapshots_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (stop_now)
+            return;    // final line just written above
+    }
+}
+
+} // namespace clm

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * The unified metrics layer: named counters, gauges, and deterministic
+ * fixed-log-bucket histograms that every subsystem reports through, so
+ * runtime behavior is observable through ONE registry instead of the
+ * bespoke per-subsystem stat structs that accumulated through PR 4-8
+ * (ServeStats counters, RenderArena stage timers, sim/stage_timings).
+ *
+ * Design constraints, in order:
+ *  - *Determinism of reported values.* A Histogram is a fixed set of
+ *    log-spaced buckets holding integer counts, with the sum kept in
+ *    fixed-point microunits: additions commute, so the merged result of
+ *    N per-thread histograms is bitwise independent of merge order and
+ *    of worker interleaving — unlike a floating-point sum, whose value
+ *    depends on accumulation order. Percentiles are bucket upper edges:
+ *    a pure function of the counts.
+ *  - *Lock-free recording.* Counter/Gauge/Histogram record through
+ *    relaxed atomics; there is no lock anywhere on the record path.
+ *    Registration (name -> metric lookup) takes the registry mutex, so
+ *    hot paths resolve their metric handles once and keep the pointer.
+ *  - *Mergeability.* Histogram::merge folds another histogram in by
+ *    bucket-wise addition — the cross-thread aggregation primitive.
+ *
+ * Exporters: MetricsRegistry::writeJsonLine emits one self-contained
+ * JSON object (counters, gauges, histogram summaries + sparse buckets)
+ * per call — the JSON-lines snapshot format; MetricsExporter runs a
+ * background thread writing one line every N ms (clm_cli
+ * --metrics-every-ms).
+ */
+
+#ifndef CLM_OBS_METRICS_HPP
+#define CLM_OBS_METRICS_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace clm {
+
+/** Monotonic event counter (lock-free). */
+class Counter
+{
+  public:
+    void add(uint64_t n = 1)
+    { value_.fetch_add(n, std::memory_order_relaxed); }
+
+    uint64_t value() const
+    { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value (lock-free). */
+class Gauge
+{
+  public:
+    void set(double v);
+    double value() const;
+
+  private:
+    std::atomic<uint64_t> bits_{0};    //!< Double stored as raw bits.
+};
+
+/** Read-only summary of a histogram at one instant. */
+struct HistogramSnapshot
+{
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    double p50 = 0;
+    double p90 = 0;
+    double p99 = 0;
+    /** Non-empty buckets only: (upper edge, count). The overflow
+     *  bucket's edge is reported as the exact max observed. */
+    std::vector<std::pair<double, uint64_t>> buckets;
+};
+
+/**
+ * Fixed-log-bucket histogram over (0, +inf) values (see file comment
+ * for the determinism argument). Bucket edges are lo * 2^(i/k) for k
+ * sub-buckets per octave, fixed at construction: bucket 0 holds v <=
+ * lo (underflow), the last bucket holds v > hi (overflow), and
+ * percentile() answers with the upper edge of the bucket containing
+ * the requested rank (the exact max for the overflow bucket) —
+ * deterministic for a given multiset of recorded values, however the
+ * recording threads interleaved. NaN values are dropped (counted in
+ * nan_dropped). Recording is lock-free; merge() is bucket-wise
+ * addition.
+ */
+class Histogram
+{
+  public:
+    /** Buckets span [@p lo, @p hi] with @p per_octave sub-buckets per
+     *  doubling. lo/hi are clamped to sane positives. */
+    Histogram(double lo, double hi, int per_octave = 8);
+
+    /** Fold one sample in (lock-free, any thread). */
+    void record(double v);
+
+    /** Bucket-wise fold of @p other (same geometry required). */
+    void merge(const Histogram &other);
+
+    uint64_t count() const
+    { return count_.load(std::memory_order_relaxed); }
+
+    /** Sum of recorded values (fixed-point microunit accumulation, so
+     *  it is exact to 1e-6 and merge-order independent). */
+    double sum() const;
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /** Upper edge of the bucket holding the p-th percentile rank
+     *  (p in [0, 100], clamped); 0 when empty. Deterministic. */
+    double percentile(double p) const;
+
+    uint64_t nanDropped() const
+    { return nan_dropped_.load(std::memory_order_relaxed); }
+
+    size_t bucketCount() const { return n_buckets_; }
+    /** Upper edge of bucket @p i (the exact max for the last bucket). */
+    double bucketUpperEdge(size_t i) const;
+    uint64_t bucketValue(size_t i) const
+    { return buckets_[i].load(std::memory_order_relaxed); }
+
+    HistogramSnapshot snapshot() const;
+
+    /** True when @p other has identical lo/hi/per-octave geometry. */
+    bool sameGeometry(const Histogram &other) const;
+    /** sameGeometry against constructor arguments (no temp needed). */
+    bool matchesGeometry(double lo, double hi, int per_octave) const;
+
+  private:
+    size_t bucketIndex(double v) const;
+
+    std::vector<double> edges_;    //!< Ascending; edges_[i] caps bucket i.
+    size_t n_buckets_ = 0;         //!< edges_.size() + 1 (overflow).
+    double lo_ = 0, hi_ = 0;
+    int per_octave_ = 0;
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> nan_dropped_{0};
+    std::atomic<int64_t> sum_micro_{0};    //!< Sum in 1e-6 units.
+    std::atomic<uint64_t> min_bits_;       //!< Double bits (CAS-updated).
+    std::atomic<uint64_t> max_bits_;
+};
+
+/**
+ * Named metric registry (see file comment). Metrics are created on
+ * first lookup and live as long as the registry; returned references
+ * are stable, so hot paths resolve once and record lock-free ever
+ * after. Every RenderService owns a registry by default (pass
+ * ServeConfig::metrics to aggregate several into one); global() is the
+ * process-wide instance the training side reports through.
+ */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &global();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /** Geometry arguments apply on first creation; later lookups of
+     *  the same name return the existing histogram (geometry must
+     *  match — asserted). */
+    Histogram &histogram(const std::string &name, double lo, double hi,
+                         int per_octave = 8);
+
+    /** One JSON-lines snapshot: a single-line JSON object with every
+     *  counter, gauge, and histogram summary, stamped @p ts_s. */
+    void writeJsonLine(std::ostream &os, double ts_s) const;
+
+    /** All registered metric names (sorted; tests/exporters). */
+    std::vector<std::string> names() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/**
+ * Background JSON-lines exporter: writes one registry snapshot line to
+ * @p path every @p period_ms until stop() (also run by the dtor, which
+ * writes one final line so short runs never produce an empty file).
+ * The registry must outlive the exporter.
+ */
+class MetricsExporter
+{
+  public:
+    MetricsExporter(const MetricsRegistry &registry, std::string path,
+                    double period_ms);
+    ~MetricsExporter();
+
+    MetricsExporter(const MetricsExporter &) = delete;
+    MetricsExporter &operator=(const MetricsExporter &) = delete;
+
+    /** Final snapshot, then stop and join the writer thread. */
+    void stop();
+
+    /** Snapshot lines written so far. */
+    int snapshots() const
+    { return snapshots_.load(std::memory_order_relaxed); }
+
+  private:
+    void loop();
+
+    const MetricsRegistry &registry_;
+    std::ofstream out_;
+    double period_ms_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    bool stopped_ = false;
+    std::atomic<int> snapshots_{0};
+    std::chrono::steady_clock::time_point epoch_;
+    std::thread thread_;
+};
+
+} // namespace clm
+
+#endif // CLM_OBS_METRICS_HPP

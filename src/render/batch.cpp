@@ -10,9 +10,9 @@
 #include "render/compositor.hpp"
 #include "render/simd_kernels.hpp"
 #include "render/projection.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
-#include "util/timer.hpp"
 
 namespace clm {
 
@@ -206,7 +206,7 @@ renderForwardBatch(const GaussianModel &model,
     if (ba.views.size() < B)
         ba.views.resize(B);
 
-    Timer stage_timer;
+    StageClock stage_clock;
 
     // --- 1. Union of the batch's subsets (ascending k-way merge) plus
     // each entry's union slot, so the view-independent per-Gaussian
@@ -264,8 +264,7 @@ renderForwardBatch(const GaussianModel &model,
                 op > 0.0f ? alphaCutPower(op, cfg.alpha_min) : 0.0f;
         }
     });
-    ba.stage_times.precompute_s = stage_timer.seconds();
-    stage_timer.reset();
+    ba.stage_times.precompute_s = stage_clock.lap("render.precompute");
 
     // --- 3. Projection: one flat pass over every (view, entry) pair,
     // reading the precomputed covariance/opacity through the slot map.
@@ -321,8 +320,7 @@ renderForwardBatch(const GaussianModel &model,
         }
         av.cuts_alpha_min = cfg.alpha_min;
     }
-    ba.stage_times.project_s = stage_timer.seconds();
-    stage_timer.reset();
+    ba.stage_times.project_s = stage_clock.lap("render.project");
 
     // --- 4. Fused binning: every view's intersections go into ONE flat
     // key buffer — keys are (view-offset tile id << 32 | depth bits),
@@ -425,8 +423,7 @@ renderForwardBatch(const GaussianModel &model,
     }
     CLM_ASSERT(e == total_isect,
                "unclaimed intersections past the batch tile grid");
-    ba.stage_times.bin_s = stage_timer.seconds();
-    stage_timer.reset();
+    ba.stage_times.bin_s = stage_clock.lap("render.bin");
 
     // --- 5. Composite. All views' tiles form one task list, so a
     // thread pool parallelizes across views as well as tiles
@@ -487,7 +484,7 @@ renderForwardBatch(const GaussianModel &model,
         for (const ChunkTask &task : tasks)
             run_task(task);
     }
-    ba.stage_times.composite_s = stage_timer.seconds();
+    ba.stage_times.composite_s = stage_clock.lap("render.composite");
 }
 
 } // namespace clm

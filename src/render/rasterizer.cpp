@@ -5,9 +5,9 @@
 
 #include "render/arena.hpp"
 #include "render/compositor.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
-#include "util/timer.hpp"
 
 namespace clm {
 
@@ -52,7 +52,10 @@ renderForward(const GaussianModel &model, const Camera &camera,
     out.tiles_x = grid.tiles_x;
     out.tiles_y = grid.tiles_y;
 
-    Timer stage_timer;
+    // StageClock both fills the legacy stage_times fields and, when
+    // tracing is live, records one span per stage (PR 9 consolidation
+    // of the ad-hoc Timer pattern).
+    StageClock stage_clock;
 
     // 1. Project the subset (entries are independent, so the parallel
     //    split cannot change results).
@@ -67,8 +70,7 @@ renderForward(const GaussianModel &model, const Camera &camera,
         ThreadPool::global().parallelFor(n, project_range);
     else
         project_range(0, n);
-    arena.stage_times.project_s = stage_timer.seconds();
-    stage_timer.reset();
+    arena.stage_times.project_s = stage_clock.lap("render.project");
 
     // 2. Flat binning: count -> scan -> fill -> one stable radix sort,
     //    yielding contiguous per-tile front-to-back ranges. The
@@ -80,8 +82,7 @@ renderForward(const GaussianModel &model, const Camera &camera,
     computeAlphaCutPowers(out.projected, cfg.alpha_min, cfg.parallel,
                           arena.alpha_cut, arena.row_k);
     arena.cuts_alpha_min = cfg.alpha_min;
-    arena.stage_times.bin_s = stage_timer.seconds();
-    stage_timer.reset();
+    arena.stage_times.bin_s = stage_clock.lap("render.bin");
 
     // 3. Composite each pixel front-to-back through the shared per-tile
     //    kernels (render/compositor.hpp). Tiles touch disjoint pixels,
@@ -112,7 +113,7 @@ renderForward(const GaussianModel &model, const Camera &camera,
     } else {
         composite_chunk(0);
     }
-    arena.stage_times.composite_s = stage_timer.seconds();
+    arena.stage_times.composite_s = stage_clock.lap("render.composite");
     return out;
 }
 

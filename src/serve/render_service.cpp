@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "math/stats.hpp"
+#include "obs/trace.hpp"
 #include "render/culling.hpp"
 #include "shard/router.hpp"
 #include "shard/shard_batch.hpp"
@@ -38,6 +39,7 @@ RenderService::RenderService(const SnapshotSlot &snapshots,
     : config_(config), snapshots_(&snapshots),
       queue_(config.queue_capacity)
 {
+    initMetrics();
     startWorkers();
 }
 
@@ -45,7 +47,30 @@ RenderService::RenderService(const ShardedSnapshotSlot &shards,
                              ServeConfig config)
     : config_(config), sharded_(&shards), queue_(config.queue_capacity)
 {
+    initMetrics();
     startWorkers();
+}
+
+void
+RenderService::initMetrics()
+{
+    metrics_ = config_.metrics != nullptr ? config_.metrics : &own_metrics_;
+    MetricsRegistry &m = *metrics_;
+    m_submitted_ = &m.counter("serve.submitted");
+    m_requests_ = &m.counter("serve.requests");
+    m_batches_ = &m.counter("serve.batches");
+    m_shed_queue_full_ = &m.counter("serve.shed_queue_full");
+    m_shed_deadline_ = &m.counter("serve.shed_deadline");
+    m_rejected_shutdown_ = &m.counter("serve.rejected_shutdown");
+    m_throttled_client_ = &m.counter("serve.throttled_client");
+    m_queue_depth_ = &m.gauge("serve.queue_depth");
+    // Millisecond histograms spanning 1 us .. 100 s at 8 buckets per
+    // octave (~9% relative resolution) — wide enough for queue waits
+    // under overload and tight enough that p99 decomposition is
+    // meaningful.
+    m_queue_wait_ms_ = &m.histogram("serve.queue_wait_ms", 1e-3, 1e5, 8);
+    m_render_ms_ = &m.histogram("serve.render_ms", 1e-3, 1e5, 8);
+    m_latency_ms_ = &m.histogram("serve.latency_ms", 1e-3, 1e5, 8);
 }
 
 void
@@ -73,12 +98,11 @@ RenderService::failRequest(PendingRequest &req, ServeStatus status)
     resp.client_id = req.client_id;
     resp.queue_s = clock_.seconds() - req.enqueue_s;
     req.reply.set_value(std::move(resp));
-    std::lock_guard<std::mutex> lock(stats_mutex_);
     switch (status) {
-    case ServeStatus::ShedQueueFull: ++shed_queue_full_; break;
-    case ServeStatus::ShedDeadline: ++shed_deadline_; break;
-    case ServeStatus::RejectedShutdown: ++rejected_shutdown_; break;
-    case ServeStatus::ThrottledClient: ++throttled_client_; break;
+    case ServeStatus::ShedQueueFull: m_shed_queue_full_->add(); break;
+    case ServeStatus::ShedDeadline: m_shed_deadline_->add(); break;
+    case ServeStatus::RejectedShutdown: m_rejected_shutdown_->add(); break;
+    case ServeStatus::ThrottledClient: m_throttled_client_->add(); break;
     case ServeStatus::Ok: break;    // not a failure; never passed here
     }
 }
@@ -108,15 +132,17 @@ RenderService::admitClient(uint64_t client_id)
 std::future<RenderResponse>
 RenderService::submit(const Camera &camera, uint64_t client_id)
 {
-    uint64_t id;
-    {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        id = next_id_++;
-        ++submitted_;
-    }
-    PendingRequest req{camera, id, client_id, clock_.seconds(), 0, {}};
+    // The request id doubles as the trace id: minted here, carried in
+    // the queue slot, echoed in every span the request's path records.
+    const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    m_submitted_->add();
+    TraceContext trace_ctx(id);
+    ScopedSpan admit_span("serve.admit");
+    PendingRequest req{camera, id, client_id, clock_.seconds(), 0, 0, {}};
     if (config_.admission.deadline_s > 0)
         req.deadline_s = req.enqueue_s + config_.admission.deadline_s;
+    if (Tracer *tracer = Tracer::current())
+        req.enqueue_ns = tracer->nowNs();
     std::future<RenderResponse> fut = req.reply.get_future();
 
     // Fairness gate first: a throttled client never consumes queue
@@ -219,6 +245,16 @@ RenderService::workerLoop()
             break;
         if (batch.empty())
             continue;    // everything queued had expired
+        // Close the cross-thread serve.queue_wait spans: began on the
+        // submitting thread (enqueue_ns), end at this dequeue. Async-
+        // kind, so the exporter emits "b"/"e" pairs keyed by trace id.
+        if (Tracer *tracer = Tracer::current()) {
+            const uint64_t now_ns = tracer->nowNs();
+            for (const PendingRequest &r : batch)
+                if (r.enqueue_ns != 0)
+                    tracer->record("serve.queue_wait", r.id, r.enqueue_ns,
+                                   now_ns, 0, SpanKind::Async);
+        }
         std::shared_ptr<const ModelSnapshot> snap = snapshots_->acquire();
         CLM_ASSERT(snap != nullptr,
                    "RenderService: render requested before the first "
@@ -239,6 +275,9 @@ RenderService::workerLoop()
             resp.queue_s = batch_t0 - batch[v].enqueue_s;
             resp.render_s = render_s;
             latencies[v] = clock_.seconds() - batch[v].enqueue_s;
+            m_queue_wait_ms_->record(resp.queue_s * 1e3);
+            m_render_ms_->record(render_s * 1e3);
+            m_latency_ms_->record(latencies[v] * 1e3);
             batch[v].reply.set_value(std::move(resp));
         };
 
@@ -251,10 +290,17 @@ RenderService::workerLoop()
             cams.clear();
             for (const PendingRequest &r : batch)
                 cams.push_back(r.camera);
-            frustumCullBatch(snap->model, cams, arena.cull, subsets,
-                             config_.render.parallel, snap->version);
-            renderForwardBatch(snap->model, cams, subsets,
-                               config_.render, arena);
+            {
+                // Span attributed to the batch's first request (one
+                // batch, one span; per-stage children carry the same
+                // ambient trace id via StageClock).
+                TraceContext trace_ctx(batch[0].id);
+                ScopedSpan render_span("serve.render_batch");
+                frustumCullBatch(snap->model, cams, arena.cull, subsets,
+                                 config_.render.parallel, snap->version);
+                renderForwardBatch(snap->model, cams, subsets,
+                                   config_.render, arena);
+            }
             const double render_s = clock_.seconds() - t0;
             for (size_t v = 0; v < n; ++v)
                 respond(v, arena.views[v].out.image, t0, render_s);
@@ -264,6 +310,8 @@ RenderService::workerLoop()
                 arena.views.resize(1);
             for (size_t v = 0; v < n; ++v) {
                 const double t0 = clock_.seconds();
+                TraceContext trace_ctx(batch[v].id);
+                ScopedSpan render_span("serve.render");
                 auto subset = frustumCull(snap->model, batch[v].camera);
                 const RenderOutput &out =
                     renderForward(snap->model, batch[v].camera, subset,
@@ -296,6 +344,13 @@ RenderService::shardedWorkerLoop()
             break;
         if (batch.empty())
             continue;    // everything queued had expired
+        if (Tracer *tracer = Tracer::current()) {
+            const uint64_t now_ns = tracer->nowNs();
+            for (const PendingRequest &r : batch)
+                if (r.enqueue_ns != 0)
+                    tracer->record("serve.queue_wait", r.id, r.enqueue_ns,
+                                   now_ns, 0, SpanKind::Async);
+        }
         std::shared_ptr<const ShardedSnapshot> snap = sharded_->acquire();
         CLM_ASSERT(snap != nullptr,
                    "RenderService: render requested before the first "
@@ -323,9 +378,13 @@ RenderService::shardedWorkerLoop()
             cams.clear();
             for (const PendingRequest &r : batch)
                 cams.push_back(r.camera);
-            renderForwardBatchSharded(*snap, router, cams,
-                                      config_.render, batch_arena,
-                                      snap->base->version);
+            {
+                TraceContext trace_ctx(batch[0].id);
+                ScopedSpan render_span("serve.render_batch");
+                renderForwardBatchSharded(*snap, router, cams,
+                                          config_.render, batch_arena,
+                                          snap->base->version);
+            }
             const double render_s = clock_.seconds() - t0;
             union_shards = batch_arena.union_shards.size();
             for (size_t v = 0; v < n; ++v) {
@@ -345,6 +404,9 @@ RenderService::shardedWorkerLoop()
                 selected_sum += batch_arena.routes[v].size();
                 total_sum += snap->shardCount();
                 latencies[v] = clock_.seconds() - batch[v].enqueue_s;
+                m_queue_wait_ms_->record(resp.queue_s * 1e3);
+                m_render_ms_->record(render_s * 1e3);
+                m_latency_ms_->record(latencies[v] * 1e3);
                 batch[v].reply.set_value(std::move(resp));
             }
         } else {
@@ -353,7 +415,12 @@ RenderService::shardedWorkerLoop()
             union_scratch.clear();
             for (size_t v = 0; v < n; ++v) {
                 const double t0 = clock_.seconds();
-                router.route(batch[v].camera.frustum(), arena.route);
+                TraceContext trace_ctx(batch[v].id);
+                {
+                    ScopedSpan route_span("serve.route");
+                    router.route(batch[v].camera.frustum(), arena.route);
+                }
+                ScopedSpan render_span("serve.render");
                 const RenderOutput &out = renderForwardSharded(
                     *snap, arena.route, batch[v].camera, config_.render,
                     arena);
@@ -378,6 +445,9 @@ RenderService::shardedWorkerLoop()
                                      arena.route.begin(),
                                      arena.route.end());
                 latencies[v] = clock_.seconds() - batch[v].enqueue_s;
+                m_queue_wait_ms_->record(resp.queue_s * 1e3);
+                m_render_ms_->record(render_s * 1e3);
+                m_latency_ms_->record(latencies[v] * 1e3);
                 batch[v].reply.set_value(std::move(resp));
             }
             std::sort(union_scratch.begin(), union_scratch.end());
@@ -397,9 +467,11 @@ RenderService::recordBatch(size_t batch_size, const double *latencies_s,
                            uint64_t shards_total_sum,
                            uint64_t union_shards)
 {
+    m_requests_->add(batch_size);
+    m_batches_->add();
+    // Keep the gauge live for the periodic exporter, not only stats().
+    m_queue_depth_->set(static_cast<double>(queue_.size()));
     std::lock_guard<std::mutex> lock(stats_mutex_);
-    done_requests_ += batch_size;
-    done_batches_ += 1;
     if (batch_occupancy_.size() < batch_size)
         batch_occupancy_.resize(batch_size, 0);
     ++batch_occupancy_[batch_size - 1];
@@ -438,18 +510,26 @@ ServeStats
 RenderService::stats() const
 {
     ServeStats s;
+    // Counters and histograms live in the metrics registry now (the
+    // PR-9 re-plumb); ServeStats keeps its shape as the read-side view.
+    s.requests = m_requests_->value();
+    s.batches = m_batches_->value();
+    s.submitted = m_submitted_->value();
+    s.shed_queue_full = m_shed_queue_full_->value();
+    s.shed_deadline = m_shed_deadline_->value();
+    s.rejected_shutdown = m_rejected_shutdown_->value();
+    s.throttled_client = m_throttled_client_->value();
+    s.queue_wait_p50_ms = m_queue_wait_ms_->percentile(50);
+    s.queue_wait_p99_ms = m_queue_wait_ms_->percentile(99);
+    s.queue_wait_mean_ms = m_queue_wait_ms_->mean();
+    s.render_p50_ms = m_render_ms_->percentile(50);
+    s.render_p99_ms = m_render_ms_->percentile(99);
+    s.render_mean_ms = m_render_ms_->mean();
     std::vector<double> lat;
     double max_latency_s;
     uint64_t sel_sum, tot_sum;
     {
         std::lock_guard<std::mutex> lock(stats_mutex_);
-        s.requests = done_requests_;
-        s.batches = done_batches_;
-        s.submitted = submitted_;
-        s.shed_queue_full = shed_queue_full_;
-        s.shed_deadline = shed_deadline_;
-        s.rejected_shutdown = rejected_shutdown_;
-        s.throttled_client = throttled_client_;
         s.min_snapshot_version = min_version_;
         s.max_snapshot_version = max_version_;
         s.sharded_requests = sharded_requests_;
@@ -464,6 +544,7 @@ RenderService::stats() const
         max_latency_s = max_latency_s_;
     }
     s.queue_depth = queue_.size();
+    m_queue_depth_->set(static_cast<double>(s.queue_depth));
     s.elapsed_s = clock_.seconds();
     if (s.batches > 0)
         s.mean_batch =

@@ -46,11 +46,24 @@
  * throttle counters, and a queue-depth gauge); bench/micro_serve.cpp
  * and bench/micro_overload.cpp record them in BENCH_serve.json /
  * BENCH_overload.json.
+ *
+ * Observability (PR 9): the bespoke counters behind ServeStats moved
+ * into a MetricsRegistry (serve.* counters, queue-wait / render-time /
+ * latency histograms — the queue-vs-render p99 decomposition), and the
+ * request path records tracer spans (serve.admit on the submitting
+ * thread; a cross-thread serve.queue_wait async span closed at worker
+ * dequeue; serve.route / serve.render / serve.render_batch around
+ * rendering, whose per-stage children come from the renderers'
+ * StageClocks). The request id doubles as the trace id, so a Perfetto
+ * view of the trace follows one request across threads. Tracing reads
+ * clocks and writes ring slots only — admitted frames stay bitwise
+ * identical with it enabled.
  */
 
 #ifndef CLM_SERVE_RENDER_SERVICE_HPP
 #define CLM_SERVE_RENDER_SERVICE_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <mutex>
@@ -58,6 +71,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "render/batch.hpp"
 #include "render/camera.hpp"
 #include "render/image.hpp"
@@ -142,6 +156,12 @@ struct ServeConfig
      *  at the pop loop and force admission-path saturation. Must
      *  outlive the service. Null in production. */
     FaultInjector *faults = nullptr;
+    /** Metrics registry the service reports through (serve.* counters,
+     *  queue-wait / render-time / latency histograms). Null = the
+     *  service owns a private registry (readable via metrics()); pass
+     *  one to aggregate several services or export alongside training
+     *  metrics. Must outlive the service. */
+    MetricsRegistry *metrics = nullptr;
 };
 
 /** One served frame plus its provenance and accounting. */
@@ -202,6 +222,23 @@ struct ServeStats
     double p99_ms = 0;               //!< Tail request latency.
     double mean_ms = 0;
     double max_ms = 0;
+    /** @name Latency decomposition (PR 9)
+     * WHERE admitted requests spent their time: queued behind other
+     * work vs being rendered. Sourced from the serve.queue_wait_ms /
+     * serve.render_ms registry histograms, so percentiles here are
+     * log-bucket upper edges (deterministic, ~9% resolution) rather
+     * than the reservoir-exact end-to-end p50_ms/p99_ms above; means
+     * are exact. queue_wait counts per request; render time counts the
+     * batch render wall time once per request of the batch.
+     */
+    /// @{
+    double queue_wait_p50_ms = 0;
+    double queue_wait_p99_ms = 0;
+    double queue_wait_mean_ms = 0;
+    double render_p50_ms = 0;
+    double render_p99_ms = 0;
+    double render_mean_ms = 0;
+    /// @}
     uint64_t min_snapshot_version = 0;   //!< Oldest snapshot served.
     uint64_t max_snapshot_version = 0;   //!< Newest snapshot served.
     /** @name Sharded-mode routing counters (zero when unsharded)
@@ -293,16 +330,25 @@ class RenderService
     /** Aggregate counters since construction (callable any time). */
     ServeStats stats() const;
 
+    /** The registry this service reports through: the injected
+     *  ServeConfig::metrics, or the service-owned one. */
+    const MetricsRegistry &metrics() const
+    { return *metrics_; }
+
     const ServeConfig &config() const { return config_; }
 
   private:
     struct PendingRequest
     {
         Camera camera;
-        uint64_t id = 0;
+        uint64_t id = 0;          //!< Request id; doubles as trace id.
         uint64_t client_id = 0;
         double enqueue_s = 0;
         double deadline_s = 0;    //!< Absolute (clock_); 0 = none.
+        /** Tracer-clock enqueue stamp (0 when tracing was off at
+         *  submit): lets the dequeuing worker close the cross-thread
+         *  serve.queue_wait async span. */
+        uint64_t enqueue_ns = 0;
         std::promise<RenderResponse> reply;
     };
 
@@ -330,6 +376,8 @@ class RenderService
                      uint64_t shards_selected_sum = 0,
                      uint64_t shards_total_sum = 0,
                      uint64_t union_shards = 0);
+    /** Resolve the serve.* metric handles (once, before workers). */
+    void initMetrics();
     void startWorkers();
 
     ServeConfig config_;
@@ -348,15 +396,30 @@ class RenderService
      *  p50/p99 while bounding the service's per-request state. */
     static constexpr size_t kLatencyReservoir = 4096;
 
+    /** Private registry used when ServeConfig::metrics is null. */
+    MetricsRegistry own_metrics_;
+    MetricsRegistry *metrics_ = nullptr;    //!< The registry in use.
+    /** @name Resolved serve.* handles (lock-free record paths).
+     * The exact counters / histograms the bespoke ServeStats fields
+     * were re-plumbed through in PR 9; stats() reads them back.
+     */
+    /// @{
+    Counter *m_submitted_ = nullptr;
+    Counter *m_requests_ = nullptr;
+    Counter *m_batches_ = nullptr;
+    Counter *m_shed_queue_full_ = nullptr;
+    Counter *m_shed_deadline_ = nullptr;
+    Counter *m_rejected_shutdown_ = nullptr;
+    Counter *m_throttled_client_ = nullptr;
+    Gauge *m_queue_depth_ = nullptr;
+    Histogram *m_queue_wait_ms_ = nullptr;
+    Histogram *m_render_ms_ = nullptr;
+    Histogram *m_latency_ms_ = nullptr;
+    /// @}
+
+    std::atomic<uint64_t> next_id_{1};
+
     mutable std::mutex stats_mutex_;
-    uint64_t next_id_ = 1;
-    uint64_t done_requests_ = 0;
-    uint64_t done_batches_ = 0;
-    uint64_t submitted_ = 0;
-    uint64_t shed_queue_full_ = 0;
-    uint64_t shed_deadline_ = 0;
-    uint64_t rejected_shutdown_ = 0;
-    uint64_t throttled_client_ = 0;
     uint64_t min_version_ = 0;
     uint64_t max_version_ = 0;
     uint64_t latency_count_ = 0;     //!< Latencies ever observed.

@@ -6,9 +6,9 @@
 #include "render/binning.hpp"
 #include "render/compositor.hpp"
 #include "render/projection.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
-#include "util/timer.hpp"
 
 namespace clm {
 
@@ -293,7 +293,7 @@ renderForwardBatchSharded(const ShardedSnapshot &snapshot,
     CLM_ASSERT(router.shardCount() == K, "router/snapshot shard mismatch");
     CLM_ASSERT(K < 0xFFFFu, "shard count overflows the cull cache key");
 
-    Timer stage_timer;
+    StageClock stage_clock;
 
     // --- 1. Route every view, union the selections. The per-shard-id
     // scratch slots persist across calls so the (version, shard) cull
@@ -327,6 +327,9 @@ renderForwardBatchSharded(const ShardedSnapshot &snapshot,
     std::sort(arena.union_shards.begin(), arena.union_shards.end());
     // view_parts rows are ascending by shard id because each route is;
     // union_shards needed the sort (discovery order follows views).
+    // Routing gets its own span; stage_times.precompute_s keeps its
+    // PR-8 meaning (routing + setup + fused cull) by summing the laps.
+    const double route_s = stage_clock.lap("shard.route");
 
     // Per-view grids + output activation buffers.
     std::vector<TileGrid> grids(B);
@@ -353,13 +356,11 @@ renderForwardBatchSharded(const ShardedSnapshot &snapshot,
         frustumCullBatch(shard.model, sh.cams, sh.cull, sh.subsets,
                          cfg.parallel, key);
     }
-    arena.stage_times.precompute_s = stage_timer.seconds();
-    stage_timer.reset();
+    arena.stage_times.precompute_s = route_s + stage_clock.lap("shard.cull");
     for (uint32_t s : arena.union_shards)
         runShardFusedStages(snapshot.shards[s], grids, cfg,
                             arena.shards[s]);
-    arena.stage_times.project_s = stage_timer.seconds();
-    stage_timer.reset();
+    arena.stage_times.project_s = stage_clock.lap("shard.stage");
 
     // --- 3. Per-view assembly, exactly as renderForwardSharded: global
     // subset k-way merge of the view's shard parts (ascending disjoint
@@ -486,8 +487,7 @@ renderForwardBatchSharded(const ShardedSnapshot &snapshot,
         else
             merge_tiles(0, n_tiles);
     }
-    arena.stage_times.bin_s = stage_timer.seconds();
-    stage_timer.reset();
+    arena.stage_times.bin_s = stage_clock.lap("shard.merge");
 
     // --- 4. Composite: ONE task list spanning all views' tiles, the
     // cross-view parallelism of renderForwardBatch. Tiles touch
@@ -542,7 +542,7 @@ renderForwardBatchSharded(const ShardedSnapshot &snapshot,
         for (const ChunkTask &task : tasks)
             run_task(task);
     }
-    arena.stage_times.composite_s = stage_timer.seconds();
+    arena.stage_times.composite_s = stage_clock.lap("render.composite");
 }
 
 } // namespace clm

@@ -1,5 +1,9 @@
 #include "sim/stage_timings.hpp"
 
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace clm {
@@ -26,11 +30,43 @@ stageName(TrainStage s)
     CLM_PANIC("unreachable stage");
 }
 
+const char *
+stageSpanName(TrainStage s)
+{
+    switch (s) {
+      case TrainStage::Schedule:
+        return "train.schedule";
+      case TrainStage::Gather:
+        return "train.gather";
+      case TrainStage::CacheCopy:
+        return "train.cachecopy";
+      case TrainStage::Compute:
+        return "train.compute";
+      case TrainStage::Scatter:
+        return "train.scatter";
+      case TrainStage::Carry:
+        return "train.carry";
+      case TrainStage::Finalize:
+        return "train.finalize";
+    }
+    CLM_PANIC("unreachable stage");
+}
+
 void
 StageTimings::add(TrainStage s, double secs)
 {
     seconds[static_cast<size_t>(s)] += secs;
     count[static_cast<size_t>(s)] += 1;
+    // Callers time stages as "do work; add(stage, elapsed)", so the
+    // interval being reported is the one that just ended: [now - secs,
+    // now] on the tracer clock.
+    if (Tracer *tracer = Tracer::current()) {
+        const uint64_t now_ns = tracer->nowNs();
+        const uint64_t dur_ns = secs > 0
+            ? static_cast<uint64_t>(secs * 1e9) : 0;
+        tracer->record(stageSpanName(s), currentTraceId(),
+                       now_ns >= dur_ns ? now_ns - dur_ns : 0, now_ns);
+    }
 }
 
 void
@@ -79,6 +115,21 @@ StageTimings::communication() const
 {
     return (*this)[TrainStage::Gather] + (*this)[TrainStage::CacheCopy]
            + (*this)[TrainStage::Scatter] + (*this)[TrainStage::Carry];
+}
+
+void
+StageTimings::exportTo(MetricsRegistry &registry) const
+{
+    for (int s = 0; s < kNumTrainStages; ++s) {
+        const std::string base =
+            std::string("train.stage.") + stageName(static_cast<TrainStage>(s));
+        // Counters are monotonic: re-exporting adds the delta a caller
+        // accumulated since reset(); gauges are last-write-wins.
+        registry.counter(base + ".calls").add(count[s]);
+        registry.gauge(base + ".busy_s").set(seconds[s]);
+    }
+    registry.gauge("train.batch_s").set(batch_seconds);
+    registry.gauge("train.trailing_adam_s").set(trailing_adam_seconds);
 }
 
 } // namespace clm

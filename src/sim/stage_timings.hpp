@@ -20,6 +20,8 @@
 
 namespace clm {
 
+class MetricsRegistry;
+
 /** The instrumented stages of one offloaded training batch. */
 enum class TrainStage : uint8_t
 {
@@ -36,6 +38,10 @@ constexpr int kNumTrainStages = 7;
 
 /** Short display name of a stage (bench table headers). */
 const char *stageName(TrainStage s);
+
+/** Tracer span name of a stage ("train.schedule", "train.gather", ...;
+ *  a string literal, as the tracer requires). */
+const char *stageSpanName(TrainStage s);
 
 /** Accumulated measured stage timings, potentially over several batches. */
 struct StageTimings
@@ -73,7 +79,10 @@ struct StageTimings
     double operator[](TrainStage s) const
     { return seconds[static_cast<size_t>(s)]; }
 
-    /** Record @p secs of busy time for stage @p s. */
+    /** Record @p secs of busy time for stage @p s. When the global
+     *  tracer is enabled, also records a train.<stage> span covering
+     *  the interval that just elapsed — the offload pipeline's stage
+     *  accounting and the tracer share this single entry point. */
     void add(TrainStage s, double secs);
 
     /** Record one microbatch's (stall, compute) pair. */
@@ -90,6 +99,13 @@ struct StageTimings
 
     /** Transfer busy seconds: gather + cached copy + scatter + carry. */
     double communication() const;
+
+    /** Publish the record into @p registry: counter
+     *  train.stage.<name>.calls and gauge train.stage.<name>.busy_s
+     *  per stage, plus train.batch_s / train.trailing_adam_s gauges —
+     *  how the offload stage accounting reaches the unified
+     *  JSON-lines metrics snapshot. */
+    void exportTo(MetricsRegistry &registry) const;
 };
 
 } // namespace clm

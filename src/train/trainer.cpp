@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "math/simd_backend.hpp"
+#include "obs/trace.hpp"
 #include "render/culling.hpp"
 #include "serve/snapshot.hpp"
 #include "shard/sharded_snapshot.hpp"
@@ -82,6 +83,7 @@ Trainer::publishSnapshot()
     // session model sizes trainers run; skipping republishes while the
     // slot is idle would hand late-attaching readers a stale model.
     if (snapshot_sink_ != nullptr) {
+        ScopedSpan span("train.publish");
         snapshot_sink_->publish(model(), batches_done_);
         // Sharded republish at the same point; the slot no-ops unless
         // the version advanced, so this re-partitions exactly once per
@@ -156,12 +158,18 @@ Trainer::renderAndBackprop(const GaussianModel &m, int v,
 {
     const Camera &cam = cameras_[v];
     RenderConfig render = activeRenderConfig();
+    // StageClock: per-step spans (train.forward / train.loss /
+    // train.backward) with zero cost when tracing is off.
+    StageClock stage_clock;
     const RenderOutput &out =
         renderForward(m, cam, subset, render, arena_);
+    stage_clock.lap("train.forward");
     Image d_image;
     LossResult loss = computeLoss(out.image, ground_truth_[v], &d_image,
                                   config_.loss, loss_scratch_);
+    stage_clock.lap("train.loss");
     renderBackward(m, cam, render, out, d_image, grads, arena_);
+    stage_clock.lap("train.backward");
     return loss.total;
 }
 
@@ -196,10 +204,12 @@ GpuOnlyTrainer::trainBatch(const std::vector<int> &view_ids)
         for (int v : view_ids)
             cams.push_back(cameras_[v]);
         std::vector<std::vector<uint32_t>> subsets;
+        StageClock stage_clock;
         frustumCullBatch(model_, cams, batch_arena_.cull, subsets,
                          render.parallel);
         batch_arena_.retain_staging = true;
         renderForwardBatch(model_, cams, subsets, render, batch_arena_);
+        stage_clock.lap("train.forward");
         d_images_.resize(B);
         for (size_t i = 0; i < B; ++i) {
             stats.gaussians_rendered += subsets[i].size();
@@ -209,8 +219,10 @@ GpuOnlyTrainer::trainBatch(const std::vector<int> &view_ids)
                 loss_scratch_);
             stats.loss += loss.total;
         }
+        stage_clock.lap("train.loss");
         renderBackwardBatch(model_, cams, render, d_images_, grads_,
                             batch_arena_);
+        stage_clock.lap("train.backward");
         touched = batch_arena_.union_indices;
     } else {
         for (int v : view_ids) {
@@ -225,7 +237,10 @@ GpuOnlyTrainer::trainBatch(const std::vector<int> &view_ids)
     }
     stats.loss /= view_ids.size();
 
-    adam_.updateSubset(model_, grads_, touched);
+    {
+        ScopedSpan span("train.adam");
+        adam_.updateSubset(model_, grads_, touched);
+    }
     stats.adam_updated = touched.size();
     observeDensify(grads_);
     return stats;

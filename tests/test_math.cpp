@@ -292,6 +292,33 @@ TEST(EmpiricalCdf, StepValuesAndPercentiles)
     EXPECT_DOUBLE_EQ(series.back().second, 1.0);
 }
 
+TEST(EmpiricalCdf, EmptyAndSingleSampleAreTotal)
+{
+    // percentile() is total: no asserts to trip, whatever the reservoir
+    // holds — an empty CDF answers 0, a single sample answers itself,
+    // and out-of-range p is clamped instead of rejected.
+    EmpiricalCdf empty({});
+    EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(100), 0.0);
+    EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+    EXPECT_EQ(empty.count(), 0u);
+
+    EmpiricalCdf one({7.5});
+    EXPECT_DOUBLE_EQ(one.percentile(0), 7.5);
+    EXPECT_DOUBLE_EQ(one.percentile(50), 7.5);
+    EXPECT_DOUBLE_EQ(one.percentile(100), 7.5);
+    EXPECT_DOUBLE_EQ(one.percentile(-10), 7.5);
+    EXPECT_DOUBLE_EQ(one.percentile(250), 7.5);
+}
+
+TEST(EmpiricalCdf, OutOfRangePercentileClamps)
+{
+    EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(cdf.percentile(-5), cdf.percentile(0));
+    EXPECT_DOUBLE_EQ(cdf.percentile(105), cdf.percentile(100));
+}
+
 TEST(EmpiricalCdf, MonotoneProperty)
 {
     Rng rng(7);
