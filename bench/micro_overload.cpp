@@ -26,12 +26,26 @@
  * produces), and every future must resolve — a request unresolved
  * after a generous timeout counts as hung and fails the bench.
  *
+ * PR 10: every load point is also judged by the obs/slo layer. Two
+ * rules anchored to the case's own capacity probe — the deadline-shed
+ * ratio (serve.shed_deadline / serve.requests: a healthy Reject
+ * config sheds at ADMISSION, so deadline expiry stays rare relative
+ * to renders) and an admitted-latency p99 bound — must come out
+ * Healthy/Degraded for the clean reject sweep, while a worker-stall
+ * fault plan (util/fault) over the SAME rules and the SAME 2x
+ * schedule must flip to Breached: the bench exits non-zero if either
+ * side of that contract fails, and embeds the verdicts in
+ * BENCH_overload.json for the CI smoke to assert. The block baseline
+ * is judged but not gated — its long-run breach is the point of the
+ * comparison.
+ *
  * Prints a table and emits BENCH_overload.json
  * (scripts/bench_overload.sh) with the machine/build context block.
  *
  * Usage: micro_overload [--smoke] [--out FILE.json]
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <fstream>
@@ -43,10 +57,13 @@
 #include <vector>
 
 #include "common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "render/culling.hpp"
 #include "render/rasterizer.hpp"
 #include "serve/render_service.hpp"
 #include "serve/snapshot.hpp"
+#include "util/fault.hpp"
 
 using namespace clm;
 
@@ -88,6 +105,9 @@ struct PointResult
     double mean_batch = 0;
     bool bitwise_checked = false;
     bool bitwise_identical = true;
+    /** SLO evaluation over the point's whole window (SloMonitor
+     *  total(): deadline-shed ratio + admitted-latency p99). */
+    SloReport slo;
 };
 
 struct CaseResult
@@ -99,6 +119,7 @@ struct CaseResult
     std::vector<PointResult> points;       //!< Reject policy sweep.
     PointResult baseline_short;            //!< Block @ 2x, short run.
     PointResult baseline_long;             //!< Block @ 2x, 3x-long run.
+    PointResult fault_point;               //!< Reject @ 2x + worker stall.
 
     const PointResult *
     rejectAt(double x) const
@@ -147,19 +168,50 @@ measureCapacity(const SnapshotSlot &slot, const RenderConfig &render,
     out.capacity_p99_ms = stats.p99_ms;
 }
 
+/** The per-case SLO rule set, anchored to the case's own timing: a
+ *  healthy Reject config sheds at admission (queue-full), so deadline
+ *  expiry must stay rare relative to renders; admitted p99 must stay
+ *  within the deadline plus a generous multiple of one render.
+ *  @p deadline_ms is 0 for the block baseline (no deadline — the
+ *  latency bound alone then judges it). */
+std::vector<SloRule>
+makeSloRules(double direct_ms, double deadline_ms)
+{
+    std::vector<SloRule> rules(2);
+    rules[0].kind = SloRuleKind::CounterRatio;
+    rules[0].metric = "serve.shed_deadline";
+    rules[0].denominator = "serve.requests";
+    rules[0].name = "deadline_shed_ratio";
+    rules[0].warn = 0.1;
+    rules[0].fail = 0.5;
+    rules[1].kind = SloRuleKind::HistogramPercentile;
+    rules[1].metric = "serve.latency_ms";
+    rules[1].percentile = 99;
+    rules[1].name = "latency_p99_ms";
+    rules[1].warn = deadline_ms + 8.0 * direct_ms;
+    rules[1].fail = deadline_ms + 24.0 * direct_ms;
+    return rules;
+}
+
 /**
  * Drive one open-loop point: submit @p n_requests on the absolute
  * schedule t_i = i / rate (no waiting for completions), then wait for
  * every future. Verifies the first @p verify_n admitted frames bitwise
- * against direct renders AFTER timing ends.
+ * against direct renders AFTER timing ends. The point's service gets
+ * a private MetricsRegistry watched by an SloMonitor built from
+ * @p slo_rules; the total-window verdict lands in PointResult::slo.
  */
 PointResult
 driveOpenLoop(const SnapshotSlot &slot, const GaussianModel &model,
               const std::vector<Camera> &path, ServeConfig cfg,
               const std::string &policy_name, double load_x,
-              double rate_rps, int n_requests, int verify_n)
+              double rate_rps, int n_requests, int verify_n,
+              const std::vector<SloRule> &slo_rules)
 {
+    MetricsRegistry registry;
+    cfg.metrics = &registry;
     RenderService service(slot, cfg);
+    SloMonitor slo(registry, slo_rules);
     std::vector<std::future<RenderResponse>> pending;
     pending.reserve(n_requests);
 
@@ -200,6 +252,7 @@ driveOpenLoop(const SnapshotSlot &slot, const GaussianModel &model,
     }
     r.elapsed_s = wall.seconds();
     service.stop();
+    r.slo = slo.total(r.elapsed_s);
 
     ServeStats stats = service.stats();
     r.admitted = stats.requests;
@@ -282,27 +335,55 @@ runCase(const OverloadCase &c)
     reject_cfg.admission.deadline_s =
         6.0 * r.direct_ms_per_view / 1e3;
 
+    const double deadline_ms = reject_cfg.admission.deadline_s * 1e3;
+    const std::vector<SloRule> reject_rules =
+        makeSloRules(r.direct_ms_per_view, deadline_ms);
+
     const int verify_n = 12;
     for (double x : {1.0, 2.0, 4.0}) {
         const int n = static_cast<int>(c.requests_per_x * x);
         r.points.push_back(driveOpenLoop(
             slot, model, path, reject_cfg, "reject", x,
-            x * r.capacity_rps, n, verify_n));
+            x * r.capacity_rps, n, verify_n, reject_rules));
     }
 
     // Blocking baseline: the pre-admission-control service — submit
     // blocks only at a far-away capacity bound, requests queue without
     // deadline. p99 then scales with how LONG the overload lasts, which
-    // the short/long pair makes visible.
+    // the short/long pair makes visible. Judged by the same rule
+    // shapes (deadline 0: the latency bound alone) but never gated —
+    // its long-run breach is the demonstration.
     ServeConfig block_cfg = reject_cfg;
     block_cfg.admission = AdmissionConfig{};    // Block, no deadline
     block_cfg.queue_capacity = 1u << 20;
+    const std::vector<SloRule> block_rules =
+        makeSloRules(r.direct_ms_per_view, 0.0);
     r.baseline_short = driveOpenLoop(slot, model, path, block_cfg,
                                      "block", 2.0, 2.0 * r.capacity_rps,
-                                     c.requests_per_x, verify_n);
+                                     c.requests_per_x, verify_n,
+                                     block_rules);
     r.baseline_long = driveOpenLoop(slot, model, path, block_cfg,
                                     "block", 2.0, 2.0 * r.capacity_rps,
-                                    3 * c.requests_per_x, verify_n);
+                                    3 * c.requests_per_x, verify_n,
+                                    block_rules);
+
+    // Fault injection: the SAME 2x schedule and the SAME rules as the
+    // clean reject point, but the worker stalls (util/fault) far past
+    // the deadline on every pop — queued requests expire at dequeue,
+    // so deadline sheds swamp renders and the deadline-shed ratio
+    // rule must flip to Breached. This is the discriminator the
+    // acceptance gate asserts from both sides.
+    FaultPlan stall_plan;
+    stall_plan.at(FaultPoint::WorkerStall).every_n = 1;
+    stall_plan.at(FaultPoint::WorkerStall).stall_ms =
+        std::max(100.0, 4.0 * deadline_ms);
+    FaultInjector stall(stall_plan);
+    ServeConfig fault_cfg = reject_cfg;
+    fault_cfg.faults = &stall;
+    r.fault_point = driveOpenLoop(slot, model, path, fault_cfg,
+                                  "reject+stall", 2.0,
+                                  2.0 * r.capacity_rps, c.requests_per_x,
+                                  verify_n, reject_rules);
     return r;
 }
 
@@ -325,7 +406,29 @@ writePoint(std::ofstream &f, const PointResult &p, const char *indent)
       << ", \"render_p99_ms\": " << p.render_p99_ms
       << ", \"mean_batch\": " << p.mean_batch
       << ", \"elapsed_s\": " << p.elapsed_s
-      << ", \"hung_requests\": " << p.hung << "}";
+      << ", \"hung_requests\": " << p.hung
+      << ", \"slo_verdict\": \"" << sloVerdictName(p.slo.verdict)
+      << "\", \"slo\": [";
+    for (size_t i = 0; i < p.slo.rules.size(); ++i) {
+        const SloObservation &o = p.slo.rules[i];
+        f << (i ? ", " : "") << "{\"rule\": \"" << o.name
+          << "\", \"value\": " << o.value
+          << ", \"samples\": " << o.samples << ", \"verdict\": \""
+          << sloVerdictName(o.verdict) << "\"}";
+    }
+    f << "]}";
+}
+
+/** Any CLEAN reject point Breached — the flag scripts/bench_gate.py
+ *  fails on (fault point and block baselines excluded by design). */
+bool
+anyCleanRejectBreached(const std::vector<CaseResult> &results)
+{
+    for (const CaseResult &r : results)
+        for (const PointResult &p : r.points)
+            if (p.slo.verdict == SloVerdict::Breached)
+                return true;
+    return false;
 }
 
 void
@@ -338,7 +441,9 @@ writeJson(const std::string &path, const std::vector<CaseResult> &results,
     bench::writeJsonContext(f);
     f << "  \"hung_requests\": " << total_hung << ",\n"
       << "  \"admitted_bitwise_identical\": "
-      << (all_identical ? "true" : "false") << ",\n";
+      << (all_identical ? "true" : "false") << ",\n"
+      << "  \"slo_breached\": "
+      << (anyCleanRejectBreached(results) ? "true" : "false") << ",\n";
     f << "  \"cases\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
         const CaseResult &r = results[i];
@@ -372,6 +477,8 @@ writeJson(const std::string &path, const std::vector<CaseResult> &results,
         writePoint(f, r.baseline_short, "");
         f << ",\n     \"baseline_long\": ";
         writePoint(f, r.baseline_long, "");
+        f << ",\n     \"fault_point\": ";
+        writePoint(f, r.fault_point, "");
         f << ",\n     \"admitted_p99_ratio_2x\": " << p99_ratio_2x
           << ",\n     \"goodput_frac_of_capacity_2x\": "
           << goodput_frac_2x
@@ -414,7 +521,7 @@ main(int argc, char **argv)
         << " (1 serve worker, reject: queue=8 + deadline; block: "
            "unbounded)\n\n";
     Table table({"Case", "Policy", "Load", "Offered", "Goodput",
-                 "Shed%", "p50 ms", "p99 ms", "Hung"});
+                 "Shed%", "p50 ms", "p99 ms", "Hung", "SLO"});
     std::vector<CaseResult> results;
     int total_hung = 0;
     bool all_identical = true;
@@ -436,12 +543,14 @@ main(int argc, char **argv)
                           Table::fmt(p.shed_fraction * 100.0, 1),
                           Table::fmt(p.p50_ms, 1),
                           Table::fmt(p.p99_ms, 1),
-                          std::to_string(p.hung)});
+                          std::to_string(p.hung),
+                          sloVerdictName(p.slo.verdict)});
         };
         for (const PointResult &p : r.points)
             add_row(p);
         add_row(r.baseline_short);
         add_row(r.baseline_long);
+        add_row(r.fault_point);
         results.push_back(std::move(r));
     }
     std::cout << "\n";
@@ -467,6 +576,10 @@ main(int argc, char **argv)
                       << Table::fmt(p2->queue_wait_p99_ms, 1)
                       << " ms vs render p99 "
                       << Table::fmt(p2->render_p99_ms, 1) << " ms\n";
+        std::cout << "[" << r.cfg.name << "] slo: clean reject@2x "
+                  << r.points[1].slo.summary() << "\n[" << r.cfg.name
+                  << "] slo: worker-stall fault "
+                  << r.fault_point.slo.summary() << "\n";
     }
 
     writeJson(out_path, results, smoke, total_hung, all_identical);
@@ -480,5 +593,27 @@ main(int argc, char **argv)
         std::cerr << "FAIL: admitted frames differ from direct renders\n";
         return 1;
     }
-    return 0;
+    // The two-sided SLO contract: the overload-hardened config must
+    // never BREACH on a clean run (Healthy/Degraded both acceptable —
+    // overload sheds by design), and the worker-stall fault must be
+    // caught as a breach (a monitor that can't see a stalled worker
+    // is not watching anything).
+    int rc = 0;
+    for (const CaseResult &r : results) {
+        for (const PointResult &p : r.points)
+            if (p.slo.verdict == SloVerdict::Breached) {
+                std::cerr << "FAIL: [" << r.cfg.name
+                          << "] clean reject@" << p.load_x
+                          << "x breached SLO: "
+                          << p.slo.summary() << "\n";
+                rc = 1;
+            }
+        if (r.fault_point.slo.verdict != SloVerdict::Breached) {
+            std::cerr << "FAIL: [" << r.cfg.name
+                      << "] worker-stall fault NOT caught as breach: "
+                      << r.fault_point.slo.summary() << "\n";
+            rc = 1;
+        }
+    }
+    return rc;
 }

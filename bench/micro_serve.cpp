@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "render/batch.hpp"
 #include "render/culling.hpp"
@@ -64,7 +66,33 @@ struct SweepPoint
     double p50_ms = 0;
     double p99_ms = 0;
     double mean_batch = 0;
+    /** SLO verdict over the point (obs/slo): closed-loop latency p99
+     *  bound + queue-full shed ratio (must stay ~0 under Block). */
+    SloReport slo;
 };
+
+/** Closed-loop SLO rules: with N clients each keeping one request in
+ *  flight, end-to-end latency sits near N * per-view render time, so
+ *  bound p99 at a 3x margin over that; and a closed-loop Block config
+ *  must never shed. */
+std::vector<SloRule>
+makeServeSloRules(double direct_ms, int n_clients)
+{
+    std::vector<SloRule> rules(2);
+    rules[0].kind = SloRuleKind::HistogramPercentile;
+    rules[0].metric = "serve.latency_ms";
+    rules[0].percentile = 99;
+    rules[0].name = "latency_p99_ms";
+    rules[0].warn = (2.0 * n_clients + 8.0) * direct_ms;
+    rules[0].fail = 3.0 * rules[0].warn;
+    rules[1].kind = SloRuleKind::CounterRatio;
+    rules[1].metric = "serve.shed_queue_full";
+    rules[1].denominator = "serve.requests";
+    rules[1].name = "queue_shed_ratio";
+    rules[1].warn = 0.01;
+    rules[1].fail = 0.1;
+    return rules;
+}
 
 struct CaseResult
 {
@@ -125,13 +153,17 @@ verifyBitIdentity(const GaussianModel &model,
 SweepPoint
 runSweepPoint(const SnapshotSlot &slot, const RenderConfig &render,
               const std::vector<Camera> &path, int max_batch,
-              int n_clients, int n_requests)
+              int n_clients, int n_requests,
+              const std::vector<SloRule> &slo_rules)
 {
     ServeConfig cfg;
     cfg.workers = 1;
     cfg.max_batch = max_batch;
     cfg.render = render;
+    MetricsRegistry registry;
+    cfg.metrics = &registry;
     RenderService service(slot, cfg);
+    SloMonitor slo(registry, slo_rules);
 
     std::atomic<int> budget{n_requests};
     Timer wall;
@@ -163,6 +195,7 @@ runSweepPoint(const SnapshotSlot &slot, const RenderConfig &render,
     p.p50_ms = stats.p50_ms;
     p.p99_ms = stats.p99_ms;
     p.mean_batch = stats.mean_batch;
+    p.slo = slo.total(elapsed);
     return p;
 }
 
@@ -206,9 +239,12 @@ runCase(const ServeCase &c)
 
     SnapshotSlot slot;
     slot.publish(model, 0);
+    const std::vector<SloRule> slo_rules =
+        makeServeSloRules(r.direct_ms_per_view, c.clients);
     for (int b : {1, 2, 4, 8})
         r.sweep.push_back(runSweepPoint(slot, render, path, b,
-                                        c.clients, c.requests));
+                                        c.clients, c.requests,
+                                        slo_rules));
 
     // Traced rerun: enable the span tracer, re-verify bit-identity and
     // re-drive the batch-4 point. The untraced baseline is a FRESH
@@ -226,16 +262,18 @@ runCase(const ServeCase &c)
         // per request).
         double baseline_rps = 0, traced_rps = 0;
         for (int rep = 0; rep < 5; ++rep) {
-            SweepPoint b =
-                runSweepPoint(slot, render, path, 4, c.clients, c.requests);
+            SweepPoint b = runSweepPoint(slot, render, path, 4,
+                                         c.clients, c.requests,
+                                         slo_rules);
             baseline_rps = std::max(baseline_rps, b.rps);
             Tracer::global().clear();
             Tracer::enable(&Tracer::global());
             if (rep == 0)
                 r.traced_bitwise_identical =
                     verifyBitIdentity(model, probe, render);
-            SweepPoint t =
-                runSweepPoint(slot, render, path, 4, c.clients, c.requests);
+            SweepPoint t = runSweepPoint(slot, render, path, 4,
+                                         c.clients, c.requests,
+                                         slo_rules);
             Tracer::enable(nullptr);
             traced_rps = std::max(traced_rps, t.rps);
         }
@@ -247,6 +285,16 @@ runCase(const ServeCase &c)
     return r;
 }
 
+bool
+anySweepBreached(const std::vector<CaseResult> &results)
+{
+    for (const CaseResult &r : results)
+        for (const SweepPoint &p : r.sweep)
+            if (p.slo.verdict == SloVerdict::Breached)
+                return true;
+    return false;
+}
+
 void
 writeJson(const std::string &path, const std::vector<CaseResult> &results,
           bool smoke)
@@ -255,6 +303,8 @@ writeJson(const std::string &path, const std::vector<CaseResult> &results,
     f << "{\n  \"bench\": \"serve\",\n  \"smoke\": "
       << (smoke ? "true" : "false") << ",\n";
     bench::writeJsonContext(f);
+    f << "  \"slo_breached\": "
+      << (anySweepBreached(results) ? "true" : "false") << ",\n";
     f << "  \"cases\": [\n";
     for (size_t i = 0; i < results.size(); ++i) {
         const CaseResult &r = results[i];
@@ -279,7 +329,9 @@ writeJson(const std::string &path, const std::vector<CaseResult> &results,
               << ", \"p50_ms\": " << p.p50_ms
               << ", \"p99_ms\": " << p.p99_ms
               << ", \"mean_batch\": " << p.mean_batch
-              << ", \"elapsed_s\": " << p.elapsed_s << "}"
+              << ", \"elapsed_s\": " << p.elapsed_s
+              << ", \"slo_verdict\": \""
+              << sloVerdictName(p.slo.verdict) << "\"}"
               << (s + 1 < r.sweep.size() ? "," : "") << "\n";
         }
         f << "     ],\n     \"batch4_speedup\": " << r.batch4Speedup()
@@ -359,6 +411,10 @@ main(int argc, char **argv)
                   << (r.traced_bitwise_identical ? "bit-identical"
                                                  : "MISMATCH")
                   << "\n";
+        for (const SweepPoint &p : r.sweep)
+            std::cout << "[" << r.cfg.name << "] slo (batch "
+                      << p.max_batch << "): " << p.slo.summary()
+                      << "\n";
         results.push_back(r);
     }
     std::cout << "\n";
@@ -369,6 +425,11 @@ main(int argc, char **argv)
     if (!all_identical) {
         std::cerr << "FAIL: batched or traced images differ from "
                      "sequential\n";
+        return 1;
+    }
+    if (anySweepBreached(results)) {
+        std::cerr << "FAIL: a sweep point breached its closed-loop "
+                     "SLO (see slo lines above)\n";
         return 1;
     }
     return 0;

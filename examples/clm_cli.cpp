@@ -14,6 +14,7 @@
  *                 [--shards N] [--shed block|reject|drop-oldest]
  *                 [--deadline-ms N] [--queue N] [--trace-out FILE]
  *                 [--metrics-out FILE] [--metrics-every-ms N]
+ *                 [--slo FILE|SPEC]
  *
  * The serve subcommand trains briefly, then keeps training in the
  * background while N synthetic clients walk the scene's camera path and
@@ -39,12 +40,28 @@
  * unified metrics registry (serve.* counters and the queue-wait /
  * render-time histograms, plus the offload trainers' stage timings)
  * every --metrics-every-ms (default 100).
+ *
+ * --slo takes an SLO rule spec (a file path, or the spec inline with
+ * ';' separating rules — see obs/slo.hpp for the grammar) and watches
+ * the run with an SloMonitor: verdict transitions print live, verdict
+ * gauges ride the metrics.jsonl stream, Breached windows record
+ * slo.breach spans into the trace, and the run ends with a final
+ * "[slo] verdict:" line over the whole serve window. Without --slo a
+ * permissive default rule set (deadline-shed ratio + latency p99)
+ * still produces the final verdict line.
+ *
+ * Numeric arguments go through the util/env clamping policy: garbage
+ * warns and falls back to the default instead of silently becoming 0.
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -52,6 +69,7 @@
 #include "core/clm.hpp"
 #include "gaussian/io.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "serve/render_service.hpp"
 #include "serve/retry.hpp"
@@ -115,11 +133,37 @@ usage(const char *argv0)
         "          [--shards N] [--shed block|reject|drop-oldest]\n"
         "          [--deadline-ms N] [--queue N] [--trace-out FILE]\n"
         "          [--metrics-out FILE] [--metrics-every-ms N]\n"
+        "          [--slo FILE|SPEC]\n"
         "scenes: Bicycle Rubble Alameda Ithaca BigCity\n"
-        "env: CLM_TRACE=FILE enables tracing (same as --trace-out)\n",
+        "env: CLM_TRACE=FILE enables tracing (same as --trace-out)\n"
+        "slo spec: 'hist M pP [warn W] fail F', 'ratio A / B [warn W]"
+        " fail F',\n"
+        "          'gauge M [warn W] fail F' — one per line or"
+        " ';'-separated\n",
         argv0, argv0);
     std::exit(2);
 }
+
+/** --slo value: a readable file's contents, else the value itself as
+ *  an inline spec ruleset. */
+std::string
+loadSloSpec(const std::string &arg)
+{
+    std::ifstream in(arg);
+    if (in) {
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    }
+    return arg;
+}
+
+/** Permissive default rules so every serve run ends with a verdict:
+ *  deadline sheds should stay rare relative to rendered requests, and
+ *  end-to-end p99 should stay interactive. */
+const char *const kDefaultSloSpec =
+    "ratio serve.shed_deadline / serve.requests warn 0.25 fail 1\n"
+    "hist serve.latency_ms p99 warn 1000 fail 5000\n";
 
 /**
  * The serve mode: brief warm-up training, then concurrent
@@ -131,8 +175,15 @@ int
 runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
          int max_batch, int shards, ShedPolicy shed, double deadline_ms,
          int queue_capacity, const std::string &trace_path,
-         const std::string &metrics_path, double metrics_every_ms)
+         const std::string &metrics_path, double metrics_every_ms,
+         const std::string &slo_spec)
 {
+    const auto run_t0 = std::chrono::steady_clock::now();
+    const auto elapsed_s = [run_t0] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - run_t0)
+            .count();
+    };
     // Tracing covers the whole run (warm-up training included) so the
     // exported trace shows train.* spans next to the serve.* ones.
     const bool tracing = !trace_path.empty();
@@ -177,6 +228,21 @@ runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
     }
     RenderService &service = *service_ptr;
 
+    // SLO monitor over the same registry. Constructed after the
+    // service so the serve.* metrics it watches are registered; its
+    // baseline snapshot is the pre-traffic state.
+    int slo_parse_errors = 0;
+    std::vector<SloRule> slo_rules =
+        parseSloRules(slo_spec, &slo_parse_errors);
+    if (slo_rules.empty()) {
+        if (slo_parse_errors > 0)
+            warn("--slo: no usable rules parsed; using defaults");
+        slo_rules = parseSloRules(kDefaultSloSpec);
+    }
+    for (const SloRule &r : slo_rules)
+        std::printf("[slo] rule: %s\n", formatSloRule(r).c_str());
+    SloMonitor slo(registry, slo_rules);
+
     std::unique_ptr<MetricsExporter> exporter;
     if (!metrics_path.empty()) {
         exporter = std::make_unique<MetricsExporter>(
@@ -185,6 +251,18 @@ runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
         std::printf("[obs] metrics snapshots every %.0f ms -> %s\n",
                     metrics_every_ms > 0 ? metrics_every_ms : 100.0,
                     metrics_path.c_str());
+        // Tick the monitor right before each metrics line so the
+        // slo.* verdict gauges land in the line being written; print
+        // verdict TRANSITIONS live (steady health stays quiet).
+        auto last_verdict =
+            std::make_shared<std::atomic<int>>(-1);
+        exporter->setTickHook([&slo, last_verdict](double ts_s) {
+            const SloReport rep = slo.tick(ts_s);
+            const int v = static_cast<int>(rep.verdict);
+            if (v != last_verdict->exchange(v))
+                std::printf("[slo] t=%.2fs %s\n", ts_s,
+                            rep.summary().c_str());
+        });
     }
 
     // Training continues while clients are served; every batch
@@ -297,6 +375,13 @@ runServe(Clm &session, int warmup_steps, int n_clients, int n_requests,
         std::printf("[obs] metrics: %d snapshots -> %s\n",
                     exporter->snapshots(), metrics_path.c_str());
     }
+    // Final verdict over the WHOLE serve window (warm-up excluded:
+    // the monitor's baseline snapshot predates traffic, not training;
+    // training metrics are counters the rules don't bound).
+    const SloReport slo_final = slo.total(elapsed_s());
+    std::printf("[slo] windows evaluated: %d, worst %s\n", slo.ticks(),
+                sloVerdictName(slo.worstVerdict()));
+    std::printf("[slo] verdict: %s\n", slo_final.summary().c_str());
     if (tracing) {
         // Workers and clients are joined: quiescent, safe to disable
         // and export.
@@ -338,6 +423,7 @@ main(int argc, char **argv)
     std::string trace_path = traceEnvPath();    // CLM_TRACE default
     std::string metrics_path;
     double metrics_every_ms = 0;
+    std::string slo_arg;
 
     int argi = 1;
     if (argi < argc && !std::strcmp(argv[argi], "serve")) {
@@ -361,7 +447,9 @@ main(int argc, char **argv)
             model_size = std::strtoull(
                 need_value("--model-size").c_str(), nullptr, 10);
         else if (!std::strcmp(argv[i], "--steps"))
-            steps = std::atoi(need_value("--steps").c_str());
+            steps = static_cast<int>(parseIntArg(
+                "--steps", need_value("--steps").c_str(), steps, 0,
+                1000000));
         else if (!std::strcmp(argv[i], "--async-adam"))
             async_adam = true;
         else if (!std::strcmp(argv[i], "--densify"))
@@ -373,27 +461,43 @@ main(int argc, char **argv)
         else if (!std::strcmp(argv[i], "--render"))
             render_path = need_value("--render");
         else if (serve_mode && !std::strcmp(argv[i], "--clients"))
-            clients = std::atoi(need_value("--clients").c_str());
+            clients = static_cast<int>(parseIntArg(
+                "--clients", need_value("--clients").c_str(), clients,
+                1, 4096));
         else if (serve_mode && !std::strcmp(argv[i], "--requests"))
-            requests = std::atoi(need_value("--requests").c_str());
+            requests = static_cast<int>(parseIntArg(
+                "--requests", need_value("--requests").c_str(),
+                requests, 1, 100000000));
         else if (serve_mode && !std::strcmp(argv[i], "--max-batch"))
-            max_batch = std::atoi(need_value("--max-batch").c_str());
+            max_batch = static_cast<int>(parseIntArg(
+                "--max-batch", need_value("--max-batch").c_str(),
+                max_batch, 1, 1024));
         else if (serve_mode && !std::strcmp(argv[i], "--shards"))
-            shards = std::atoi(need_value("--shards").c_str());
+            shards = static_cast<int>(parseIntArg(
+                "--shards", need_value("--shards").c_str(), shards, 0,
+                1024));
         else if (serve_mode && !std::strcmp(argv[i], "--shed"))
             shed_name = need_value("--shed");
         else if (serve_mode && !std::strcmp(argv[i], "--deadline-ms"))
-            deadline_ms = std::atof(need_value("--deadline-ms").c_str());
+            deadline_ms = parseDoubleArg(
+                "--deadline-ms", need_value("--deadline-ms").c_str(),
+                deadline_ms, 0, 1e9);
         else if (serve_mode && !std::strcmp(argv[i], "--queue"))
-            queue_capacity = std::atoi(need_value("--queue").c_str());
+            queue_capacity = static_cast<int>(parseIntArg(
+                "--queue", need_value("--queue").c_str(),
+                queue_capacity, 0, 1 << 20));
         else if (serve_mode && !std::strcmp(argv[i], "--trace-out"))
             trace_path = need_value("--trace-out");
         else if (serve_mode && !std::strcmp(argv[i], "--metrics-out"))
             metrics_path = need_value("--metrics-out");
         else if (serve_mode
                  && !std::strcmp(argv[i], "--metrics-every-ms"))
-            metrics_every_ms =
-                std::atof(need_value("--metrics-every-ms").c_str());
+            metrics_every_ms = parseDoubleArg(
+                "--metrics-every-ms",
+                need_value("--metrics-every-ms").c_str(),
+                metrics_every_ms, 0, 1e7);
+        else if (serve_mode && !std::strcmp(argv[i], "--slo"))
+            slo_arg = need_value("--slo");
         else
             usage(argv[0]);
     }
@@ -423,7 +527,9 @@ main(int argc, char **argv)
         return runServe(session, steps, clients, requests, max_batch,
                         shards, parseShed(shed_name), deadline_ms,
                         queue_capacity, trace_path, metrics_path,
-                        metrics_every_ms);
+                        metrics_every_ms,
+                        slo_arg.empty() ? std::string()
+                                        : loadSloSpec(slo_arg));
     }
 
     double psnr0 = session.evaluatePsnr();

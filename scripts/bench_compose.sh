@@ -28,3 +28,12 @@ export CLM_THREADS="${CLM_THREADS:-1}"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j"$JOBS" --target micro_compose
 ./build-release/micro_compose "$@" --out BENCH_compose.json
+
+# Judge this run against the matched-context bench history, then record
+# it (bench/history/compose.jsonl). Exits non-zero on a breached regression
+# or an embedded SLO breach. Skip with CLM_BENCH_GATE=off; bless a new
+# baseline after an intentional perf change with
+#   python3 scripts/bench_gate.py bless --bench compose --context-of BENCH_compose.json
+if [ "${CLM_BENCH_GATE:-on}" != "off" ]; then
+  python3 scripts/bench_gate.py gate --bench compose --json BENCH_compose.json
+fi

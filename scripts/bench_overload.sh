@@ -32,3 +32,12 @@ export CLM_THREADS="${CLM_THREADS:-2}"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j"$JOBS" --target micro_overload
 ./build-release/micro_overload "$@" --out BENCH_overload.json
+
+# Judge this run against the matched-context bench history, then record
+# it (bench/history/overload.jsonl). Exits non-zero on a breached regression
+# or an embedded SLO breach. Skip with CLM_BENCH_GATE=off; bless a new
+# baseline after an intentional perf change with
+#   python3 scripts/bench_gate.py bless --bench overload --context-of BENCH_overload.json
+if [ "${CLM_BENCH_GATE:-on}" != "off" ]; then
+  python3 scripts/bench_gate.py gate --bench overload --json BENCH_overload.json
+fi

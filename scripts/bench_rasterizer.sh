@@ -21,3 +21,12 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j"$JOBS" --target micro_rasterizer
 ./build-release/micro_rasterizer "$@" --out BENCH_rasterizer.json
+
+# Judge this run against the matched-context bench history, then record
+# it (bench/history/rasterizer.jsonl). Exits non-zero on a breached regression
+# or an embedded SLO breach. Skip with CLM_BENCH_GATE=off; bless a new
+# baseline after an intentional perf change with
+#   python3 scripts/bench_gate.py bless --bench rasterizer --context-of BENCH_rasterizer.json
+if [ "${CLM_BENCH_GATE:-on}" != "off" ]; then
+  python3 scripts/bench_gate.py gate --bench rasterizer --json BENCH_rasterizer.json
+fi

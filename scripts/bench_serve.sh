@@ -26,3 +26,12 @@ export CLM_THREADS="${CLM_THREADS:-1}"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j"$JOBS" --target micro_serve
 ./build-release/micro_serve "$@" --out BENCH_serve.json
+
+# Judge this run against the matched-context bench history, then record
+# it (bench/history/serve.jsonl). Exits non-zero on a breached regression
+# or an embedded SLO breach. Skip with CLM_BENCH_GATE=off; bless a new
+# baseline after an intentional perf change with
+#   python3 scripts/bench_gate.py bless --bench serve --context-of BENCH_serve.json
+if [ "${CLM_BENCH_GATE:-on}" != "off" ]; then
+  python3 scripts/bench_gate.py gate --bench serve --json BENCH_serve.json
+fi

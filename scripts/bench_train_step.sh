@@ -29,3 +29,12 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j"$JOBS" --target micro_train_step
 ./build-release/micro_train_step "$@" --out BENCH_train_step.json
+
+# Judge this run against the matched-context bench history, then record
+# it (bench/history/train_step.jsonl). Exits non-zero on a breached regression
+# or an embedded SLO breach. Skip with CLM_BENCH_GATE=off; bless a new
+# baseline after an intentional perf change with
+#   python3 scripts/bench_gate.py bless --bench train_step --context-of BENCH_train_step.json
+if [ "${CLM_BENCH_GATE:-on}" != "off" ]; then
+  python3 scripts/bench_gate.py gate --bench train_step --json BENCH_train_step.json
+fi

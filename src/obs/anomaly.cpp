@@ -1,0 +1,123 @@
+#include "obs/anomaly.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clm {
+
+// --------------------------------------------------------------------------
+// EwmaDetector
+
+EwmaDetector::EwmaDetector(const EwmaConfig &cfg)
+    : cfg_(cfg)
+{
+    cfg_.alpha = std::min(std::max(cfg_.alpha, 1e-3), 1.0);
+    cfg_.z_threshold = std::max(0.1, cfg_.z_threshold);
+    cfg_.warmup = std::max(1, cfg_.warmup);
+}
+
+bool EwmaDetector::observe(double x)
+{
+    if (std::isnan(x))
+        return false;
+    bool anomalous = false;
+    if (n_ == 0)
+    {
+        mean_ = x;
+        var_ = 0;
+        last_z_ = 0;
+    }
+    else
+    {
+        // Judge against the PRE-update state, then fold x in. The
+        // epsilon keeps a constant sequence (variance 0) from turning
+        // every later deviation into an infinite z-score.
+        const double diff = x - mean_;
+        const double denom = std::sqrt(var_) +
+                             1e-9 * std::max(1.0, std::fabs(mean_));
+        last_z_ = diff / denom;
+        anomalous = n_ >= cfg_.warmup && std::fabs(last_z_) > cfg_.z_threshold;
+        mean_ += cfg_.alpha * diff;
+        var_ = (1.0 - cfg_.alpha) * (var_ + cfg_.alpha * diff * diff);
+    }
+    ++n_;
+    return anomalous;
+}
+
+void EwmaDetector::reset()
+{
+    mean_ = var_ = last_z_ = 0;
+    n_ = 0;
+}
+
+// --------------------------------------------------------------------------
+// StepChangeDetector
+
+StepChangeDetector::StepChangeDetector(const StepChangeConfig &cfg)
+    : cfg_(cfg)
+{
+    cfg_.window = std::max(2, cfg_.window);
+    cfg_.rel_threshold = std::max(1e-3, cfg_.rel_threshold);
+    ring_.assign(static_cast<size_t>(2 * cfg_.window), 0.0);
+}
+
+bool StepChangeDetector::observe(double x)
+{
+    if (std::isnan(x))
+        return false;
+    const int w = cfg_.window;
+    ring_[static_cast<size_t>(n_ % (2 * w))] = x;
+    ++n_;
+    last_shift_ = 0;
+    if (n_ < 2 * w)
+        return false;
+    // The ring holds exactly the last 2W samples; oldest-first order
+    // starts at n_ % 2W. First W of those are the "old" half.
+    double old_sum = 0, new_sum = 0;
+    for (int i = 0; i < 2 * w; ++i)
+    {
+        const double v = ring_[static_cast<size_t>((n_ + i) % (2 * w))];
+        (i < w ? old_sum : new_sum) += v;
+    }
+    const double old_mean = old_sum / w;
+    const double new_mean = new_sum / w;
+    if (std::fabs(new_mean - old_mean) < cfg_.abs_floor)
+        return false;
+    const double base = std::max(std::fabs(old_mean), cfg_.abs_floor);
+    last_shift_ = (new_mean - old_mean) / base;
+    return std::fabs(last_shift_) > cfg_.rel_threshold;
+}
+
+void StepChangeDetector::reset()
+{
+    std::fill(ring_.begin(), ring_.end(), 0.0);
+    n_ = 0;
+    last_shift_ = 0;
+}
+
+// --------------------------------------------------------------------------
+// AnomalyDetector
+
+AnomalyDetector::AnomalyDetector(const AnomalyConfig &cfg)
+    : ewma_(cfg.ewma), step_(cfg.step)
+{
+}
+
+AnomalyResult AnomalyDetector::observe(double x)
+{
+    AnomalyResult r;
+    r.ewma = ewma_.observe(x);
+    r.step = step_.observe(x);
+    r.z = ewma_.lastZ();
+    r.shift = step_.lastShift();
+    r.anomaly = r.ewma || r.step;
+    return r;
+}
+
+void AnomalyDetector::reset()
+{
+    ewma_.reset();
+    step_.reset();
+}
+
+} // namespace clm

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Streaming anomaly detectors for metric observation sequences — the
+ * "is this window unusual?" half of the self-watching layer (the SLO
+ * rules in obs/slo.* are the "is this window out of bounds?" half).
+ *
+ * Determinism discipline (same as the PR-9 histograms): a detector is
+ * a PURE function of the sequence of observe() calls — no clock reads,
+ * no RNG, no thread-dependent state. The observation sequence itself
+ * is produced by the SLO monitor from windowed registry snapshots,
+ * whose values are merge-order- and interleaving-independent, so two
+ * runs that record the same multiset of samples per window flag the
+ * same anomalies. Tests assert repeated-run identity and
+ * serial ≡ concurrent-recording identity (tests/test_slo.cpp).
+ *
+ * Two complementary rules:
+ *  - EwmaDetector: exponentially weighted mean + variance; a sample
+ *    whose z-score against the pre-update EWMA exceeds the threshold
+ *    is anomalous. Catches spikes against a slowly moving baseline.
+ *  - StepChangeDetector: compares the mean of the newest W samples
+ *    against the mean of the W before them; a relative shift beyond
+ *    the threshold is anomalous. Catches level shifts the EWMA would
+ *    slowly absorb without ever producing one big z-score.
+ */
+
+#ifndef CLM_OBS_ANOMALY_HPP
+#define CLM_OBS_ANOMALY_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace clm {
+
+/** EwmaDetector tuning. */
+struct EwmaConfig
+{
+    double alpha = 0.3;        //!< EWMA smoothing (0, 1]; higher = faster.
+    double z_threshold = 4.0;  //!< |z| above this flags an anomaly.
+    int warmup = 5;            //!< Samples before any flagging.
+};
+
+/** EWMA mean/variance z-score detector (see file comment). */
+class EwmaDetector
+{
+  public:
+    explicit EwmaDetector(const EwmaConfig &cfg = EwmaConfig{});
+
+    /** Fold @p x in; true when x is anomalous vs the PRE-update EWMA
+     *  state (so the anomaly itself does not mask the comparison). */
+    bool observe(double x);
+
+    void reset();
+
+    double mean() const { return mean_; }
+    double variance() const { return var_; }
+    /** z-score the LAST observe() was judged at (0 during warmup). */
+    double lastZ() const { return last_z_; }
+    int samples() const { return n_; }
+
+  private:
+    EwmaConfig cfg_;
+    double mean_ = 0;
+    double var_ = 0;
+    double last_z_ = 0;
+    int n_ = 0;
+};
+
+/** StepChangeDetector tuning. */
+struct StepChangeConfig
+{
+    int window = 8;              //!< W: samples per compared half.
+    double rel_threshold = 0.5;  //!< |new/old - 1| above this flags.
+    double abs_floor = 1e-9;     //!< Shifts below this are ignored.
+};
+
+/** Two-window mean-shift detector (see file comment). */
+class StepChangeDetector
+{
+  public:
+    explicit StepChangeDetector(const StepChangeConfig &cfg = StepChangeConfig{});
+
+    /** Fold @p x in; true when the newest-W vs previous-W mean shift
+     *  exceeds the relative threshold (needs 2W samples). */
+    bool observe(double x);
+
+    void reset();
+
+    /** Relative shift the LAST observe() was judged at. */
+    double lastShift() const { return last_shift_; }
+    int samples() const { return n_; }
+
+  private:
+    StepChangeConfig cfg_;
+    std::vector<double> ring_;    //!< Last 2W samples, ring-indexed.
+    int n_ = 0;
+    double last_shift_ = 0;
+};
+
+/** Combined detector configuration. */
+struct AnomalyConfig
+{
+    EwmaConfig ewma;
+    StepChangeConfig step;
+};
+
+/** Verdict of one combined observation. */
+struct AnomalyResult
+{
+    bool anomaly = false;    //!< Either rule fired.
+    bool ewma = false;       //!< EWMA z-score rule fired.
+    bool step = false;       //!< Step-change rule fired.
+    double z = 0;            //!< z-score of this observation.
+    double shift = 0;        //!< Relative two-window mean shift.
+};
+
+/** EWMA + step-change over one observation stream. */
+class AnomalyDetector
+{
+  public:
+    explicit AnomalyDetector(const AnomalyConfig &cfg = AnomalyConfig{});
+
+    AnomalyResult observe(double x);
+    void reset();
+    int samples() const { return ewma_.samples(); }
+
+  private:
+    EwmaDetector ewma_;
+    StepChangeDetector step_;
+};
+
+} // namespace clm
+
+#endif // CLM_OBS_ANOMALY_HPP

@@ -73,6 +73,65 @@ void writeJsonDouble(std::ostream &os, double v)
 } // namespace
 
 // --------------------------------------------------------------------------
+// HistogramSnapshot
+
+double HistogramSnapshot::percentile(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    p = std::min(std::max(p, 0.0), 100.0);
+    const uint64_t rank = std::max<uint64_t>(
+        1,
+        static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count))));
+    uint64_t seen = 0;
+    for (const auto &b : buckets)
+    {
+        seen += b.second;
+        if (seen >= rank)
+            return b.first;
+    }
+    return buckets.empty() ? 0.0 : buckets.back().first;
+}
+
+HistogramSnapshot HistogramSnapshot::delta(const HistogramSnapshot &prev) const
+{
+    HistogramSnapshot d;
+    d.count = count >= prev.count ? count - prev.count : 0;
+    d.sum = sum - prev.sum;
+    d.min = min;    // cumulative (see header)
+    d.max = max;
+    // Key subtraction on geometry bucket index — edges move for the
+    // overflow bucket (its edge is the running max).
+    std::map<uint32_t, uint64_t> prev_by_index;
+    for (size_t i = 0; i < prev.buckets.size(); ++i)
+    {
+        const uint32_t idx =
+            i < prev.bucket_index.size() ? prev.bucket_index[i]
+                                         : static_cast<uint32_t>(i);
+        prev_by_index[idx] = prev.buckets[i].second;
+    }
+    for (size_t i = 0; i < buckets.size(); ++i)
+    {
+        const uint32_t idx = i < bucket_index.size()
+                                 ? bucket_index[i]
+                                 : static_cast<uint32_t>(i);
+        uint64_t c = buckets[i].second;
+        const auto it = prev_by_index.find(idx);
+        if (it != prev_by_index.end())
+            c = c >= it->second ? c - it->second : 0;
+        if (c != 0)
+        {
+            d.buckets.emplace_back(buckets[i].first, c);
+            d.bucket_index.push_back(idx);
+        }
+    }
+    d.p50 = d.percentile(50);
+    d.p90 = d.percentile(90);
+    d.p99 = d.percentile(99);
+    return d;
+}
+
+// --------------------------------------------------------------------------
 // Gauge
 
 void Gauge::set(double v)
@@ -252,7 +311,10 @@ HistogramSnapshot Histogram::snapshot() const
     {
         const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
         if (c != 0)
+        {
             s.buckets.emplace_back(bucketUpperEdge(i), c);
+            s.bucket_index.push_back(static_cast<uint32_t>(i));
+        }
     }
     return s;
 }
@@ -358,6 +420,47 @@ void MetricsRegistry::writeJsonLine(std::ostream &os, double ts_s) const
     os << "}}\n";
 }
 
+RegistrySnapshot MetricsRegistry::snapshot(double ts_s) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    RegistrySnapshot s;
+    s.ts_s = ts_s;
+    for (const auto &kv : counters_)
+        s.counters[kv.first] = kv.second->value();
+    for (const auto &kv : gauges_)
+        s.gauges[kv.first] = kv.second->value();
+    for (const auto &kv : histograms_)
+        s.histograms[kv.first] = kv.second->snapshot();
+    return s;
+}
+
+RegistrySnapshot snapshotDiff(const RegistrySnapshot &now,
+                              const RegistrySnapshot &prev)
+{
+    RegistrySnapshot d = now;
+    for (auto &kv : d.counters)
+    {
+        const auto it = prev.counters.find(kv.first);
+        if (it != prev.counters.end())
+            kv.second = kv.second >= it->second ? kv.second - it->second : 0;
+    }
+    // Gauges stay instantaneous: a last-write-wins value has no
+    // meaningful difference over a window.
+    for (auto &kv : d.histograms)
+    {
+        const auto it = prev.histograms.find(kv.first);
+        if (it != prev.histograms.end())
+            kv.second = kv.second.delta(it->second);
+    }
+    return d;
+}
+
+RegistrySnapshot MetricsRegistry::snapshotDelta(const RegistrySnapshot &prev,
+                                                double ts_s) const
+{
+    return snapshotDiff(snapshot(ts_s), prev);
+}
+
 std::vector<std::string> MetricsRegistry::names() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -409,6 +512,12 @@ void MetricsExporter::stop()
     }
 }
 
+void MetricsExporter::setTickHook(std::function<void(double)> hook)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    tick_hook_ = std::move(hook);
+}
+
 void MetricsExporter::loop()
 {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -418,12 +527,17 @@ void MetricsExporter::loop()
             lock,
             std::chrono::microseconds(static_cast<int64_t>(period_ms_ * 1e3)),
             [this] { return stopping_; });
+        const double ts_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          epoch_)
+                .count();
+        // Tick (e.g. the SLO monitor) BEFORE writing so gauges the
+        // hook sets land in this very line — including the final line
+        // stop() forces out mid-interval.
+        if (tick_hook_)
+            tick_hook_(ts_s);
         if (out_)
         {
-            const double ts_s =
-                std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                              epoch_)
-                    .count();
             registry_.writeJsonLine(out_, ts_s);
             out_.flush();
             snapshots_.fetch_add(1, std::memory_order_relaxed);

@@ -35,6 +35,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -83,6 +84,24 @@ struct HistogramSnapshot
     /** Non-empty buckets only: (upper edge, count). The overflow
      *  bucket's edge is reported as the exact max observed. */
     std::vector<std::pair<double, uint64_t>> buckets;
+    /** Geometry bucket index of each `buckets` entry, parallel to it.
+     *  Subtraction keys on this, NOT on the upper edge: the overflow
+     *  bucket's reported edge is the running max, which moves between
+     *  snapshots of the same histogram. */
+    std::vector<uint32_t> bucket_index;
+
+    /** Nearest-rank percentile over this snapshot's sparse buckets
+     *  (same definition as Histogram::percentile); 0 when empty. */
+    double percentile(double p) const;
+
+    /** The window `this - prev` for two snapshots of the SAME
+     *  histogram taken at different times (prev earlier): bucket
+     *  counts and sum are subtracted (clamped at zero), p50/p90/p99
+     *  are recomputed from the windowed buckets. min/max are the
+     *  running cumulative values (a log-bucket histogram cannot
+     *  window an exact extremum), so the windowed overflow bucket
+     *  still reports the cumulative max as its edge. */
+    HistogramSnapshot delta(const HistogramSnapshot &prev) const;
 };
 
 /**
@@ -156,6 +175,27 @@ class Histogram
 };
 
 /**
+ * Point-in-time copy of every metric in a registry — the unit the SLO
+ * layer evaluates over. Two snapshots of the same registry subtract
+ * (MetricsRegistry::snapshotDelta) into a *window*: counter deltas,
+ * windowed histogram percentiles, and instantaneous gauges.
+ */
+struct RegistrySnapshot
+{
+    double ts_s = 0;    //!< Caller-supplied timestamp (seconds).
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/** The window `now - prev` for two snapshots of the same registry:
+ *  counters and histogram buckets subtract (metrics absent from
+ *  @p prev contribute their full value); gauges keep `now`'s
+ *  instantaneous value. */
+RegistrySnapshot snapshotDiff(const RegistrySnapshot &now,
+                              const RegistrySnapshot &prev);
+
+/**
  * Named metric registry (see file comment). Metrics are created on
  * first lookup and live as long as the registry; returned references
  * are stable, so hot paths resolve once and record lock-free ever
@@ -179,6 +219,17 @@ class MetricsRegistry
     /** One JSON-lines snapshot: a single-line JSON object with every
      *  counter, gauge, and histogram summary, stamped @p ts_s. */
     void writeJsonLine(std::ostream &os, double ts_s) const;
+
+    /** Point-in-time copy of every registered metric. */
+    RegistrySnapshot snapshot(double ts_s = 0) const;
+
+    /** The window `now - prev`: counters and histogram buckets are
+     *  subtracted (metrics absent from @p prev contribute their full
+     *  cumulative value — they were zero then); gauges report their
+     *  current instantaneous value. @p prev must be an earlier
+     *  snapshot of THIS registry. */
+    RegistrySnapshot snapshotDelta(const RegistrySnapshot &prev,
+                                   double ts_s = 0) const;
 
     /** All registered metric names (sorted; tests/exporters). */
     std::vector<std::string> names() const;
@@ -206,12 +257,21 @@ class MetricsExporter
     MetricsExporter(const MetricsExporter &) = delete;
     MetricsExporter &operator=(const MetricsExporter &) = delete;
 
-    /** Final snapshot, then stop and join the writer thread. */
+    /** Final snapshot, then stop and join the writer thread. stop()
+     *  ALWAYS writes one last line before joining — a run shorter
+     *  than one period still exports its final window. */
     void stop();
 
     /** Snapshot lines written so far. */
     int snapshots() const
     { return snapshots_.load(std::memory_order_relaxed); }
+
+    /** Install a hook invoked (on the writer thread) immediately
+     *  BEFORE each snapshot line — periodic and final — with the
+     *  line's timestamp. The SLO layer uses this to tick its monitor
+     *  so verdict gauges land in the very line being written. The
+     *  hook must not touch the exporter itself. */
+    void setTickHook(std::function<void(double ts_s)> hook);
 
   private:
     void loop();
@@ -223,6 +283,7 @@ class MetricsExporter
     std::condition_variable cv_;
     bool stopping_ = false;
     bool stopped_ = false;
+    std::function<void(double)> tick_hook_;    //!< Guarded by mutex_.
     std::atomic<int> snapshots_{0};
     std::chrono::steady_clock::time_point epoch_;
     std::thread thread_;

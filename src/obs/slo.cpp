@@ -1,0 +1,349 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
+namespace clm {
+
+namespace {
+
+/** Full-consumption strtod: rejects "1.5x" instead of reading 1.5. */
+bool parseDoubleToken(const std::string &tok, double *out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size() || !std::isfinite(v))
+        return false;
+    *out = v;
+    return true;
+}
+
+std::string formatNumber(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return buf;
+}
+
+std::vector<std::string> tokenize(const std::string &line)
+{
+    std::vector<std::string> toks;
+    std::istringstream is(line);
+    std::string t;
+    while (is >> t)
+        toks.push_back(t);
+    return toks;
+}
+
+/** Parse the trailing `[warn W] fail F` clause starting at @p i.
+ *  Returns false (leaving *rule untouched beyond partial writes) on
+ *  malformed input or a missing fail clause. */
+bool parseThresholds(const std::vector<std::string> &toks, size_t i,
+                     SloRule *rule)
+{
+    bool have_fail = false;
+    while (i < toks.size())
+    {
+        if (i + 1 >= toks.size())
+            return false;
+        double v = 0;
+        if (!parseDoubleToken(toks[i + 1], &v))
+            return false;
+        if (toks[i] == "warn")
+            rule->warn = v;
+        else if (toks[i] == "fail")
+        {
+            rule->fail = v;
+            have_fail = true;
+        }
+        else
+            return false;
+        i += 2;
+    }
+    return have_fail;
+}
+
+} // namespace
+
+const char *sloVerdictName(SloVerdict v)
+{
+    switch (v)
+    {
+    case SloVerdict::Healthy: return "healthy";
+    case SloVerdict::Degraded: return "degraded";
+    case SloVerdict::Breached: return "breached";
+    }
+    return "healthy";
+}
+
+std::string formatSloRule(const SloRule &r)
+{
+    std::string s;
+    switch (r.kind)
+    {
+    case SloRuleKind::HistogramPercentile:
+        s = "hist " + r.metric + " p" + formatNumber(r.percentile);
+        break;
+    case SloRuleKind::CounterRatio:
+        s = "ratio " + r.metric + " / " + r.denominator;
+        break;
+    case SloRuleKind::GaugeBound:
+        s = "gauge " + r.metric;
+        break;
+    }
+    if (r.warn > 0)
+        s += " warn " + formatNumber(r.warn);
+    s += " fail " + formatNumber(r.fail);
+    return s;
+}
+
+std::vector<SloRule> parseSloRules(const std::string &text, int *n_errors)
+{
+    std::vector<SloRule> rules;
+    int errors = 0;
+    std::string norm = text;
+    std::replace(norm.begin(), norm.end(), ';', '\n');
+    std::istringstream lines(norm);
+    std::string line;
+    while (std::getline(lines, line))
+    {
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        const std::vector<std::string> toks = tokenize(line);
+        if (toks.empty())
+            continue;
+
+        SloRule rule;
+        bool ok = false;
+        if (toks[0] == "hist" && toks.size() >= 3 && toks[2].size() > 1 &&
+            toks[2][0] == 'p')
+        {
+            rule.kind = SloRuleKind::HistogramPercentile;
+            rule.metric = toks[1];
+            double p = 0;
+            ok = parseDoubleToken(toks[2].substr(1), &p) && p > 0 && p <= 100 &&
+                 parseThresholds(toks, 3, &rule);
+            rule.percentile = p;
+            rule.name = rule.metric + ".p" + formatNumber(p);
+        }
+        else if (toks[0] == "ratio" && toks.size() >= 3)
+        {
+            rule.kind = SloRuleKind::CounterRatio;
+            rule.metric = toks[1];
+            size_t i = 2;
+            if (toks[i] == "/" && toks.size() > 3)
+                ++i;    // `ratio a / b` and `ratio a b` both accepted
+            rule.denominator = toks[i];
+            rule.name = rule.metric + "/" + rule.denominator;
+            ok = parseThresholds(toks, i + 1, &rule);
+        }
+        else if (toks[0] == "gauge" && toks.size() >= 2)
+        {
+            rule.kind = SloRuleKind::GaugeBound;
+            rule.metric = toks[1];
+            rule.name = rule.metric;
+            ok = parseThresholds(toks, 2, &rule);
+        }
+
+        if (!ok)
+        {
+            warn("slo: skipping malformed rule line: '", line, "'");
+            ++errors;
+            continue;
+        }
+        rules.push_back(std::move(rule));
+    }
+    if (n_errors)
+        *n_errors = errors;
+    return rules;
+}
+
+std::string SloReport::summary() const
+{
+    std::ostringstream os;
+    os << sloVerdictName(verdict);
+    if (!rules.empty())
+    {
+        os << " (";
+        for (size_t i = 0; i < rules.size(); ++i)
+        {
+            if (i)
+                os << ", ";
+            os << rules[i].name << "=" << formatNumber(rules[i].value);
+            if (rules[i].verdict == SloVerdict::Breached)
+                os << "!";
+            else if (rules[i].verdict == SloVerdict::Degraded)
+                os << "~";
+            if (rules[i].anomaly)
+                os << "?";
+        }
+        os << ")";
+    }
+    return os.str();
+}
+
+// --------------------------------------------------------------------------
+// SloMonitor
+
+SloMonitor::SloMonitor(MetricsRegistry &registry, std::vector<SloRule> rules,
+                       SloMonitorConfig cfg)
+    : registry_(registry), rules_(std::move(rules)), cfg_(cfg)
+{
+    baseline_ = registry_.snapshot(0);
+    prev_ = baseline_;
+    detectors_.reserve(rules_.size());
+    for (size_t i = 0; i < rules_.size(); ++i)
+        detectors_.emplace_back(cfg_.anomaly);
+    Tracer *t = Tracer::current();
+    prev_ns_ = t ? t->nowNs() : 0;
+}
+
+SloObservation SloMonitor::evaluate(const SloRule &rule,
+                                    const RegistrySnapshot &window) const
+{
+    SloObservation obs;
+    obs.name = rule.name;
+    switch (rule.kind)
+    {
+    case SloRuleKind::HistogramPercentile:
+    {
+        const auto it = window.histograms.find(rule.metric);
+        if (it != window.histograms.end())
+        {
+            obs.samples = it->second.count;
+            obs.value = it->second.percentile(rule.percentile);
+        }
+        break;
+    }
+    case SloRuleKind::CounterRatio:
+    {
+        const auto num_it = window.counters.find(rule.metric);
+        const auto den_it = window.counters.find(rule.denominator);
+        const uint64_t num = num_it != window.counters.end() ? num_it->second : 0;
+        const uint64_t den = den_it != window.counters.end() ? den_it->second : 0;
+        obs.samples = num + den;
+        // A window with sheds but zero renders must still breach:
+        // evaluate against a denominator floor of 1 instead of
+        // producing inf (JSON-hostile) or 0/0.
+        obs.value = static_cast<double>(num) /
+                    static_cast<double>(std::max<uint64_t>(den, 1));
+        break;
+    }
+    case SloRuleKind::GaugeBound:
+    {
+        const auto it = window.gauges.find(rule.metric);
+        if (it != window.gauges.end())
+        {
+            obs.samples = 1;
+            obs.value = it->second;
+        }
+        break;
+    }
+    }
+
+    // Insufficient data is Healthy, never a false breach. Gauges are
+    // instantaneous (one sample by construction), so min_samples
+    // applies to windowed rules only.
+    const bool enough = rule.kind == SloRuleKind::GaugeBound
+                            ? obs.samples >= 1
+                            : obs.samples >= std::max<uint64_t>(1, cfg_.min_samples);
+    if (enough)
+    {
+        if (obs.value > rule.fail)
+            obs.verdict = SloVerdict::Breached;
+        else if (rule.warn > 0 && obs.value > rule.warn)
+            obs.verdict = SloVerdict::Degraded;
+    }
+    return obs;
+}
+
+SloReport SloMonitor::tick(double ts_s)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const RegistrySnapshot now = registry_.snapshot(ts_s);
+    const RegistrySnapshot window = snapshotDiff(now, prev_);
+
+    SloReport rep;
+    rep.tick = ++ticks_;
+    rep.ts_s = ts_s;
+    rep.window_s = ts_s - prev_.ts_s;
+    for (size_t i = 0; i < rules_.size(); ++i)
+    {
+        SloObservation obs = evaluate(rules_[i], window);
+        // Feed the detector only when the window actually observed
+        // the rule — empty windows would drag the EWMA baseline to
+        // zero and turn the next real window into a fake anomaly.
+        if (cfg_.detect_anomalies && obs.samples > 0)
+        {
+            const AnomalyResult a = detectors_[i].observe(obs.value);
+            obs.anomaly = a.anomaly;
+            obs.z = a.z;
+            obs.shift = a.shift;
+            if (obs.anomaly && obs.verdict == SloVerdict::Healthy)
+                obs.verdict = SloVerdict::Degraded;
+        }
+        rep.verdict = worseVerdict(rep.verdict, obs.verdict);
+        rep.rules.push_back(std::move(obs));
+    }
+    worst_ = worseVerdict(worst_, rep.verdict);
+
+    if (cfg_.export_gauges)
+    {
+        registry_.gauge("slo.verdict").set(static_cast<double>(rep.verdict));
+        for (const SloObservation &obs : rep.rules)
+        {
+            registry_.gauge("slo." + obs.name + ".verdict")
+                .set(static_cast<double>(obs.verdict));
+            registry_.gauge("slo." + obs.name + ".value").set(obs.value);
+        }
+    }
+
+    Tracer *tracer = Tracer::current();
+    const uint64_t now_ns = tracer ? tracer->nowNs() : 0;
+    if (cfg_.trace_breaches && tracer && rep.verdict == SloVerdict::Breached)
+        tracer->record("slo.breach", 0, std::min(prev_ns_, now_ns), now_ns);
+    prev_ns_ = now_ns;
+    prev_ = now;
+    return rep;
+}
+
+SloReport SloMonitor::total(double ts_s) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const RegistrySnapshot window =
+        snapshotDiff(registry_.snapshot(ts_s), baseline_);
+    SloReport rep;
+    rep.tick = 0;
+    rep.ts_s = ts_s;
+    rep.window_s = ts_s - baseline_.ts_s;
+    for (const SloRule &rule : rules_)
+    {
+        SloObservation obs = evaluate(rule, window);
+        rep.verdict = worseVerdict(rep.verdict, obs.verdict);
+        rep.rules.push_back(std::move(obs));
+    }
+    return rep;
+}
+
+SloVerdict SloMonitor::worstVerdict() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return worst_;
+}
+
+int SloMonitor::ticks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ticks_;
+}
+
+} // namespace clm

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Declarative SLO rules evaluated over the PR-9 metrics registry —
+ * the layer that WATCHES the observability spine instead of leaving
+ * breaches to be eyeballed out of BENCH JSONs.
+ *
+ * A rule bounds one derived value:
+ *  - HistogramPercentile: `hist serve.latency_ms p99 warn 10 fail 50`
+ *    — the windowed p-th percentile of a histogram.
+ *  - CounterRatio: `ratio serve.shed_deadline / serve.requests
+ *    warn 0.1 fail 0.5` — windowed numerator delta over windowed
+ *    denominator delta (denominator 0 is evaluated as 1, so a window
+ *    with sheds but no renders still breaches).
+ *  - GaugeBound: `gauge serve.queue_depth fail 64` — the gauge's
+ *    instantaneous value.
+ *
+ * Verdict per rule: value > fail => Breached, value > warn =>
+ * Degraded (warn <= 0 disables the Degraded band), else Healthy; a
+ * window with fewer than min_samples observations is Healthy
+ * (insufficient data, never a false breach). The report's verdict is
+ * the worst rule verdict. An anomaly flagged by the obs/anomaly
+ * detectors on an otherwise-Healthy rule escalates it to Degraded —
+ * anomalies are "unusual", only threshold crossings are "broken".
+ *
+ * SloMonitor::tick(ts) evaluates one WINDOW: the registry
+ * snapshotDelta since the previous tick (deterministic given the
+ * multiset of samples recorded in the window — the PR-9 histogram
+ * determinism carries through the delta). total() evaluates the
+ * cumulative window since construction — what the benches embed.
+ * Breached windows are recorded as "slo.breach" spans into the live
+ * tracer, so a Chrome trace shows WHEN the service was out of SLO
+ * alongside what it was doing. When export_gauges is on, each tick
+ * writes slo.verdict / slo.<rule>.verdict / slo.<rule>.value gauges
+ * back into the registry, so metrics.jsonl carries the verdict
+ * stream with zero extra plumbing (the MetricsExporter tick hook
+ * orders the tick before the line write).
+ */
+
+#ifndef CLM_OBS_SLO_HPP
+#define CLM_OBS_SLO_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/anomaly.hpp"
+#include "obs/metrics.hpp"
+
+namespace clm {
+
+/** Health of one rule or one whole report. Order matters: higher is
+ *  worse, so std::max composes verdicts. */
+enum class SloVerdict : int
+{
+    Healthy = 0,
+    Degraded = 1,
+    Breached = 2,
+};
+
+/** "healthy" / "degraded" / "breached". */
+const char *sloVerdictName(SloVerdict v);
+
+inline SloVerdict worseVerdict(SloVerdict a, SloVerdict b)
+{ return static_cast<int>(a) >= static_cast<int>(b) ? a : b; }
+
+enum class SloRuleKind : int
+{
+    HistogramPercentile,
+    CounterRatio,
+    GaugeBound,
+};
+
+/** One declarative bound (see file comment for grammar). */
+struct SloRule
+{
+    SloRuleKind kind = SloRuleKind::HistogramPercentile;
+    std::string name;           //!< Export/display name (parser derives).
+    std::string metric;         //!< Histogram, numerator counter, or gauge.
+    std::string denominator;    //!< CounterRatio only.
+    double percentile = 99;     //!< HistogramPercentile only.
+    double warn = 0;            //!< Degraded above this; <= 0 disables.
+    double fail = 0;            //!< Breached above this.
+};
+
+/** Canonical one-line spec text for @p r (round-trips the parser). */
+std::string formatSloRule(const SloRule &r);
+
+/**
+ * Parse rule-spec text: one rule per line (';' also separates), '#'
+ * starts a comment, blank lines skipped. Grammar per line:
+ *
+ *   hist  <metric> p<P>           [warn <W>] fail <F>
+ *   ratio <num> [/] <den>         [warn <W>] fail <F>
+ *   gauge <metric>                [warn <W>] fail <F>
+ *
+ * Malformed lines are warned about and skipped (util/env policy:
+ * never UB, never abort on config garbage); @p n_errors (optional)
+ * receives the skip count.
+ */
+std::vector<SloRule> parseSloRules(const std::string &text,
+                                   int *n_errors = nullptr);
+
+/** One rule's evaluation over one window. */
+struct SloObservation
+{
+    std::string name;        //!< Rule name.
+    double value = 0;        //!< The bounded derived value.
+    uint64_t samples = 0;    //!< Observations backing it this window.
+    SloVerdict verdict = SloVerdict::Healthy;
+    bool anomaly = false;    //!< A streaming detector fired.
+    double z = 0;            //!< EWMA z-score of this window's value.
+    double shift = 0;        //!< Two-window relative mean shift.
+};
+
+/** One windowed evaluation of every rule. */
+struct SloReport
+{
+    int tick = 0;            //!< 0 for total(); 1.. for tick().
+    double ts_s = 0;
+    double window_s = 0;     //!< ts_s - previous tick's ts_s.
+    SloVerdict verdict = SloVerdict::Healthy;
+    std::vector<SloObservation> rules;
+
+    /** One human line: "verdict (rule=value ...)" — what clm_cli
+     *  serve prints live and finally. */
+    std::string summary() const;
+};
+
+struct SloMonitorConfig
+{
+    /** Write slo.verdict / slo.<rule>.verdict / slo.<rule>.value
+     *  gauges into the registry on every tick. */
+    bool export_gauges = true;
+    /** Record a "slo.breach" span over each Breached window into the
+     *  live tracer (no-op when tracing is off). */
+    bool trace_breaches = true;
+    /** Feed each rule's windowed value through an AnomalyDetector;
+     *  anomalies escalate Healthy windows to Degraded. */
+    bool detect_anomalies = true;
+    /** Windows with fewer backing samples than this report Healthy
+     *  (insufficient data). */
+    uint64_t min_samples = 1;
+    AnomalyConfig anomaly;
+};
+
+/**
+ * Evaluates a rule set over a registry at explicit ticks (see file
+ * comment). Construction snapshots the registry as the baseline;
+ * tick() windows against the previous tick; total() windows against
+ * the baseline. Thread-safe: tick() is typically driven from the
+ * MetricsExporter writer thread while the owner reads worstVerdict().
+ */
+class SloMonitor
+{
+  public:
+    SloMonitor(MetricsRegistry &registry, std::vector<SloRule> rules,
+               SloMonitorConfig cfg = SloMonitorConfig{});
+
+    /** Evaluate the window since the previous tick (or construction)
+     *  stamped @p ts_s. */
+    SloReport tick(double ts_s);
+
+    /** Evaluate the cumulative window since construction. Does not
+     *  advance tick state, feed detectors, export gauges, or record
+     *  breach spans — a pure read. */
+    SloReport total(double ts_s = 0) const;
+
+    /** Worst verdict any tick() has produced (Healthy before the
+     *  first tick). total() does not fold in. */
+    SloVerdict worstVerdict() const;
+
+    int ticks() const;
+    const std::vector<SloRule> &rules() const { return rules_; }
+
+  private:
+    SloObservation evaluate(const SloRule &rule,
+                            const RegistrySnapshot &window) const;
+
+    MetricsRegistry &registry_;
+    std::vector<SloRule> rules_;
+    SloMonitorConfig cfg_;
+
+    mutable std::mutex mutex_;
+    RegistrySnapshot baseline_;    //!< At construction.
+    RegistrySnapshot prev_;        //!< At the last tick.
+    uint64_t prev_ns_ = 0;         //!< Tracer clock at the last tick.
+    std::vector<AnomalyDetector> detectors_;    //!< One per rule.
+    int ticks_ = 0;
+    SloVerdict worst_ = SloVerdict::Healthy;
+};
+
+} // namespace clm
+
+#endif // CLM_OBS_SLO_HPP

@@ -10,16 +10,16 @@
 namespace clm {
 
 long
-envInt(const char *name, long fallback, long min, long max)
+parseIntArg(const char *what, const char *value, long fallback, long min,
+            long max)
 {
-    const char *value = std::getenv(name);
     if (!value)
         return fallback;
     errno = 0;
     char *end = nullptr;
     long v = std::strtol(value, &end, 10);
     if (end == value || *end != '\0' || errno == ERANGE) {
-        warn(name, "=\"", value, "\" is not an integer; using ", fallback);
+        warn(what, "=\"", value, "\" is not an integer; using ", fallback);
         return fallback;
     }
     if (v < min)
@@ -27,6 +27,32 @@ envInt(const char *name, long fallback, long min, long max)
     if (v > max)
         v = max;
     return v;
+}
+
+double
+parseDoubleArg(const char *what, const char *value, double fallback,
+               double min, double max)
+{
+    if (!value)
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(value, &end);
+    if (end == value || *end != '\0' || errno == ERANGE || v != v) {
+        warn(what, "=\"", value, "\" is not a number; using ", fallback);
+        return fallback;
+    }
+    if (v < min)
+        v = min;
+    if (v > max)
+        v = max;
+    return v;
+}
+
+long
+envInt(const char *name, long fallback, long min, long max)
+{
+    return parseIntArg(name, std::getenv(name), fallback, min, max);
 }
 
 const char *

@@ -16,6 +16,21 @@
 namespace clm {
 
 /**
+ * Parse @p value (e.g. a CLI argument) as a plain base-10 integer
+ * clamped into [@p min, @p max]. A malformed value (empty, trailing
+ * junk, overflow) warns — attributed to @p what, e.g. "--queue" —
+ * and returns @p fallback; out-of-range values clamp. This is the
+ * same garbage-rejection policy as envInt, lifted so command-line
+ * flags share it instead of rotting on raw atoi().
+ */
+long parseIntArg(const char *what, const char *value, long fallback,
+                 long min, long max);
+
+/** parseIntArg's policy for floating-point values. */
+double parseDoubleArg(const char *what, const char *value, double fallback,
+                      double min, double max);
+
+/**
  * Read integer environment variable @p name clamped into
  * [@p min, @p max]. Unset returns @p fallback. A value that is not a
  * plain base-10 integer (empty, trailing junk, overflow) warns and
